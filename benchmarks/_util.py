@@ -1,0 +1,10 @@
+"""Helpers shared by the benchmark modules."""
+
+from repro.reporting import side_by_side
+
+
+def print_comparison(title, paper, measured):
+    """Emit a paper-vs-measured block to stdout (visible with pytest -s,
+    and in the captured benchmark logs)."""
+    print()
+    print(side_by_side(paper, measured, title))

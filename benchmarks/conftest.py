@@ -1,0 +1,75 @@
+"""Shared fixtures for the paper-reproduction benchmarks.
+
+The expensive artifacts (full optimization runs) are computed once per
+session and shared by every table/figure benchmark.  Budgets follow the
+paper: N = 10,000 Monte-Carlo samples on the linearized models, 300-sample
+simulation-based verification (reduced to 150 for the folded-cascode runs
+to keep wall time reasonable), seeds fixed for reproducibility.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro.circuits import FoldedCascodeOpamp, MillerOpamp
+from repro.core import OptimizerConfig, YieldOptimizer
+
+
+def _run(template, **overrides):
+    config = OptimizerConfig(**overrides)
+    return YieldOptimizer(template, config).run()
+
+
+@pytest.fixture(scope="session")
+def fc_result():
+    """Full folded-cascode optimization (Tables 1, 2, 5, 7; Figs. 1, 5)."""
+    return _run(FoldedCascodeOpamp(), n_samples_verify=150,
+                max_iterations=10, seed=7)
+
+
+@pytest.fixture(scope="session")
+def miller_result():
+    """Full Miller optimization (Tables 6, 7)."""
+    return _run(MillerOpamp(), n_samples_verify=300, max_iterations=5,
+                seed=1)
+
+
+@pytest.fixture(scope="session")
+def fc_no_constraints_result():
+    """Table 3 ablation: same initial design, no functional constraints.
+
+    The paper reports the state after the first iteration."""
+    return _run(FoldedCascodeOpamp(), n_samples_verify=150,
+                max_iterations=1, seed=7, use_constraints=False)
+
+
+@pytest.fixture(scope="session")
+def fc_nominal_linearization_result():
+    """Table 4 ablation: linearization at s = s0 instead of s_wc."""
+    return _run(FoldedCascodeOpamp(), n_samples_verify=150,
+                max_iterations=1, seed=7, linearize_at="nominal")
+
+
+@pytest.fixture(scope="session")
+def fc_local_worst_case():
+    """Worst-case points in the paper's Sec. 3 setting: the mismatch
+    analysis runs over the *local* statistical parameters only (design
+    parameters constant, s ~ N(0, I) of the local space).  Returns
+    ``(template, worst_case_results)`` at the initial design."""
+    from repro.core import find_all_worst_case_points
+    from repro.evaluation import Evaluator
+    from repro.spec.operating import find_worst_case_operating_points
+
+    template = FoldedCascodeOpamp(with_global=False)
+    evaluator = Evaluator(template)
+    d = template.initial_design()
+    s0 = template.statistical_space.nominal()
+    theta_wc = find_worst_case_operating_points(
+        lambda theta: evaluator.evaluate(d, s0, theta),
+        template.specs, template.operating_range)
+    worst_case = find_all_worst_case_points(evaluator, d, theta_wc, seed=7)
+    return template, worst_case
+

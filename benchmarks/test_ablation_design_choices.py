@@ -1,0 +1,112 @@
+"""Ablation benchmarks for this reproduction's own design choices.
+
+Beyond the paper's two ablations (Tables 3 and 4), DESIGN.md calls out
+three implementation decisions worth isolating:
+
+1. the **mirrored linear models** for quadratic specs (Eq. 21-22) —
+   without them the linearized yield estimate misjudges the CMRR spec;
+2. the **linearized-estimate accuracy** — the paper claims the Eq. 17
+   estimate tracks the Monte-Carlo yield within 1-2 % (Sec. 5.2, ref. 12);
+3. the **trust region** on the coordinate search — with it disabled, a
+   single iteration extrapolates the linear models across the whole box
+   and the true performances collapse (the same failure class as Table 3,
+   but with constraints active).
+"""
+
+import numpy as np
+
+from repro.circuits import FoldedCascodeOpamp, MillerOpamp
+from repro.core import (LinearizedYieldEstimator, OptimizerConfig,
+                        YieldOptimizer, build_spec_models)
+from repro.evaluation import Evaluator
+from repro.spec.operating import find_worst_case_operating_points
+from repro.statistics import SampleSet
+
+
+def test_ablation_mirror_models_matter_for_cmrr(benchmark, fc_result):
+    """Eq. 21-22 ablation: drop the mirrored models and the CMRR
+    bad-sample prediction loses a large part of the true failure mass."""
+    template = FoldedCascodeOpamp()
+    evaluator = Evaluator(template)
+    d0 = fc_result.initial.d
+    s0 = template.statistical_space.nominal()
+
+    def build_both():
+        theta_wc = find_worst_case_operating_points(
+            lambda theta: evaluator.evaluate(d0, s0, theta),
+            template.specs, template.operating_range)
+        worst_case = fc_result.initial.worst_case
+        samples = SampleSet.draw(10000, template.statistical_space.dim,
+                                 seed=7)
+        with_mirror = LinearizedYieldEstimator(
+            build_spec_models(evaluator, d0, worst_case, theta_wc,
+                              detect_quadratic_specs=True), samples)
+        without_mirror = LinearizedYieldEstimator(
+            build_spec_models(evaluator, d0, worst_case, theta_wc,
+                              detect_quadratic_specs=False), samples)
+        return (with_mirror.bad_samples_per_spec(d0)["cmrr>="],
+                without_mirror.bad_samples_per_spec(d0)["cmrr>="])
+
+    bad_with, bad_without = benchmark.pedantic(build_both, rounds=1,
+                                               iterations=1)
+    true_bad = fc_result.initial.mc.bad_fraction["cmrr>="]
+    print(f"\nCMRR bad samples at the initial design: "
+          f"true {true_bad * 1000:.0f} o/oo, models with mirror "
+          f"{bad_with * 1000:.0f} o/oo, without {bad_without * 1000:.0f}")
+    # One tangent sees only one side of the tent: it must miss a large
+    # part of the failure mass that the mirrored pair captures.
+    assert bad_without < bad_with
+    assert abs(bad_with - true_bad) < abs(bad_without - true_bad)
+
+
+def test_ablation_linearized_estimate_accuracy(benchmark, fc_result,
+                                               miller_result):
+    """Sec. 5.2's accuracy claim, checked at every verified design point
+    of both optimization runs."""
+    def collect():
+        rows = []
+        for result in (fc_result, miller_result):
+            for record in result.records:
+                if record.yield_mc is not None:
+                    rows.append((result.template_name, record.index,
+                                 record.yield_linear, record.yield_mc))
+        return rows
+
+    rows = benchmark(collect)
+    print("\nY_bar (linearized) vs Y_tilde (Monte Carlo):")
+    errors = []
+    for name, index, y_lin, y_mc in rows:
+        errors.append(abs(y_lin - y_mc))
+        print(f"  {name:>15} iter {index}: Y_bar = {y_lin * 100:5.1f}%  "
+              f"Y_tilde = {y_mc * 100:5.1f}%  |diff| = "
+              f"{abs(y_lin - y_mc) * 100:4.1f}%")
+    # At the linearization point itself (the initial record of each run)
+    # the estimate is paper-grade accurate; across *moved* designs the
+    # models are extrapolating, so allow a wider envelope.
+    initial_errors = [abs(r[2] - r[3]) for r in rows if r[1] == 0]
+    assert max(initial_errors) < 0.06
+    assert np.median(errors) < 0.15
+
+
+def test_ablation_no_trust_region_collapses(benchmark):
+    """Trust-region ablation on the folded-cascode: one iteration with
+    unbounded coordinate moves (constraints still active) walks far outside
+    the models' validity."""
+    def run():
+        config = OptimizerConfig(n_samples_linear=4000,
+                                 n_samples_verify=80, max_iterations=1,
+                                 seed=7, trust_radius=0.0,
+                                 max_step_halvings=0)
+        return YieldOptimizer(FoldedCascodeOpamp(), config).run()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    after = result.records[1]
+    print(f"\nwithout trust region, after one iteration: "
+          f"Y_bar = {after.yield_linear * 100:.1f}%, "
+          f"Y_tilde = {after.yield_mc * 100:.1f}%, margins = "
+          + ", ".join(f"{k}: {v:+.1f}" for k, v in after.margins.items()))
+    # The models promise a high yield...
+    assert after.yield_linear > 0.5
+    # ...but reality stays far below what the trust-region run achieves
+    # after its full (converged) schedule.
+    assert after.yield_mc < 0.5

@@ -1,0 +1,47 @@
+"""Figure 2: the mismatch-line selector Phi.
+
+Paper figure: Phi, evaluated over the angle arctan(s_wc,k / s_wc,l),
+selects pairs on the mismatch line within an uncertainty band given by the
+constants Delta_1 and Delta_2.
+
+Reproduction: our trapezoid reconstruction — 1 on the mismatch line
+(angle -pi/4) within Delta_1, linear falloff to 0 over Delta_2 — printed
+as a series and checked against the four requirements of Sec. 3.1.
+"""
+
+import math
+
+import numpy as np
+
+from repro.core.mismatch import DELTA1, DELTA2, phi_window
+
+
+def sample_phi():
+    angles = np.linspace(-math.pi / 2, math.pi / 2, 73)
+    return angles, np.array([phi_window(a) for a in angles])
+
+
+def test_figure2_phi_window(benchmark):
+    angles, values = benchmark(sample_phi)
+
+    print("\nFigure 2 — Phi over the angle arctan(s_k/s_l) [deg]:")
+    for a, v in zip(angles[::4], values[::4]):
+        bar = "#" * int(round(v * 40))
+        print(f"  {math.degrees(a):+7.1f}  {v:4.2f} {bar}")
+
+    # Requirement 1: full credit exactly on the mismatch line.
+    assert phi_window(-math.pi / 4) == 1.0
+    # Zero on the neutral line and on the axes.
+    assert phi_window(math.pi / 4) == 0.0
+    assert phi_window(0.0) == 0.0
+    # Requirement 2: range [0, 1].
+    assert values.min() >= 0.0 and values.max() <= 1.0
+    # Band structure: flat top of width 2*Delta_1, support 2*(D1+D2).
+    inside = [a for a, v in zip(angles, values) if v == 1.0]
+    support = [a for a, v in zip(angles, values) if v > 0.0]
+    assert max(inside) - min(inside) <= 2 * DELTA1 + 1e-6
+    assert max(support) - min(support) <= 2 * (DELTA1 + DELTA2) + 0.1
+    # Symmetry about the mismatch line.
+    for offset in (0.05, 0.1, 0.2):
+        assert phi_window(-math.pi / 4 + offset) == \
+            phi_window(-math.pi / 4 - offset)

@@ -1,0 +1,39 @@
+"""Figure 3: the robustness weighting eta(beta_wc).
+
+Paper figure: eta assigns smaller values to more robust circuit
+performances; it is 1/2 at beta_wc = 0 and continuously differentiable.
+
+Reproduction: print the eta curve and verify its defining properties
+(Eq. 9's case split, limits 1 and 0, value 1/2 at zero, monotone
+decreasing, continuous first difference across zero).
+"""
+
+import numpy as np
+
+from repro.core.mismatch import eta_weight
+
+
+def sample_eta():
+    betas = np.linspace(-6.0, 6.0, 49)
+    return betas, np.array([eta_weight(b) for b in betas])
+
+
+def test_figure3_eta_curve(benchmark):
+    betas, values = benchmark(sample_eta)
+
+    print("\nFigure 3 — eta over the worst-case distance beta_wc:")
+    for b, v in zip(betas[::3], values[::3]):
+        bar = "#" * int(round(v * 40))
+        print(f"  beta = {b:+5.1f}  eta = {v:5.3f} {bar}")
+
+    assert eta_weight(0.0) == 0.5
+    assert np.all(np.diff(values) < 0)  # strictly decreasing
+    assert values[0] > 0.9  # -> 1 for badly violated specs
+    assert values[-1] < 0.1  # -> 0 for very robust specs
+    # Continuity of the slope across beta = 0 (the paper highlights that
+    # eta is continuously differentiable).
+    h = 1e-6
+    left_slope = (eta_weight(0.0) - eta_weight(-h)) / h
+    right_slope = (eta_weight(h) - eta_weight(0.0)) / h
+    assert left_slope == right_slope != 0.0 or \
+        abs(left_slope - right_slope) < 1e-3

@@ -1,0 +1,69 @@
+"""Figure 4: performance behaviour over the feasibility region.
+
+Paper figure: the DC gain A0 plotted over a design parameter is *weakly
+nonlinear inside* the feasibility region (v_sat >= 0) and wildly nonlinear
+outside — which is why restricting the search to the linearized
+feasibility region makes first-order performance models sufficient
+(Sec. 5.1, point 2).
+
+Reproduction: sweep the folded-cascode input-pair width across its box,
+evaluate A0 and the sizing rules at every point, fit a line to A0 on the
+feasible subset, and show the fit error explodes outside.
+"""
+
+import numpy as np
+
+from repro.circuits import FoldedCascodeOpamp
+from repro.evaluation import Evaluator
+
+N_POINTS = 25
+PARAMETER = "w3"  # folding-sink width: strongly constrained both ways
+
+
+def sweep(template, evaluator):
+    d0 = template.initial_design()
+    parameter = next(p for p in template.design_parameters
+                     if p.name == PARAMETER)
+    values = np.linspace(parameter.lower, parameter.upper, N_POINTS)
+    a0 = np.empty(N_POINTS)
+    feasible = np.zeros(N_POINTS, dtype=bool)
+    theta = template.operating_range.nominal()
+    s0 = template.statistical_space.nominal()
+    for k, value in enumerate(values):
+        d = dict(d0)
+        d[PARAMETER] = float(value)
+        a0[k] = evaluator.evaluate(d, s0, theta)["a0"]
+        feasible[k] = min(template.constraints(d).values()) >= 0.0
+    return values, a0, feasible
+
+
+def test_figure4_weak_nonlinearity_inside_feasibility(benchmark):
+    template = FoldedCascodeOpamp()
+    evaluator = Evaluator(template)
+    values, a0, feasible = benchmark.pedantic(
+        sweep, args=(template, evaluator), rounds=1, iterations=1)
+
+    print(f"\nFigure 4 — A0 over {PARAMETER} "
+          f"(* = inside the feasibility region):")
+    for v, g, ok in zip(values, a0, feasible):
+        marker = "*" if ok else " "
+        print(f"  {PARAMETER} = {v * 1e6:6.1f} um {marker} "
+              f"A0 = {g:6.1f} dB")
+
+    assert feasible.any(), "no feasible points in the sweep"
+    assert (~feasible).any(), "sweep never leaves the feasibility region"
+
+    inside = feasible
+    # Linear fit on the feasible subset.
+    coeffs = np.polyfit(values[inside], a0[inside], 1)
+    fit = np.polyval(coeffs, values)
+    rms_inside = float(np.sqrt(np.mean((a0[inside] - fit[inside]) ** 2)))
+    rms_outside = float(np.sqrt(np.mean((a0[~inside] - fit[~inside]) ** 2)))
+    print(f"\nlinear-fit RMS error: {rms_inside:.2f} dB inside vs "
+          f"{rms_outside:.2f} dB outside the feasibility region")
+
+    # Weakly nonlinear inside; badly modelled outside.
+    assert rms_inside < 2.0
+    assert rms_outside > 3.0 * rms_inside
+    # And A0 itself collapses somewhere outside (dead circuit).
+    assert a0[~inside].min() < a0[inside].min() - 6.0

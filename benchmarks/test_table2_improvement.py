@@ -1,0 +1,95 @@
+"""Table 2: the optimizer improves yield in *two ways* at once.
+
+Paper result (Table 2, improvement between the 1st and 2nd iteration of
+the folded-cascode run): the mean distance from the spec bound grows
+(e.g. CMRR +169 %) while the performance spread *shrinks* (CMRR sigma
+-53.4 %, ft sigma -11.5 %) — possible only because the optimizer controls
+the covariance C(d) through the device areas (Sec. 4).
+
+Reproduction: the mean-margin channel is asserted directly on the
+verification Monte-Carlo statistics.  The variance channel is asserted at
+its root — the optimizer must have *grown the matched-device areas*, which
+shrinks the physical Pelgrom sigmas in C(d).  (The dB-domain standard
+deviation of our CMRR is nearly scale-invariant because the synthetic
+mirror is perfectly balanced at s = 0, so sigma[dB] is not a faithful
+proxy here; see EXPERIMENTS.md.)
+"""
+
+from _util import print_comparison
+from repro.circuits import FoldedCascodeOpamp
+from repro.reporting import improvement_table
+from repro.spec.operating import spec_key
+
+PAPER_TABLE_2 = """
+Performance   dMu/(Mu-fb)   dSigma/Sigma
+A0              +15.5%         +20.4%
+ft              +12.8%         -11.5%
+CMRR            +169%          -53.4%
+SRp             +73.4%         + 3.15%
+Power           - 0.59%        - 1.69%
+""".strip()
+
+
+def test_table2_mean_margins_improve(benchmark, fc_result):
+    template = FoldedCascodeOpamp()
+    verified = [r for r in fc_result.records if r.mc is not None]
+    before, after = verified[0], verified[-1]
+    table = benchmark(improvement_table, template, before, after)
+    print_comparison(
+        "Table 2 — mean-margin vs sigma improvement (folded-cascode, "
+        f"iteration {before.index} -> {after.index})",
+        PAPER_TABLE_2, table)
+
+    # The initially-critical specs must have moved away from their bounds.
+    for name in ("cmrr", "ft", "sr"):
+        spec = template.spec_for(name)
+        key = spec_key(spec)
+        margin_before = spec.margin(before.mc.performance_mean[key])
+        margin_after = spec.margin(after.mc.performance_mean[key])
+        assert margin_after > margin_before, name
+
+
+def test_table2_variance_reduction_mechanism(benchmark, fc_result):
+    """The paper's second channel: the optimizer shrinks C(d) itself.
+
+    Direct evidence: the Pelgrom sigma of the mismatch-critical pair
+    (found by the Table 5 analysis: the M9/M10 mirror) must be
+    substantially smaller at the final design — the optimizer bought CMRR
+    robustness with matched-device area.
+    """
+    template = FoldedCascodeOpamp()
+    space = template.statistical_space
+    d0 = fc_result.initial.d
+    d1 = fc_result.d_final
+    mirror_lv = next(lv for lv in space.local_variations
+                     if lv.name == "dvt_M9")
+
+    def sigma_ratio():
+        return (mirror_lv.sigma(template.process, d1) /
+                mirror_lv.sigma(template.process, d0))
+
+    ratio = benchmark(sigma_ratio)
+    area0 = d0["w9"] * d0["l9"]
+    area1 = d1["w9"] * d1["l9"]
+    print(f"\nmirror pair: area {area0 * 1e12:.1f} -> "
+          f"{area1 * 1e12:.1f} um^2, local dVth sigma ratio "
+          f"final/initial = {ratio:.2f} (paper's CMRR sigma: x0.47)")
+    assert ratio < 0.8
+    assert area1 > 1.5 * area0
+
+
+def test_table2_failing_tail_eliminated(benchmark, fc_result):
+    """Scale-free robustness view: the CMRR failure probability in the
+    verification Monte-Carlo collapses from tens of percent to zero.
+    (The dB-domain sigma is dominated by the harmless *upper* tail of
+    -20 log10|.|, so the failing-tail mass is the honest statistic.)"""
+    def failing_tail():
+        verified = [r for r in fc_result.records if r.mc is not None]
+        return (verified[0].mc.bad_fraction["cmrr>="],
+                verified[-1].mc.bad_fraction["cmrr>="])
+
+    before, after = benchmark(failing_tail)
+    print(f"\nCMRR failing fraction: {before * 100:.1f}% -> "
+          f"{after * 100:.1f}%")
+    assert before > 0.15
+    assert after <= 0.01

@@ -1,0 +1,71 @@
+"""Table 3: ablation — the same optimizer WITHOUT functional constraints.
+
+Paper result (Table 3): starting from the same 0 %-yield design, the
+unconstrained optimizer drives every bad-sample count in the *linearized
+models* to zero — and the true yield stays at 0 %, because without the
+feasibility region the linearizations are evaluated far outside their
+validity and even the A0/SR margins turn negative (A0 -3.0, SR -1.0
+after the first iteration).
+
+Reproduction target: after the unconstrained iteration the linear models
+claim (near-)perfect yield while the simulated yield stays (near) zero,
+and at least one previously-passing spec's true margin collapses.
+"""
+
+from _util import print_comparison
+from repro.circuits import FoldedCascodeOpamp
+from repro.reporting import optimization_trace_table
+
+PAPER_TABLE_3 = """
+Performance        A0[dB]  ft[MHz]  CMRR[dB]  SRp[V/us]  Power[mW]
+Specification       >40      >40      >80       >35        <3.5
+Initial  f-fb       10.7     -2.3     -1.9       0.18       0.54
+  bad samples [o/oo] 0.0   1000.0    980.4      272.5       0.0
+  Y_tilde = 0%
+1st Iter. f-fb      -3.0     -5.0     -1.9      -1.0        0.6
+  bad samples [o/oo] 0.0      0.0      0.0       0.0        0.0
+  Y_tilde = 0%
+""".strip()
+
+
+def test_table3_unconstrained_failure(benchmark,
+                                      fc_no_constraints_result):
+    template = FoldedCascodeOpamp()
+    table = benchmark(optimization_trace_table, template,
+                      fc_no_constraints_result)
+    print_comparison("Table 3 — yield optimization WITHOUT functional "
+                     "constraints", PAPER_TABLE_3, table)
+
+    initial = fc_no_constraints_result.initial
+    after = fc_no_constraints_result.records[1]
+
+    # The linearized models were driven (nearly) clean...
+    assert after.yield_linear >= 0.8
+    model_bad_before = sum(initial.bad_samples.values())
+    model_bad_after = sum(after.bad_samples.values())
+    assert model_bad_after < model_bad_before
+
+    # ...but the *true* yield did not follow.
+    assert initial.yield_mc <= 0.02
+    assert after.yield_mc <= 0.25
+
+    # And previously healthy margins collapsed (the paper's A0/SR rows).
+    regressed = [key for key in initial.margins
+                 if initial.margins[key] > 0.0 > after.margins[key]]
+    assert regressed, "expected at least one healthy spec to collapse"
+
+
+def test_table3_leaves_feasible_region(benchmark,
+                                       fc_no_constraints_result):
+    """The root cause: the unconstrained optimum violates the sizing
+    rules (transistors out of saturation / conduction)."""
+    template = FoldedCascodeOpamp()
+
+    def worst_constraint():
+        values = template.constraints(fc_no_constraints_result.d_final)
+        return min(values.values())
+
+    value = benchmark(worst_constraint)
+    print(f"\nworst sizing-rule value at the unconstrained optimum: "
+          f"{value:.4f} (>= 0 would be feasible)")
+    assert value < 0.0

@@ -1,0 +1,91 @@
+"""Mismatch analysis of the folded-cascode opamp (Sec. 3 / Table 5).
+
+Computes the worst-case point of every spec at the initial design, scores
+all local-threshold parameter pairs with the Eq. 9 mismatch measure, and
+prints the ranked matching pairs — the paper's Table 5, discovered without
+telling the algorithm which devices are matched.
+
+Per Sec. 3 of the paper, the analysis runs over the *local* statistical
+parameters only (design parameters fixed, s ~ N(0, I) of the local
+space); global variations are excluded from the mismatch space.
+
+Also dumps a Fig. 1-style CMRR surface over (dVth_M9, dVth_M10) to
+``cmrr_surface.csv`` for plotting.
+
+Run:  python examples/mismatch_analysis.py
+"""
+
+import csv
+
+import numpy as np
+
+from repro.circuits import FoldedCascodeOpamp
+from repro.core import analyze_mismatch, find_all_worst_case_points
+from repro.evaluation import Evaluator
+from repro.reporting import mismatch_table
+from repro.spec.operating import find_worst_case_operating_points
+
+
+def main() -> None:
+    template = FoldedCascodeOpamp(with_global=False)  # Sec. 3 setting
+    evaluator = Evaluator(template)
+    d = template.initial_design()
+    s0 = template.statistical_space.nominal()
+
+    print("Computing worst-case operating corners and worst-case points "
+          "(this is the same data the yield optimizer needs, so the "
+          "mismatch analysis is free, Sec. 3.2)...")
+    theta_wc = find_worst_case_operating_points(
+        lambda theta: evaluator.evaluate(d, s0, theta),
+        template.specs, template.operating_range)
+    worst_case = find_all_worst_case_points(evaluator, d, theta_wc, seed=2)
+
+    names = list(template.statistical_space.names)
+    report = analyze_mismatch(worst_case, names,
+                              candidate_names=template.local_vth_names(),
+                              threshold=0.02)
+
+    print("\n=== Mismatch-sensitive performances "
+          "(measure >= 0.02, Eq. 9) ===")
+    for key, pairs in report.items():
+        if not pairs:
+            print(f"  {key:>8}: not mismatch-sensitive")
+        else:
+            devices = ", ".join(f"({a},{b}) m={p.measure:.2f}"
+                                for p in pairs[:3]
+                                for a, b in [p.devices])
+            print(f"  {key:>8}: {devices}")
+
+    cmrr_pairs = report.get("cmrr>=", [])
+    if cmrr_pairs:
+        print("\n=== Table 5: mismatch measure for CMRR ===")
+        print(mismatch_table(cmrr_pairs, top=3))
+
+    # Fig. 1: CMRR over the (dVth_M9, dVth_M10) plane.
+    print("\nSampling the Fig. 1 CMRR surface (15 x 15 grid)...")
+    space = template.statistical_space
+    i9 = space.index("dvt_M9")
+    i10 = space.index("dvt_M10")
+    sigma9 = space.local_variations[i9 - space.n_global].sigma(
+        template.process, d)
+    grid_mv = np.linspace(-6e-3, 6e-3, 15)
+    with open("cmrr_surface.csv", "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["dvth_m9_mV", "dvth_m10_mV", "cmrr_dB"])
+        for dv9 in grid_mv:
+            for dv10 in grid_mv:
+                s = np.zeros(space.dim)
+                s[i9] = dv9 / sigma9
+                s[i10] = dv10 / sigma9
+                value = evaluator.evaluate(
+                    d, s, theta_wc["cmrr>="])["cmrr"]
+                writer.writerow([dv9 * 1e3, dv10 * 1e3,
+                                 round(value, 2)])
+    print("wrote cmrr_surface.csv — the tent of Fig. 1: a ridge along the "
+          "neutral line (dv9 = dv10)\nand steep degradation along the "
+          "mismatch line (dv9 = -dv10).")
+    print(f"\ntotal circuit simulations: {evaluator.simulation_count}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+"""Tour of the built-in analog circuit simulator substrate.
+
+The yield machinery runs on a from-scratch MNA simulator; this script
+shows it standalone: SPICE-style netlist parsing, DC operating point,
+AC Bode data, and a large-signal transient.
+
+Run:  python examples/simulator_tour.py
+"""
+
+import math
+
+from repro.circuit import (Circuit, log_sweep, parse_netlist, solve_ac,
+                           solve_dc, solve_transient, step_waveform)
+from repro.pdk import GENERIC035
+from repro.units import db, format_si
+
+NETLIST = """five-transistor OTA
+.model n nmos (vto=0.5 kp=170u lambda=0.06 gamma=0.58)
+.model p pmos (vto=-0.65 kp=58u lambda=0.14 gamma=0.40)
+VDD vdd 0 3.3
+VCM inp 0 DC 1.2 AC 0.5
+VIN inn 0 DC 1.2 AC -0.5
+IB vdd nbias 20u
+MB nbias nbias 0 0 n W=20u L=1u
+M5 tail nbias 0 0 n W=40u L=1u
+M1 d1 inn tail 0 n W=50u L=1u
+M2 out inp tail 0 n W=50u L=1u
+M3 d1 d1 vdd vdd p W=25u L=1u
+M4 out d1 vdd vdd p W=25u L=1u
+CL out 0 2p
+.end
+"""
+
+
+def ota_demo() -> None:
+    print("=== SPICE netlist -> DC operating point ===")
+    circuit = parse_netlist(NETLIST)
+    op = solve_dc(circuit)
+    print(f"  parsed {len(circuit)} devices; DC solved with "
+          f"{op.iterations} Newton iterations ({op.strategy})")
+    for name in ("M1", "M2", "M5"):
+        record = op.op(name)
+        print(f"  {name}: Id = {format_si(record['ids'], 'A')}, "
+              f"gm = {format_si(record['gm'], 'S')}, "
+              f"region = {record['region']}")
+
+    print("\n=== AC analysis: differential gain Bode points ===")
+    result = solve_ac(circuit, op, log_sweep(1e2, 1e9, 1))
+    for freq, h in zip(result.freqs, result.voltage("out")):
+        print(f"  f = {format_si(freq, 'Hz'):>10}:  "
+              f"|H| = {db(abs(h)):6.1f} dB, "
+              f"phase = {math.degrees(math.atan2(h.imag, h.real)):7.1f} deg")
+
+
+def rc_transient_demo() -> None:
+    print("\n=== Transient: RC step response vs closed form ===")
+    circuit = Circuit("rc")
+    circuit.vsource("V1", "in", "0", dc=0.0,
+                    waveform=step_waveform(0.0, 0.0, 1.0))
+    circuit.resistor("R1", "in", "out", 1e3)
+    circuit.capacitor("C1", "out", "0", 1e-9)
+    tau = 1e-6
+    result = solve_transient(circuit, t_stop=3 * tau, dt=tau / 100)
+    for k in range(0, len(result.times), 60):
+        t = result.times[k]
+        v = result.voltage("out")[k]
+        expected = 1.0 - math.exp(-t / tau)
+        print(f"  t = {t * 1e6:5.2f} us: v = {v:6.4f} V "
+              f"(analytic {expected:6.4f} V)")
+
+
+def process_demo() -> None:
+    print("\n=== The synthetic PDK ===")
+    process = GENERIC035
+    print(f"  process {process.name}: VDD = {process.vdd_nominal} V")
+    print(f"  NMOS VTO = {process.nmos.vto} V, "
+          f"KP = {format_si(process.nmos.kp, 'A/V^2')}")
+    print(f"  global variations: "
+          + ", ".join(f"{gv.name} (sigma {gv.sigma:g})"
+                      for gv in process.global_variations))
+    sigma = process.pelgrom.sigma_vth(1, 20e-6, 1e-6)
+    print(f"  Pelgrom: per-device dVth sigma of a 20u x 1u NMOS = "
+          f"{sigma * 1e3:.2f} mV")
+
+
+if __name__ == "__main__":
+    ota_demo()
+    rc_transient_demo()
+    process_demo()

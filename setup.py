@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Kept alongside ``pyproject.toml`` so ``pip install -e .`` works on
+environments without the ``wheel`` package (legacy ``setup.py develop``
+editable installs).  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

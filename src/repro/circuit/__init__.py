@@ -1,0 +1,42 @@
+"""From-scratch analog circuit simulator (MNA).
+
+This subpackage is the simulation substrate of the reproduction: a dense
+modified-nodal-analysis engine with
+
+* a device library (R, C, L, independent and controlled sources, MOSFET),
+* a smooth SPICE level-1 MOS model with analytic derivatives
+  (:mod:`repro.circuit.mos`),
+* a robust DC Newton solver with gmin/source stepping
+  (:mod:`repro.circuit.dc`),
+* small-signal AC analysis and transfer-function utilities
+  (:mod:`repro.circuit.ac`),
+* backward-Euler transient analysis (:mod:`repro.circuit.transient`),
+* a SPICE-style netlist parser (:mod:`repro.circuit.parser`).
+"""
+
+from .ac import (ACResult, log_sweep, phase_margin, solve_ac, transfer_at,
+                 unity_gain_frequency)
+from .dc import DCResult, solve_dc
+from .devices import (Capacitor, Device, Inductor, Isource, Mosfet, Resistor,
+                      Stamper, Vcvs, Vccs, Vsource)
+from .mos import MosEval, MosModel, evaluate_nmos, intrinsic_capacitances
+from .netlist import Circuit, MnaLayout, is_ground
+from .noise import (NoiseContribution, NoiseResult, input_referred_density,
+                    solve_noise)
+from .parser import NetlistParser, parse_netlist
+from .sweep import SweepResult, dc_sweep, temperature_sweep
+from .transient import (TranResult, pulse_waveform, solve_transient,
+                        step_waveform)
+from .writer import write_netlist
+
+__all__ = [
+    "ACResult", "Capacitor", "Circuit", "DCResult", "Device", "Inductor",
+    "Isource", "MnaLayout", "MosEval", "MosModel", "Mosfet", "NetlistParser",
+    "Resistor", "Stamper", "TranResult", "Vcvs", "Vccs", "Vsource",
+    "evaluate_nmos", "intrinsic_capacitances", "is_ground", "log_sweep",
+    "NoiseContribution", "NoiseResult", "input_referred_density",
+    "parse_netlist", "phase_margin", "pulse_waveform", "solve_ac", "solve_dc",
+    "SweepResult", "dc_sweep", "solve_noise", "solve_transient",
+    "step_waveform", "temperature_sweep", "transfer_at",
+    "unity_gain_frequency", "write_netlist",
+]

@@ -1,0 +1,183 @@
+"""Small-signal AC analysis.
+
+The circuit is linearized around a previously solved DC operating point
+(:class:`repro.circuit.dc.DCResult`).  Because every small-signal element
+is either frequency-independent (conductances, controlled sources) or
+scales linearly with ``j*omega`` (capacitances, inductances), the system
+factors as
+
+    (G + j*omega*B) x = rhs
+
+with ``G``, ``B`` and ``rhs`` assembled **once** per operating point
+(:class:`AcSystem`); each frequency point is then a single dense solve.
+This matters: the transit-frequency bisection and the phase-margin sweep
+evaluate dozens of frequencies per measurement.
+
+Helpers locate unity-gain crossings and phase margins on a transfer
+function, which the evaluation layer turns into opamp performances.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ExtractionError, SingularMatrixError
+from .dc import DCResult
+from .devices import Stamper
+from .netlist import Circuit, is_ground
+
+
+class AcSystem:
+    """Assembled small-signal system ``(G + j*omega*B) x = rhs``.
+
+    Rebuild (cheap) after changing any source's ``ac`` value — the sources
+    are baked into ``rhs``.
+    """
+
+    def __init__(self, circuit: Circuit, op: DCResult):
+        self._circuit = circuit
+        layout = circuit.layout()
+        self._layout = layout
+        ops = op.operating_points()
+        st_g = Stamper(layout.size, dtype=complex)
+        st_b = Stamper(layout.size, dtype=complex)
+        for dev, nodes, branches in zip(circuit.devices,
+                                        layout.device_nodes,
+                                        layout.device_branches):
+            dev.stamp_ac_parts(st_g, st_b, nodes, branches,
+                               ops.get(dev.name))
+        diag = np.arange(layout.n_nodes)
+        st_g.matrix[diag, diag] += 1e-12
+        self._g = st_g.matrix
+        self._b = st_b.matrix
+        self._rhs = st_g.rhs + st_b.rhs
+
+    def solve(self, freq: float) -> np.ndarray:
+        """Solve for the full phasor vector at ``freq`` [Hz]."""
+        omega = 2.0 * math.pi * freq
+        try:
+            return np.linalg.solve(self._g + 1j * omega * self._b,
+                                   self._rhs)
+        except np.linalg.LinAlgError as exc:
+            raise SingularMatrixError(
+                f"singular AC matrix at f={freq:g} Hz in circuit "
+                f"{self._circuit.title!r}: {exc}") from exc
+
+    def node_index(self, node: str) -> int:
+        index = self._layout.node_index.get(node)
+        if index is None:
+            if is_ground(node):
+                return -1
+            raise KeyError(f"unknown node {node!r}")
+        return index
+
+    def transfer(self, node: str, freq: float) -> complex:
+        """Phasor of ``node`` at one frequency."""
+        index = self.node_index(node)
+        if index < 0:
+            return 0.0 + 0.0j
+        return complex(self.solve(freq)[index])
+
+
+class ACResult:
+    """Complex node phasors over a frequency grid."""
+
+    def __init__(self, system: AcSystem, freqs: np.ndarray,
+                 solutions: np.ndarray):
+        self._system = system
+        self.freqs = freqs
+        self._solutions = solutions  # shape (n_freq, size)
+
+    def voltage(self, node: str) -> np.ndarray:
+        """Complex phasor of ``node`` at every frequency point."""
+        index = self._system.node_index(node)
+        if index < 0:
+            return np.zeros(len(self.freqs), dtype=complex)
+        return self._solutions[:, index]
+
+    def transfer(self, node: str) -> np.ndarray:
+        """Alias of :meth:`voltage`; with a unit AC source the node phasor
+        *is* the transfer function."""
+        return self.voltage(node)
+
+
+def solve_ac(circuit: Circuit, op: DCResult,
+             freqs: Sequence[float]) -> ACResult:
+    """Run an AC analysis at the given frequencies (Hz)."""
+    system = AcSystem(circuit, op)
+    freqs = np.asarray(list(freqs), dtype=float)
+    solutions = np.empty((len(freqs), system._g.shape[0]), dtype=complex)
+    for k, freq in enumerate(freqs):
+        solutions[k] = system.solve(freq)
+    return ACResult(system, freqs, solutions)
+
+
+def log_sweep(f_start: float, f_stop: float, points_per_decade: int = 10
+              ) -> np.ndarray:
+    """Logarithmically spaced frequency grid, inclusive of both ends."""
+    if f_start <= 0 or f_stop <= f_start:
+        raise ExtractionError(
+            f"invalid sweep range [{f_start:g}, {f_stop:g}]")
+    decades = math.log10(f_stop / f_start)
+    n = max(2, int(round(decades * points_per_decade)) + 1)
+    return np.logspace(math.log10(f_start), math.log10(f_stop), n)
+
+
+def transfer_at(circuit: Circuit, op: DCResult, node: str,
+                freq: float) -> complex:
+    """Single-frequency transfer-function evaluation (one-shot API; build
+    an :class:`AcSystem` directly when evaluating many frequencies)."""
+    return AcSystem(circuit, op).transfer(node, freq)
+
+
+def unity_gain_frequency(system: AcSystem, node: str,
+                         f_lo: float = 1.0, f_hi: float = 1e12,
+                         tol: float = 1e-8) -> float:
+    """Locate the unity-gain crossing |H(f)| = 1 by bisection on log f.
+
+    Requires |H(f_lo)| > 1 > |H(f_hi)|; raises :class:`ExtractionError`
+    otherwise (e.g. a dead circuit whose gain never exceeds one).
+    """
+    g_lo = abs(system.transfer(node, f_lo))
+    if g_lo <= 1.0:
+        raise ExtractionError(
+            f"gain at {f_lo:g} Hz is {g_lo:.3g} <= 1; no transit frequency")
+    g_hi = abs(system.transfer(node, f_hi))
+    if g_hi >= 1.0:
+        raise ExtractionError(
+            f"gain at {f_hi:g} Hz is {g_hi:.3g} >= 1; sweep range too small")
+    lo, hi = math.log10(f_lo), math.log10(f_hi)
+    while hi - lo > tol:
+        mid = 0.5 * (lo + hi)
+        if abs(system.transfer(node, 10.0 ** mid)) > 1.0:
+            lo = mid
+        else:
+            hi = mid
+    return 10.0 ** (0.5 * (lo + hi))
+
+
+def phase_margin(system: AcSystem, node: str,
+                 f_unity: Optional[float] = None) -> float:
+    """Phase margin in degrees: ``180 + phase(H(f_t))``.
+
+    ``f_unity`` may be supplied to reuse an already located transit
+    frequency.  The phase is unwrapped from DC so multi-pole phase
+    accumulation beyond -180 degrees is handled correctly.
+    """
+    if f_unity is None:
+        f_unity = unity_gain_frequency(system, node)
+    # Unwrap the phase from well below the first pole up to f_t.
+    freqs = log_sweep(max(f_unity * 1e-6, 0.1), f_unity, points_per_decade=8)
+    h = np.array([system.transfer(node, f) for f in freqs])
+    phases = np.unwrap(np.angle(h))
+    # Reference the unwrapped phase so DC phase maps to 0 (or 180 for an
+    # inverting path).
+    p0 = phases[0]
+    if abs(math.remainder(p0, 2 * math.pi)) > math.pi / 2:
+        phases = phases - math.pi * round(p0 / math.pi)
+    else:
+        phases = phases - 2 * math.pi * round(p0 / (2 * math.pi))
+    return math.degrees(phases[-1]) + 180.0

@@ -1,0 +1,225 @@
+"""DC operating-point solver.
+
+Newton-Raphson on the MNA companion-model formulation with three layers of
+robustness, applied in order until one converges:
+
+1. plain damped Newton from the supplied (or zero) initial guess,
+2. gmin stepping: solve with a large conductance from every node to ground,
+   then relax it geometrically down to ``GMIN_FINAL``,
+3. source stepping: ramp all independent sources from 0 to 100 %.
+
+Opamp circuits with the smooth level-1 model almost always converge in
+stage 1; the homotopies cover pathological statistical corners so the
+Monte-Carlo and worst-case loops never die on a single sample.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ConvergenceError, SingularMatrixError
+from .devices import Device, Isource, Stamper, Vsource, _voltage
+from .netlist import Circuit, MnaLayout
+
+#: Final shunt conductance left on every node, as in SPICE.
+GMIN_FINAL = 1e-12
+
+#: Absolute/relative Newton convergence tolerances on the update step.
+ABSTOL_V = 1e-9
+RELTOL = 1e-6
+
+#: Maximum Newton iterations per (gmin, source-scale) stage.
+MAX_ITERATIONS = 120
+
+#: Voltage-step damping limit per Newton iteration [V].
+MAX_STEP_V = 0.6
+
+
+class DCResult:
+    """Solved DC operating point.
+
+    Provides node-voltage lookup, per-device operating-point records and the
+    branch currents of voltage sources (for power measurements).
+    """
+
+    def __init__(self, circuit: Circuit, layout: MnaLayout, x: np.ndarray,
+                 temp_c: float, iterations: int, strategy: str):
+        self._circuit = circuit
+        self._layout = layout
+        self.x = x
+        self.temp_c = temp_c
+        self.iterations = iterations
+        self.strategy = strategy
+        self._ops: Optional[Dict[str, dict]] = None
+
+    def voltage(self, node: str) -> float:
+        """Voltage of ``node`` relative to ground."""
+        index = self._layout.node_index.get(node)
+        if index is None:
+            from .netlist import is_ground
+            if is_ground(node):
+                return 0.0
+            raise KeyError(f"unknown node {node!r}")
+        return _voltage(self.x, index)
+
+    def voltages(self) -> Dict[str, float]:
+        """All node voltages as a dict."""
+        return {name: _voltage(self.x, i)
+                for name, i in self._layout.node_index.items() if i >= 0}
+
+    def operating_points(self) -> Dict[str, dict]:
+        """Per-device operating-point records, keyed by device name."""
+        if self._ops is None:
+            ops: Dict[str, dict] = {}
+            for dev, nodes, branches in zip(self._circuit.devices,
+                                            self._layout.device_nodes,
+                                            self._layout.device_branches):
+                record = dev.operating_point(self.x, nodes, branches)
+                if record is not None:
+                    ops[dev.name] = record
+            self._ops = ops
+        return self._ops
+
+    def op(self, device_name: str) -> dict:
+        """Operating-point record of one device."""
+        ops = self.operating_points()
+        if device_name not in ops:
+            raise KeyError(f"no operating point for device {device_name!r}")
+        return ops[device_name]
+
+    def source_current(self, source_name: str) -> float:
+        """Branch current through an independent voltage source, flowing
+        from its positive terminal through the source to the negative one."""
+        for dev, branches in zip(self._circuit.devices,
+                                 self._layout.device_branches):
+            if dev.name == source_name:
+                if not branches:
+                    raise KeyError(
+                        f"device {source_name!r} has no branch current")
+                return float(self.x[branches[0]])
+        raise KeyError(f"no device named {source_name!r}")
+
+
+def _linear_base(circuit: Circuit, layout: MnaLayout,
+                 gmin: float) -> Stamper:
+    """Stamp all linear devices (and the gmin diagonal) once; the Newton
+    loop only re-stamps the nonlinear devices on top of a copy."""
+    st = Stamper(layout.size)
+    for dev, nodes, branches in zip(circuit.devices, layout.device_nodes,
+                                    layout.device_branches):
+        if dev.linear:
+            dev.stamp_dc(st, np.zeros(0), nodes, branches)
+    if gmin > 0.0:
+        diag = np.arange(layout.n_nodes)
+        st.matrix[diag, diag] += gmin
+    return st
+
+
+def _assemble(circuit: Circuit, layout: MnaLayout, x: np.ndarray,
+              base: Stamper) -> Stamper:
+    st = Stamper(layout.size)
+    st.matrix[...] = base.matrix
+    st.rhs[...] = base.rhs
+    for dev, nodes, branches in zip(circuit.devices, layout.device_nodes,
+                                    layout.device_branches):
+        if not dev.linear:
+            dev.stamp_dc(st, x, nodes, branches)
+    return st
+
+
+def _newton(circuit: Circuit, layout: MnaLayout, x0: np.ndarray,
+            gmin: float) -> tuple[np.ndarray, int]:
+    """Damped Newton iteration; raises ConvergenceError on failure."""
+    x = x0.copy()
+    base = _linear_base(circuit, layout, gmin)
+    for iteration in range(1, MAX_ITERATIONS + 1):
+        st = _assemble(circuit, layout, x, base)
+        try:
+            x_new = np.linalg.solve(st.matrix, st.rhs)
+        except np.linalg.LinAlgError as exc:
+            raise SingularMatrixError(
+                f"singular MNA matrix in circuit {circuit.title!r} "
+                f"(floating node or source loop?): {exc}") from exc
+        if not np.all(np.isfinite(x_new)):
+            raise ConvergenceError(
+                f"non-finite Newton update in circuit {circuit.title!r}")
+        delta = x_new - x
+        # Damp only the node-voltage part; branch currents may legitimately
+        # jump by large amounts.
+        nv = layout.n_nodes
+        step = np.max(np.abs(delta[:nv])) if nv else 0.0
+        if step > MAX_STEP_V:
+            x = x + delta * (MAX_STEP_V / step)
+            continue
+        x = x_new
+        if step <= ABSTOL_V + RELTOL * np.max(np.abs(x[:nv])) if nv else True:
+            return x, iteration
+    raise ConvergenceError(
+        f"Newton did not converge in {MAX_ITERATIONS} iterations "
+        f"(circuit {circuit.title!r}, gmin={gmin:g})")
+
+
+def _gmin_stepping(circuit: Circuit, layout: MnaLayout,
+                   x0: np.ndarray) -> tuple[np.ndarray, int]:
+    x = x0.copy()
+    total = 0
+    gmin = 1e-2
+    while gmin >= GMIN_FINAL:
+        x, iters = _newton(circuit, layout, x, gmin)
+        total += iters
+        gmin *= 1e-2
+    x, iters = _newton(circuit, layout, x, GMIN_FINAL)
+    return x, total + iters
+
+
+def _source_stepping(circuit: Circuit, layout: MnaLayout,
+                     x0: np.ndarray) -> tuple[np.ndarray, int]:
+    sources = [d for d in circuit.devices if isinstance(d, (Vsource, Isource))]
+    x = x0.copy()
+    total = 0
+    try:
+        for scale in (0.1, 0.3, 0.5, 0.7, 0.85, 0.95, 1.0):
+            for src in sources:
+                src.scale = scale
+            x, iters = _newton(circuit, layout, x, GMIN_FINAL)
+            total += iters
+    finally:
+        for src in sources:
+            src.scale = 1.0
+    return x, total
+
+
+def solve_dc(circuit: Circuit, temp_c: float = 27.0,
+             x0: Optional[np.ndarray] = None) -> DCResult:
+    """Find the DC operating point of ``circuit`` at ``temp_c`` Celsius.
+
+    ``x0`` seeds the Newton iteration (e.g. the solution of a nearby
+    statistical sample) and dramatically speeds up Monte-Carlo loops.
+
+    Raises :class:`ConvergenceError` if all homotopy strategies fail.
+    """
+    layout = circuit.layout()
+    for dev in circuit.devices:
+        dev.prepare(temp_c)
+    guess = x0.copy() if x0 is not None and len(x0) == layout.size \
+        else np.zeros(layout.size)
+
+    strategies = (
+        ("newton", lambda: _newton(circuit, layout, guess, GMIN_FINAL)),
+        ("gmin-stepping", lambda: _gmin_stepping(circuit, layout,
+                                                 np.zeros(layout.size))),
+        ("source-stepping", lambda: _source_stepping(circuit, layout,
+                                                     np.zeros(layout.size))),
+    )
+    last_error: Optional[Exception] = None
+    for label, run in strategies:
+        try:
+            x, iterations = run()
+            return DCResult(circuit, layout, x, temp_c, iterations, label)
+        except ConvergenceError as exc:
+            last_error = exc
+    raise ConvergenceError(
+        f"all DC strategies failed for circuit {circuit.title!r}: "
+        f"{last_error}")

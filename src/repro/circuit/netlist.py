@@ -1,0 +1,182 @@
+"""Circuit container and MNA layout.
+
+A :class:`Circuit` is an ordered collection of devices plus node bookkeeping.
+Node names are arbitrary strings; ``"0"`` and ``"gnd"`` (case-insensitive)
+denote the ground reference and map to MNA index ``-1``.
+
+The :class:`MnaLayout` assigns one MNA unknown per non-ground node plus one
+per device branch current (voltage sources, inductors, VCVS), and is shared
+by the DC, AC and transient engines.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import NetlistError
+from .devices import (Capacitor, Device, Inductor, Isource, Mosfet, Resistor,
+                      Vcvs, Vccs, Vsource)
+from .mos import MosModel
+
+#: Node names (lower-cased) that denote the ground reference.
+GROUND_NAMES = frozenset({"0", "gnd", "vss!"})
+
+
+def is_ground(node: str) -> bool:
+    """True if ``node`` names the ground reference."""
+    return node.lower() in GROUND_NAMES
+
+
+class MnaLayout:
+    """Resolved index assignment for one circuit.
+
+    Attributes
+    ----------
+    node_index:
+        Mapping node name -> MNA index (ground maps to ``-1``).
+    device_nodes / device_branches:
+        Per-device resolved terminal and branch-current indices, in the
+        circuit's device order.
+    size:
+        Total number of MNA unknowns.
+    """
+
+    def __init__(self, circuit: "Circuit"):
+        self.node_index: Dict[str, int] = {}
+        order: List[str] = []
+        for dev in circuit.devices:
+            for node in dev.nodes:
+                if is_ground(node):
+                    self.node_index[node] = -1
+                elif node not in self.node_index:
+                    self.node_index[node] = len(order)
+                    order.append(node)
+        self.node_names: Tuple[str, ...] = tuple(order)
+        self.n_nodes = len(order)
+        next_index = self.n_nodes
+        self.device_nodes: List[Tuple[int, ...]] = []
+        self.device_branches: List[Tuple[int, ...]] = []
+        for dev in circuit.devices:
+            self.device_nodes.append(
+                tuple(self.node_index[n] for n in dev.nodes))
+            branches = tuple(range(next_index, next_index + dev.n_branches))
+            next_index += dev.n_branches
+            self.device_branches.append(branches)
+        self.size = next_index
+        if self.size == 0:
+            raise NetlistError("circuit has no MNA unknowns (empty circuit?)")
+
+
+class Circuit:
+    """Ordered device container with convenience constructors.
+
+    The ``resistor`` / ``capacitor`` / ... helpers create the device, check
+    name uniqueness, add it to the circuit and return it, so testbench code
+    reads like a netlist::
+
+        ckt = Circuit("divider")
+        ckt.vsource("VIN", "in", "0", dc=1.0)
+        ckt.resistor("R1", "in", "out", 1e3)
+        ckt.resistor("R2", "out", "0", 1e3)
+    """
+
+    def __init__(self, title: str = ""):
+        self.title = title
+        self.devices: List[Device] = []
+        self._by_name: Dict[str, Device] = {}
+
+    # -- container protocol --------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.devices)
+
+    def __iter__(self):
+        return iter(self.devices)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def device(self, name: str) -> Device:
+        """Look up a device by instance name."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise NetlistError(f"no device named {name!r} in circuit "
+                               f"{self.title!r}") from None
+
+    def add(self, device: Device) -> Device:
+        """Add a pre-constructed device, enforcing unique names."""
+        if device.name in self._by_name:
+            raise NetlistError(f"duplicate device name {device.name!r}")
+        self.devices.append(device)
+        self._by_name[device.name] = device
+        return device
+
+    # -- convenience constructors ---------------------------------------------
+    def resistor(self, name: str, a: str, b: str, resistance: float) -> Resistor:
+        return self.add(Resistor(name, a, b, resistance))
+
+    def capacitor(self, name: str, a: str, b: str, capacitance: float,
+                  ic: Optional[float] = None) -> Capacitor:
+        return self.add(Capacitor(name, a, b, capacitance, ic=ic))
+
+    def inductor(self, name: str, a: str, b: str, inductance: float) -> Inductor:
+        return self.add(Inductor(name, a, b, inductance))
+
+    def vsource(self, name: str, p: str, n: str, dc: float = 0.0,
+                ac: complex = 0.0, waveform=None) -> Vsource:
+        return self.add(Vsource(name, p, n, dc=dc, ac=ac, waveform=waveform))
+
+    def isource(self, name: str, p: str, n: str, dc: float = 0.0,
+                ac: complex = 0.0, waveform=None) -> Isource:
+        return self.add(Isource(name, p, n, dc=dc, ac=ac, waveform=waveform))
+
+    def vcvs(self, name: str, p: str, n: str, cp: str, cn: str,
+             gain: float) -> Vcvs:
+        return self.add(Vcvs(name, p, n, cp, cn, gain))
+
+    def vccs(self, name: str, p: str, n: str, cp: str, cn: str,
+             gm: float) -> Vccs:
+        return self.add(Vccs(name, p, n, cp, cn, gm))
+
+    def mosfet(self, name: str, d: str, g: str, s: str, b: str,
+               model: MosModel, w: float, l: float, m: int = 1,
+               delta_vto: float = 0.0, beta_factor: float = 1.0) -> Mosfet:
+        return self.add(Mosfet(name, d, g, s, b, model, w, l, m=m,
+                               delta_vto=delta_vto, beta_factor=beta_factor))
+
+    # -- queries ---------------------------------------------------------------
+    @property
+    def node_names(self) -> Tuple[str, ...]:
+        """All non-ground node names in first-use order."""
+        return self.layout().node_names
+
+    def mosfets(self) -> List[Mosfet]:
+        """All MOS transistors, in insertion order."""
+        return [d for d in self.devices if isinstance(d, Mosfet)]
+
+    def layout(self) -> MnaLayout:
+        """Build (and cache per device count) the MNA layout."""
+        cached = getattr(self, "_layout", None)
+        if cached is not None and cached[0] == len(self.devices):
+            return cached[1]
+        layout = MnaLayout(self)
+        self._layout = (len(self.devices), layout)
+        return layout
+
+    def validate(self) -> None:
+        """Structural sanity checks: at least one ground connection and no
+        single-ended floating nodes.  Raises :class:`NetlistError`."""
+        grounded = any(is_ground(n) for dev in self.devices for n in dev.nodes)
+        if not grounded:
+            raise NetlistError(
+                f"circuit {self.title!r} has no ground connection")
+        touch: Dict[str, int] = {}
+        for dev in self.devices:
+            for node in dev.nodes:
+                if not is_ground(node):
+                    touch[node] = touch.get(node, 0) + 1
+        lonely = sorted(n for n, count in touch.items() if count < 2)
+        if lonely:
+            raise NetlistError(
+                f"circuit {self.title!r}: nodes connected to a single "
+                f"terminal only: {', '.join(lonely)}")

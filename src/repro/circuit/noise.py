@@ -1,0 +1,149 @@
+"""Small-signal noise analysis.
+
+Computes the output noise spectral density of a circuit around its DC
+operating point, and the equivalent input-referred density given a
+transfer gain.  Device models:
+
+* resistors: thermal noise, ``S_i = 4 k T / R``  [A^2/Hz],
+* MOSFETs:  channel thermal noise ``S_i = 4 k T gamma_n gm`` (long-channel
+  ``gamma_n = 2/3``) plus flicker noise
+  ``S_i = KF gm^2 / (Cox W L f)``  [A^2/Hz].
+
+Method: with the small-signal MNA system ``A(w) x = b``, a noise current
+``i_n`` injected between nodes (p, n) produces an output voltage
+``v_out = (e_p - e_n)^T A^-1 i_n``.  Solving the single *adjoint* system
+``A^T y = e_out`` gives every injection's transfer in one solve per
+frequency: ``|y_p - y_n|^2 S_i`` summed over all noise sources.
+
+This is textbook noise analysis on top of the existing
+:class:`~repro.circuit.ac.AcSystem`; it exists because input-referred
+noise is a standard opamp performance a downstream user of this library
+will want to add as a spec.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..units import celsius_to_kelvin
+from .dc import DCResult
+from .devices import Mosfet, Resistor
+from .netlist import Circuit
+
+#: Boltzmann constant [J/K].
+BOLTZMANN = 1.380649e-23
+
+#: Long-channel thermal noise factor of the MOS channel.
+GAMMA_THERMAL = 2.0 / 3.0
+
+#: Default flicker noise coefficient (KF), V^2*F — a typical magnitude for
+#: a 0.35 um-class process.
+DEFAULT_KF = 3e-26
+
+
+@dataclass
+class NoiseContribution:
+    """Output-referred noise of one device at one frequency."""
+
+    device: str
+    kind: str  # "thermal" | "flicker"
+    density: float  # V^2/Hz at the output
+
+
+@dataclass
+class NoiseResult:
+    """Noise densities over a frequency grid."""
+
+    freqs: np.ndarray
+    #: total output noise density per frequency [V^2/Hz]
+    output_density: np.ndarray
+    #: per-frequency breakdown (same order as freqs)
+    contributions: List[List[NoiseContribution]]
+
+    def output_rms(self) -> float:
+        """Integrated output noise [Vrms] over the analysis grid
+        (trapezoidal in linear frequency)."""
+        return math.sqrt(float(np.trapezoid(self.output_density, self.freqs)))
+
+    def dominant_device(self, index: int = 0) -> str:
+        """Largest contributor at frequency point ``index``."""
+        entries = self.contributions[index]
+        return max(entries, key=lambda e: e.density).device
+
+
+def _noise_sources(circuit: Circuit, op: DCResult, temp_c: float,
+                   kf: float) -> List[Tuple[str, str, int, int, float,
+                                            float]]:
+    """Collect (device, kind, node_p, node_n, white_density,
+    flicker_coeff) tuples; densities in A^2/Hz (flicker as coeff/f)."""
+    layout = circuit.layout()
+    t_kelvin = celsius_to_kelvin(temp_c)
+    ops = op.operating_points()
+    sources = []
+    for dev, nodes in zip(circuit.devices, layout.device_nodes):
+        if isinstance(dev, Resistor):
+            density = 4.0 * BOLTZMANN * t_kelvin / dev.resistance
+            sources.append((dev.name, "thermal", nodes[0], nodes[1],
+                            density, 0.0))
+        elif isinstance(dev, Mosfet):
+            record = ops[dev.name]
+            nd, ng, ns, nb = nodes
+            if record["swapped"]:
+                nd, ns = ns, nd
+            gm = record["gm"]
+            thermal = 4.0 * BOLTZMANN * t_kelvin * GAMMA_THERMAL * gm
+            cox = dev.model.cox
+            area = dev.w * dev.m * dev.l
+            flicker = kf * gm * gm / (cox * area) if area > 0 else 0.0
+            sources.append((dev.name, "thermal", nd, ns, thermal, 0.0))
+            if flicker > 0.0:
+                sources.append((dev.name, "flicker", nd, ns, 0.0, flicker))
+    return sources
+
+
+def solve_noise(circuit: Circuit, op: DCResult, output: str,
+                freqs: Sequence[float], temp_c: float = 27.0,
+                kf: float = DEFAULT_KF) -> NoiseResult:
+    """Output noise density at ``output`` over ``freqs`` [Hz]."""
+    from .ac import AcSystem
+    system = AcSystem(circuit, op)
+    layout = circuit.layout()
+    out_index = system.node_index(output)
+    sources = _noise_sources(circuit, op, temp_c, kf)
+
+    freqs = np.asarray(list(freqs), dtype=float)
+    total = np.zeros(len(freqs))
+    breakdown: List[List[NoiseContribution]] = []
+    e_out = np.zeros(layout.size)
+    if out_index >= 0:
+        e_out[out_index] = 1.0
+    for k, freq in enumerate(freqs):
+        omega = 2.0 * math.pi * freq
+        a_matrix = system._g + 1j * omega * system._b
+        y = np.linalg.solve(a_matrix.T, e_out.astype(complex))
+        entries: List[NoiseContribution] = []
+        for device, kind, p, n, white, flicker in sources:
+            yp = y[p] if p >= 0 else 0.0
+            yn = y[n] if n >= 0 else 0.0
+            transfer = abs(yp - yn) ** 2
+            density = white if kind == "thermal" else flicker / max(freq,
+                                                                    1e-3)
+            value = transfer * density
+            total[k] += value
+            entries.append(NoiseContribution(device, kind, value))
+        breakdown.append(entries)
+    return NoiseResult(freqs=freqs, output_density=total,
+                       contributions=breakdown)
+
+
+def input_referred_density(noise: NoiseResult, gain: complex
+                           ) -> np.ndarray:
+    """Input-referred noise density [V^2/Hz] for a (frequency-flat) gain."""
+    magnitude = abs(gain)
+    if magnitude <= 0.0:
+        raise ValueError("gain must be non-zero to refer noise to input")
+    return noise.output_density / (magnitude ** 2)

@@ -1,0 +1,228 @@
+"""SPICE-style netlist parser.
+
+Supports the subset of SPICE syntax needed to describe the circuits in this
+package and to let users bring their own netlists:
+
+* comment lines (``*``), end-of-line comments (``;``), ``+`` continuations,
+* element cards: ``R``, ``C``, ``L``, ``V``, ``I``, ``E`` (VCVS), ``G``
+  (VCCS), ``M`` (MOSFET with ``W=``/``L=``/``M=`` parameters),
+* ``.model <name> nmos|pmos (param=value ...)`` cards with SPICE level-1
+  parameter names,
+* ``.end`` terminator (optional), everything case-insensitive,
+* SI magnitude suffixes on all numbers (``10u``, ``4.7k``, ``1meg``).
+
+The first line is treated as the title, as in SPICE, unless it starts with
+a recognized card.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..errors import ParseError
+from ..units import parse_value
+from .mos import MosModel
+from .netlist import Circuit
+
+#: .model parameter name -> MosModel field and converter.
+_MODEL_FIELDS = {
+    "vto": "vto",
+    "kp": "kp",
+    "lambda": "lambda_",
+    "gamma": "gamma",
+    "phi": "phi",
+    "tox": "tox",
+    "cgso": "cgso",
+    "cgdo": "cgdo",
+    "cj": "cj",
+    "tcv": "tcv",
+    "bex": "bex",
+}
+
+def _looks_like_card(line: str) -> bool:
+    """Heuristic for "is the first netlist line a card rather than a title".
+
+    Dot cards always count; element cards need a leading element letter AND
+    at least name + two nodes + a value (4 tokens), so short prose titles
+    like ``"my title"`` are not misread.  Ambiguous titles should be passed
+    explicitly via the ``title`` parameter.
+    """
+    stripped = line.strip()
+    if stripped.startswith("."):
+        return True
+    tokens = stripped.split()
+    return bool(tokens) and tokens[0][0].lower() in "rclviegm" \
+        and len(tokens) >= 4
+
+
+def _logical_lines(text: str) -> List[Tuple[int, str]]:
+    """Join ``+`` continuations; returns (line_number, text) pairs."""
+    logical: List[Tuple[int, str]] = []
+    for number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split(";", 1)[0].rstrip()
+        if not line.strip():
+            continue
+        if line.lstrip().startswith("*"):
+            continue
+        if line.lstrip().startswith("+"):
+            if not logical:
+                raise ParseError("continuation line with nothing to continue",
+                                 number)
+            prev_number, prev = logical[-1]
+            logical[-1] = (prev_number, prev + " " + line.lstrip()[1:])
+        else:
+            logical.append((number, line.strip()))
+    return logical
+
+
+def _split_params(tokens: List[str]) -> Tuple[List[str], Dict[str, str]]:
+    """Separate positional tokens from ``name=value`` parameters."""
+    positional: List[str] = []
+    params: Dict[str, str] = {}
+    for token in tokens:
+        if "=" in token:
+            key, _, value = token.partition("=")
+            params[key.lower()] = value
+        else:
+            positional.append(token)
+    return positional, params
+
+
+class NetlistParser:
+    """Stateful parser; use :func:`parse_netlist` for the one-shot API."""
+
+    def __init__(self) -> None:
+        self.models: Dict[str, MosModel] = {}
+
+    def parse(self, text: str, title: Optional[str] = None) -> Circuit:
+        lines = _logical_lines(text)
+        if not lines:
+            raise ParseError("empty netlist")
+        start = 0
+        if title is None:
+            if _looks_like_card(lines[0][1]):
+                title = ""
+            else:
+                title = lines[0][1]
+                start = 1
+        circuit = Circuit(title)
+        # First pass: model cards, so element order does not matter.
+        element_lines: List[Tuple[int, str]] = []
+        for number, line in lines[start:]:
+            lowered = line.lower()
+            if lowered.startswith(".model"):
+                self._parse_model(line, number)
+            elif lowered.startswith(".end"):
+                break
+            elif lowered.startswith("."):
+                raise ParseError(f"unsupported card {line.split()[0]!r}",
+                                 number)
+            else:
+                element_lines.append((number, line))
+        for number, line in element_lines:
+            self._parse_element(circuit, line, number)
+        return circuit
+
+    # -- card handlers ---------------------------------------------------
+    def _parse_model(self, line: str, number: int) -> None:
+        body = re.sub(r"[()]", " ", line)
+        tokens = body.split()
+        if len(tokens) < 3:
+            raise ParseError(".model needs a name and a type", number)
+        _, name, mtype = tokens[:3]
+        mtype = mtype.lower()
+        if mtype not in ("nmos", "pmos"):
+            raise ParseError(f"unsupported model type {mtype!r}", number)
+        polarity = 1 if mtype == "nmos" else -1
+        _, params = _split_params(tokens[3:])
+        kwargs = {"name": name.lower(), "polarity": polarity,
+                  "vto": 0.5 * polarity, "kp": 100e-6, "lambda_": 0.05}
+        for key, value in params.items():
+            field = _MODEL_FIELDS.get(key)
+            if field is None:
+                raise ParseError(f"unknown model parameter {key!r}", number)
+            try:
+                kwargs[field] = parse_value(value)
+            except Exception as exc:
+                raise ParseError(f"bad value for {key!r}: {exc}", number)
+        self.models[name.lower()] = MosModel(**kwargs)
+
+    def _value(self, token: str, number: int) -> float:
+        try:
+            return parse_value(token)
+        except Exception as exc:
+            raise ParseError(str(exc), number)
+
+    def _parse_element(self, circuit: Circuit, line: str,
+                       number: int) -> None:
+        tokens = line.split()
+        name = tokens[0]
+        kind = name[0].lower()
+        positional, params = _split_params(tokens[1:])
+        try:
+            if kind == "r":
+                circuit.resistor(name, positional[0], positional[1],
+                                 self._value(positional[2], number))
+            elif kind == "c":
+                circuit.capacitor(name, positional[0], positional[1],
+                                  self._value(positional[2], number))
+            elif kind == "l":
+                circuit.inductor(name, positional[0], positional[1],
+                                 self._value(positional[2], number))
+            elif kind in ("v", "i"):
+                dc = 0.0
+                ac = 0.0
+                rest = positional[2:]
+                k = 0
+                while k < len(rest):
+                    token = rest[k].lower()
+                    if token == "dc":
+                        k += 1
+                        dc = self._value(rest[k], number)
+                    elif token == "ac":
+                        k += 1
+                        ac = self._value(rest[k], number)
+                    else:
+                        dc = self._value(rest[k], number)
+                    k += 1
+                if "dc" in params:
+                    dc = self._value(params["dc"], number)
+                if "ac" in params:
+                    ac = self._value(params["ac"], number)
+                if kind == "v":
+                    circuit.vsource(name, positional[0], positional[1],
+                                    dc=dc, ac=ac)
+                else:
+                    circuit.isource(name, positional[0], positional[1],
+                                    dc=dc, ac=ac)
+            elif kind == "e":
+                circuit.vcvs(name, positional[0], positional[1],
+                             positional[2], positional[3],
+                             self._value(positional[4], number))
+            elif kind == "g":
+                circuit.vccs(name, positional[0], positional[1],
+                             positional[2], positional[3],
+                             self._value(positional[4], number))
+            elif kind == "m":
+                model_name = positional[4].lower()
+                model = self.models.get(model_name)
+                if model is None:
+                    raise ParseError(f"unknown model {positional[4]!r}",
+                                     number)
+                w = self._value(params.get("w", "10u"), number)
+                l = self._value(params.get("l", "1u"), number)
+                m = int(self._value(params.get("m", "1"), number))
+                circuit.mosfet(name, positional[0], positional[1],
+                               positional[2], positional[3], model,
+                               w=w, l=l, m=m)
+            else:
+                raise ParseError(f"unsupported element {name!r}", number)
+        except IndexError:
+            raise ParseError(f"too few terminals/values for {name!r}",
+                             number) from None
+
+
+def parse_netlist(text: str, title: Optional[str] = None) -> Circuit:
+    """Parse a SPICE-style netlist string into a :class:`Circuit`."""
+    return NetlistParser().parse(text, title=title)

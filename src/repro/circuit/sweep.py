@@ -1,0 +1,95 @@
+"""DC sweep analysis.
+
+Steps the DC value of an independent source (or the temperature) across a
+grid and records node voltages and device currents, warm-starting each
+Newton solve from the previous point — the standard way to trace transfer
+curves, bias curves and operating-region boundaries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import NetlistError
+from .dc import DCResult, solve_dc
+from .devices import Isource, Vsource
+from .netlist import Circuit
+
+
+class SweepResult:
+    """Result of a DC sweep: one operating point per grid value."""
+
+    def __init__(self, values: np.ndarray, results: List[DCResult]):
+        self.values = values
+        self.results = results
+
+    def voltage(self, node: str) -> np.ndarray:
+        """Node voltage across the sweep."""
+        return np.array([r.voltage(node) for r in self.results])
+
+    def device_current(self, device: str) -> np.ndarray:
+        """Drain/branch current of a device across the sweep."""
+        currents = []
+        for result in self.results:
+            record = result.operating_points().get(device)
+            if record is None:
+                currents.append(result.source_current(device))
+            elif "ids" in record:
+                currents.append(record["ids"])
+            else:
+                currents.append(record["i"])
+        return np.array(currents)
+
+    def region_changes(self, device: str) -> List[tuple]:
+        """Sweep values where a MOSFET's operating region changes."""
+        changes = []
+        previous: Optional[str] = None
+        for value, result in zip(self.values, self.results):
+            region = result.op(device)["region"]
+            if previous is not None and region != previous:
+                changes.append((float(value), previous, region))
+            previous = region
+        return changes
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+
+def dc_sweep(circuit: Circuit, source: str, values: Sequence[float],
+             temp_c: float = 27.0) -> SweepResult:
+    """Sweep the DC value of the named V/I source over ``values``.
+
+    The source's original value is restored afterwards.  Each point is
+    warm-started from its predecessor for speed and hysteresis-free
+    convergence.
+    """
+    device = circuit.device(source)
+    if not isinstance(device, (Vsource, Isource)):
+        raise NetlistError(
+            f"{source!r} is not an independent source; cannot sweep it")
+    original = device.dc
+    results: List[DCResult] = []
+    x0 = None
+    try:
+        for value in values:
+            device.dc = float(value)
+            result = solve_dc(circuit, temp_c=temp_c, x0=x0)
+            x0 = result.x
+            results.append(result)
+    finally:
+        device.dc = original
+    return SweepResult(np.asarray(list(values), dtype=float), results)
+
+
+def temperature_sweep(circuit: Circuit, temps_c: Sequence[float]
+                      ) -> SweepResult:
+    """Solve the DC operating point across a temperature grid."""
+    results: List[DCResult] = []
+    x0 = None
+    for temp in temps_c:
+        result = solve_dc(circuit, temp_c=float(temp), x0=x0)
+        x0 = result.x
+        results.append(result)
+    return SweepResult(np.asarray(list(temps_c), dtype=float), results)

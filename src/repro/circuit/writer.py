@@ -1,0 +1,103 @@
+"""SPICE-style netlist writer — the inverse of :mod:`repro.circuit.parser`.
+
+Serializes a :class:`~repro.circuit.netlist.Circuit` back to text that the
+bundled parser accepts (round-trip property: parse(write(c)) solves to the
+same DC operating point).  Useful for exporting generated benchmark
+circuits to external SPICE-class simulators and for debugging testbenches.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..errors import NetlistError
+from .devices import (Capacitor, Inductor, Isource, Mosfet, Resistor, Vcvs,
+                      Vccs, Vsource)
+from .mos import MosModel
+from .netlist import Circuit
+
+
+def _format_number(value: float) -> str:
+    """Numeric formatting with exact float round-trip fidelity."""
+    return f"{value:.17g}"
+
+
+def _model_card(model: MosModel) -> str:
+    mtype = "nmos" if model.polarity > 0 else "pmos"
+    params = (f"vto={_format_number(model.vto)} "
+              f"kp={_format_number(model.kp)} "
+              f"lambda={_format_number(model.lambda_)} "
+              f"gamma={_format_number(model.gamma)} "
+              f"phi={_format_number(model.phi)} "
+              f"tox={_format_number(model.tox)} "
+              f"cgso={_format_number(model.cgso)} "
+              f"cgdo={_format_number(model.cgdo)} "
+              f"cj={_format_number(model.cj)} "
+              f"tcv={_format_number(model.tcv)} "
+              f"bex={_format_number(model.bex)}")
+    return f".model {model.name} {mtype} ({params})"
+
+
+def write_netlist(circuit: Circuit) -> str:
+    """Serialize ``circuit`` to SPICE-style text.
+
+    Models referenced by MOSFETs are emitted as ``.model`` cards (one per
+    distinct model name).  Statistical perturbations on a transistor
+    (``delta_vto`` / ``beta_factor``) are baked into a per-instance model
+    card so the exported netlist reproduces the perturbed circuit exactly.
+    """
+    lines: List[str] = [circuit.title or "* untitled"]
+    models: Dict[str, MosModel] = {}
+    element_lines: List[str] = []
+    for dev in circuit.devices:
+        if isinstance(dev, Resistor):
+            element_lines.append(
+                f"{dev.name} {dev.nodes[0]} {dev.nodes[1]} "
+                f"{_format_number(dev.resistance)}")
+        elif isinstance(dev, Capacitor):
+            element_lines.append(
+                f"{dev.name} {dev.nodes[0]} {dev.nodes[1]} "
+                f"{_format_number(dev.capacitance)}")
+        elif isinstance(dev, Inductor):
+            element_lines.append(
+                f"{dev.name} {dev.nodes[0]} {dev.nodes[1]} "
+                f"{_format_number(dev.inductance)}")
+        elif isinstance(dev, Vsource):
+            element_lines.append(
+                f"{dev.name} {dev.nodes[0]} {dev.nodes[1]} "
+                f"DC {_format_number(dev.dc)} "
+                f"AC {_format_number(abs(dev.ac))}")
+        elif isinstance(dev, Isource):
+            element_lines.append(
+                f"{dev.name} {dev.nodes[0]} {dev.nodes[1]} "
+                f"DC {_format_number(dev.dc)} "
+                f"AC {_format_number(abs(dev.ac))}")
+        elif isinstance(dev, Vcvs):
+            element_lines.append(
+                f"{dev.name} {' '.join(dev.nodes)} "
+                f"{_format_number(dev.gain)}")
+        elif isinstance(dev, Vccs):
+            element_lines.append(
+                f"{dev.name} {' '.join(dev.nodes)} "
+                f"{_format_number(dev.gm)}")
+        elif isinstance(dev, Mosfet):
+            model = dev.model.at_temperature(27.0).perturbed(
+                dev.delta_vto, dev.beta_factor)
+            if dev.delta_vto != 0.0 or dev.beta_factor != 1.0:
+                # Bake the statistical perturbation into an instance model.
+                import dataclasses
+                model = dataclasses.replace(
+                    model, name=f"{model.name}_{dev.name.lower()}")
+            models.setdefault(model.name, model)
+            element_lines.append(
+                f"{dev.name} {' '.join(dev.nodes)} {model.name} "
+                f"W={_format_number(dev.w)} L={_format_number(dev.l)} "
+                f"M={dev.m}")
+        else:
+            raise NetlistError(
+                f"cannot serialize device type {type(dev).__name__} "
+                f"({dev.name})")
+    lines.extend(_model_card(m) for m in models.values())
+    lines.extend(element_lines)
+    lines.append(".end")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,9 @@
+"""Benchmark circuits of the paper's Section 6 plus a teaching circuit."""
+
+from .base import OpampTemplate, default_operating_range
+from .folded_cascode import FoldedCascodeOpamp
+from .miller import MillerOpamp
+from .ota import FiveTransistorOta
+
+__all__ = ["FiveTransistorOta", "FoldedCascodeOpamp", "MillerOpamp",
+           "OpampTemplate", "default_operating_range"]

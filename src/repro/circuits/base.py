@@ -1,0 +1,140 @@
+"""Shared machinery for the benchmark opamp templates.
+
+Both example circuits of the paper (folded-cascode, Fig. 7; Miller, Fig. 8)
+follow the same evaluation recipe:
+
+* build the transistor-level netlist at ``(d, s, theta)`` with the
+  open-loop measurement bench attached,
+* one DC solve + AC measurements give A0, f_t, PM, CMRR and power,
+* slew rate comes from the bias currents and compensation/load capacitance
+  (first-order estimate; validated against the transient engine in the
+  test suite),
+* the functional constraints c(d) >= 0 (Sec. 5.1) are *electrical sizing
+  rules* evaluated at the nominal statistical point: every analog
+  transistor must conduct (overdrive above a margin) and sit in saturation
+  (drain-source voltage above its saturation voltage by a margin) —
+  the "transistors must be in saturation" rules the paper cites from [13].
+
+:class:`OpampTemplate` implements this recipe; concrete circuits provide
+the netlist builder and the performance mapping.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..circuit.netlist import Circuit
+from ..errors import AnalysisError, ExtractionError
+from ..evaluation.measure import OpenLoopOpampBench
+from ..evaluation.template import CircuitTemplate, DesignParameter
+from ..spec.operating import OperatingParameter, OperatingRange
+from ..spec.specification import Performance, Spec
+from ..statistics.space import PhysicalVariations, StatisticalSpace
+
+#: Required saturation margin ``vds - vdsat`` [V].
+SAT_MARGIN = 0.05
+
+#: Required overdrive ``vgs - vth`` [V] (device must actually conduct).
+VOV_MARGIN = 0.05
+
+#: Performance values reported when the testbench itself fails (dead
+#: circuit, no DC convergence).  Chosen to violate every spec by a wide
+#: margin so failed samples count as failures, not as crashes.
+DEAD_CIRCUIT_PERFORMANCES = {
+    "a0": -40.0, "ft": 0.0, "pm": -180.0, "cmrr": -40.0,
+    "sr": 0.0, "power": 1e3, "noise": 1e6,
+}
+
+
+def default_operating_range() -> OperatingRange:
+    """Industrial-style operating box: -40..125 C, VDD 3.0..3.6 V."""
+    return OperatingRange([
+        OperatingParameter("temp", -40.0, 125.0, 27.0),
+        OperatingParameter("vdd", 3.0, 3.6, 3.3),
+    ])
+
+
+class OpampTemplate(CircuitTemplate):
+    """Base class for the benchmark opamps; see module docstring."""
+
+    #: devices subject to the conduction + saturation sizing rules
+    saturation_devices: Tuple[str, ...] = ()
+
+    def __init__(self, design_parameters: Sequence[DesignParameter],
+                 performances: Sequence[Performance],
+                 specs: Sequence[Spec],
+                 operating_range: OperatingRange,
+                 statistical_space: StatisticalSpace):
+        constraint_names = []
+        for device in self.saturation_devices:
+            constraint_names.append(f"vov_{device}")
+            constraint_names.append(f"sat_{device}")
+        super().__init__(design_parameters, performances, specs,
+                         operating_range, statistical_space,
+                         constraint_names)
+
+    # -- hooks for concrete circuits -------------------------------------------
+    @abc.abstractmethod
+    def build(self, d: Mapping[str, float], pv: PhysicalVariations,
+              theta: Mapping[str, float]) -> Circuit:
+        """Construct the netlist with the measurement bench attached."""
+
+    @abc.abstractmethod
+    def extract(self, bench: OpenLoopOpampBench, d: Mapping[str, float],
+                theta: Mapping[str, float]) -> Dict[str, float]:
+        """Map bench measurements to the declared performances."""
+
+    # -- CircuitTemplate implementation ------------------------------------------
+    def _bench(self, d: Mapping[str, float], s_hat: np.ndarray,
+               theta: Mapping[str, float]) -> OpenLoopOpampBench:
+        pv = self.statistical_space.to_physical(d, s_hat)
+        circuit = self.build(d, pv, theta)
+        return OpenLoopOpampBench(circuit, out="out", supply_source="VDD",
+                                  temp_c=theta["temp"])
+
+    def evaluate(self, d: Mapping[str, float], s_hat: np.ndarray,
+                 theta: Mapping[str, float]) -> Dict[str, float]:
+        """Simulate and extract; a failed testbench yields spec-violating
+        sentinel values rather than an exception — a manufactured circuit
+        that cannot be measured (no gain crossing, and in pathological
+        design corners not even a DC solution) is a yield loss, not a
+        tool crash."""
+        bench = self._bench(d, s_hat, theta)
+        try:
+            return self.extract(bench, d, theta)
+        except (AnalysisError, ExtractionError):
+            return {p.name: DEAD_CIRCUIT_PERFORMANCES.get(p.name, 0.0)
+                    for p in self.performances}
+
+    def constraints(self, d: Mapping[str, float],
+                    theta: Optional[Mapping[str, float]] = None
+                    ) -> Dict[str, float]:
+        """Sizing rules at the nominal statistical point."""
+        if theta is None:
+            theta = self.operating_range.nominal()
+        bench = self._bench(d, self.statistical_space.nominal(), theta)
+        values: Dict[str, float] = {}
+        try:
+            ops = bench.op.operating_points()
+        except Exception:
+            # No DC solution at all: report every rule as badly violated.
+            return {name: -1.0 for name in self.constraint_names}
+        for device in self.saturation_devices:
+            op = ops[device]
+            values[f"vov_{device}"] = op["vov"] - VOV_MARGIN
+            values[f"sat_{device}"] = (op["vds"] - op["vdsat"]) - SAT_MARGIN
+        return values
+
+    # -- shared sub-circuit builders -----------------------------------------------
+    @staticmethod
+    def add_mosfet(circuit: Circuit, pv: PhysicalVariations, name: str,
+                   d_node: str, g_node: str, s_node: str, b_node: str,
+                   model, w: float, l: float, m: int = 1) -> None:
+        """Add a transistor with its statistical perturbations applied."""
+        circuit.mosfet(name, d_node, g_node, s_node, b_node, model,
+                       w=w, l=l, m=m,
+                       delta_vto=pv.delta_vto(name),
+                       beta_factor=pv.beta_factor(name))

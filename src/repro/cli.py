@@ -1,0 +1,230 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Exposes the main workflows on the bundled benchmark circuits without
+writing any Python:
+
+* ``optimize``  — run the Fig. 6 yield-optimization loop and print the
+  paper-style trace table,
+* ``analyze``   — worst-case operating corners, worst-case distances and
+  the Sec. 3 mismatch-pair ranking at the initial design,
+* ``corners``   — the PVT corner report,
+* ``evaluate``  — nominal performances and constraint values,
+* ``simulate``  — DC operating point (and optional AC gain) of a
+  SPICE-style netlist file.
+
+Examples::
+
+    python -m repro optimize miller --iterations 3
+    python -m repro analyze folded-cascode --local-only
+    python -m repro corners ota
+    python -m repro simulate my_circuit.sp --node out --ac 1e3
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, Optional
+
+from .circuits import FiveTransistorOta, FoldedCascodeOpamp, MillerOpamp
+
+#: Registered benchmark circuits.
+CIRCUITS: Dict[str, Callable] = {
+    "miller": MillerOpamp,
+    "folded-cascode": FoldedCascodeOpamp,
+    "ota": FiveTransistorOta,
+}
+
+
+def _make_template(name: str, local_only: bool = False):
+    try:
+        factory = CIRCUITS[name]
+    except KeyError:
+        raise SystemExit(
+            f"unknown circuit {name!r}; choose from "
+            f"{', '.join(sorted(CIRCUITS))}")
+    if local_only:
+        try:
+            return factory(with_global=False)
+        except TypeError:
+            raise SystemExit(
+                f"circuit {name!r} does not support --local-only")
+    return factory()
+
+
+def cmd_optimize(args: argparse.Namespace) -> int:
+    from .core import OptimizerConfig, YieldOptimizer
+    from .reporting import optimization_trace_table
+
+    template = _make_template(args.circuit)
+    config = OptimizerConfig(
+        n_samples_linear=args.samples,
+        n_samples_verify=args.verify_samples,
+        max_iterations=args.iterations,
+        seed=args.seed,
+        use_constraints=not args.no_constraints,
+        linearize_at="nominal" if args.nominal_linearization
+        else "worst_case",
+    )
+    result = YieldOptimizer(template, config).run()
+    print(optimization_trace_table(template, result))
+    print(f"converged: {result.converged}; "
+          f"simulations: {result.total_simulations} "
+          f"(+{result.total_constraint_simulations} constraint checks); "
+          f"wall time {result.wall_time_s:.1f} s")
+    print("final design:")
+    for name in template.design_names:
+        print(f"  {name} = {result.d_final[name]:.6g}")
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    from .core import analyze_mismatch, find_all_worst_case_points
+    from .evaluation import Evaluator
+    from .reporting import mismatch_table
+    from .spec.operating import find_worst_case_operating_points
+
+    template = _make_template(args.circuit, local_only=args.local_only)
+    evaluator = Evaluator(template)
+    d = template.initial_design()
+    s0 = template.statistical_space.nominal()
+    theta_wc = find_worst_case_operating_points(
+        lambda theta: evaluator.evaluate(d, s0, theta),
+        template.specs, template.operating_range)
+    print("worst-case operating points:")
+    for key, theta in theta_wc.items():
+        print(f"  {key:>10} -> "
+              + ", ".join(f"{k}={v:g}" for k, v in theta.items()))
+    worst_case = find_all_worst_case_points(evaluator, d, theta_wc,
+                                            seed=args.seed)
+    print("\nworst-case distances (sigma):")
+    for key, wc in worst_case.items():
+        print(f"  {key:>10}: beta = {wc.beta_wc:+7.2f}  "
+              f"({wc.method}{'' if wc.on_boundary else ', clamped'})")
+    names = list(template.statistical_space.names)
+    candidates = template.local_vth_names() \
+        if hasattr(template, "local_vth_names") else None
+    if candidates:
+        report = analyze_mismatch(worst_case, names,
+                                  candidate_names=candidates,
+                                  threshold=args.threshold)
+        print("\nmismatch-sensitive specs:")
+        for key, pairs in report.items():
+            if pairs:
+                print(f"  {key}:")
+                print("  " + mismatch_table(pairs).replace("\n", "\n  "))
+    print(f"\nsimulations: {evaluator.simulation_count}")
+    return 0
+
+
+def cmd_corners(args: argparse.Namespace) -> int:
+    from .evaluation import Evaluator, corner_analysis
+
+    template = _make_template(args.circuit)
+    evaluator = Evaluator(template)
+    report = corner_analysis(evaluator, template.initial_design(),
+                             sigma_level=args.sigma)
+    print(report.summary())
+    failing = report.failing_specs()
+    print(f"\ncorner-failing specs: {failing or 'none'} "
+          f"({report.simulations} simulations)")
+    return 1 if failing else 0
+
+
+def cmd_evaluate(args: argparse.Namespace) -> int:
+    template = _make_template(args.circuit)
+    d = template.initial_design()
+    values = template.evaluate(d, template.statistical_space.nominal(),
+                               template.operating_range.nominal())
+    print("nominal performances:")
+    for performance in template.performances:
+        spec = template.spec_for(performance.name)
+        value = values[performance.name]
+        status = "PASS" if spec.passes(value) else "FAIL"
+        print(f"  {performance.name:>8} = {value:10.3f} "
+              f"{performance.unit:8} (spec {spec.kind} {spec.bound:g})"
+              f"  [{status}]")
+    constraints = template.constraints(d)
+    worst = min(constraints, key=constraints.get)
+    print(f"\nsizing rules: {'all satisfied' if constraints[worst] >= 0 else 'VIOLATED'}"
+          f" (tightest: {worst} = {constraints[worst]:+.4f})")
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    from .circuit import parse_netlist, solve_dc, transfer_at
+    from .units import db, format_si
+
+    with open(args.netlist) as handle:
+        circuit = parse_netlist(handle.read())
+    op = solve_dc(circuit, temp_c=args.temp)
+    print(f"DC operating point ({op.iterations} Newton iterations, "
+          f"{op.strategy}):")
+    for node, voltage in sorted(op.voltages().items()):
+        print(f"  V({node}) = {voltage:.6f}")
+    for name, record in sorted(op.operating_points().items()):
+        if "region" in record:
+            print(f"  {name}: Id = {format_si(record['ids'], 'A')}, "
+                  f"{record['region']}")
+    if args.node and args.ac:
+        h = transfer_at(circuit, op, args.node, args.ac)
+        print(f"\nAC transfer to {args.node} at "
+              f"{format_si(args.ac, 'Hz')}: |H| = {abs(h):.4g} "
+              f"({db(abs(h)):.1f} dB)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DAC 2001 mismatch analysis and yield optimization")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("optimize", help="run the Fig. 6 yield optimizer")
+    p.add_argument("circuit", choices=sorted(CIRCUITS))
+    p.add_argument("--iterations", type=int, default=5)
+    p.add_argument("--samples", type=int, default=10000)
+    p.add_argument("--verify-samples", type=int, default=150)
+    p.add_argument("--seed", type=int, default=2001)
+    p.add_argument("--no-constraints", action="store_true",
+                   help="Table 3 ablation")
+    p.add_argument("--nominal-linearization", action="store_true",
+                   help="Table 4 ablation")
+    p.set_defaults(func=cmd_optimize)
+
+    p = sub.add_parser("analyze",
+                       help="worst-case distances + mismatch pairs")
+    p.add_argument("circuit", choices=sorted(CIRCUITS))
+    p.add_argument("--local-only", action="store_true",
+                   help="Sec. 3 setting: local statistical space only")
+    p.add_argument("--threshold", type=float, default=0.05)
+    p.add_argument("--seed", type=int, default=2001)
+    p.set_defaults(func=cmd_analyze)
+
+    p = sub.add_parser("corners", help="PVT corner report")
+    p.add_argument("circuit", choices=sorted(CIRCUITS))
+    p.add_argument("--sigma", type=float, default=3.0)
+    p.set_defaults(func=cmd_corners)
+
+    p = sub.add_parser("evaluate", help="nominal performances")
+    p.add_argument("circuit", choices=sorted(CIRCUITS))
+    p.set_defaults(func=cmd_evaluate)
+
+    p = sub.add_parser("simulate", help="solve a SPICE-style netlist")
+    p.add_argument("netlist", help="netlist file path")
+    p.add_argument("--temp", type=float, default=27.0)
+    p.add_argument("--node", help="node for an AC transfer readout")
+    p.add_argument("--ac", type=float,
+                   help="frequency [Hz] for the AC readout")
+    p.set_defaults(func=cmd_simulate)
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,112 @@
+"""Linearized feasibility region (Sec. 5.1, Eq. 15).
+
+The functional constraints ``c(d) >= 0`` (all transistors conducting and
+saturated, etc.) define the feasibility region F.  During one optimizer
+iteration only their linearization at the current feasible point is used:
+
+    c_bar(d) = c_0 + grad_d c(d_f) . (d - d_f)                      (Eq. 15)
+
+This trust region is what keeps the spec-wise linear performance models
+accurate (Fig. 4 of the paper) and what the Table 3 ablation removes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import FeasibilityError
+from ..evaluation.evaluator import Evaluator
+from ..evaluation.gradient import constraint_jacobian
+
+#: Numerical slack when testing feasibility.
+FEASIBILITY_TOL = 1e-9
+
+
+@dataclass
+class LinearConstraints:
+    """The linearized constraint set of one optimizer iteration."""
+
+    names: Tuple[str, ...]
+    c0: np.ndarray  # constraint values at d_ref
+    jacobian: np.ndarray  # (n_constraints, n_design)
+    d_ref: Dict[str, float]
+    design_names: Tuple[str, ...]
+
+    def values(self, d: Mapping[str, float]) -> np.ndarray:
+        """Linearized constraint values c_bar(d)."""
+        delta = np.array([d[name] - self.d_ref[name]
+                          for name in self.design_names])
+        return self.c0 + self.jacobian @ delta
+
+    def satisfied(self, d: Mapping[str, float],
+                  tol: float = FEASIBILITY_TOL) -> bool:
+        return bool(np.all(self.values(d) >= -tol))
+
+    def coordinate_interval(self, d: Mapping[str, float], name: str,
+                            lower: float, upper: float
+                            ) -> Optional[Tuple[float, float]]:
+        """Feasible interval of one coordinate with the others fixed.
+
+        Intersects ``c_bar >= 0`` (each linear in the coordinate) with the
+        box ``[lower, upper]``.  Returns None if empty.
+        """
+        k = self.design_names.index(name)
+        partial = dict(d)
+        partial[name] = self.d_ref[name]
+        base = self.values(partial)
+        slopes = self.jacobian[:, k]
+        ref = self.d_ref[name]
+        lo, hi = lower, upper
+        for c_base, slope in zip(base, slopes):
+            if slope == 0.0:
+                if c_base < -FEASIBILITY_TOL:
+                    return None
+                continue
+            crossing = ref - c_base / slope
+            if slope > 0.0:
+                lo = max(lo, crossing)
+            else:
+                hi = min(hi, crossing)
+        if lo > hi:
+            return None
+        return lo, hi
+
+
+class UnconstrainedRegion:
+    """Drop-in replacement used by the Table 3 ablation: only the design
+    box limits the search, no functional constraints."""
+
+    def coordinate_interval(self, d, name, lower, upper):
+        return lower, upper
+
+    def satisfied(self, d, tol=FEASIBILITY_TOL):
+        return True
+
+
+def linearize_constraints(evaluator: Evaluator,
+                          d_f: Mapping[str, float]) -> LinearConstraints:
+    """Build Eq. 15 at the feasible point ``d_f`` by forward differences
+    (dim(d)+1 DC simulations)."""
+    c0_dict, jac_dict = constraint_jacobian(evaluator, d_f)
+    names = tuple(evaluator.template.constraint_names)
+    design_names = tuple(evaluator.template.design_names)
+    c0 = np.array([c0_dict[name] for name in names])
+    jacobian = np.array([[jac_dict[cname][pname] for pname in design_names]
+                         for cname in names])
+    return LinearConstraints(names=names, c0=c0, jacobian=jacobian,
+                             d_ref=dict(d_f), design_names=design_names)
+
+
+def true_feasible(evaluator: Evaluator, d: Mapping[str, float],
+                  tol: float = FEASIBILITY_TOL) -> bool:
+    """Check the *simulated* constraints (one DC analysis)."""
+    values = evaluator.constraints(d)
+    return all(value >= -tol for value in values.values())
+
+
+def violation(values: Mapping[str, float]) -> float:
+    """Total constraint violation (0 when feasible)."""
+    return float(sum(max(0.0, -v) for v in values.values()))

@@ -1,0 +1,117 @@
+"""Finding a feasible starting point (Sec. 5.5).
+
+If the initial design violates the functional constraints, the closest
+feasible point in the design space is determined before the yield loop
+starts.  The search iterates the same linearize-and-solve structure the
+paper uses everywhere: linearize ``c`` at the current point (dim(d)+1 DC
+simulations), solve the resulting linearly-constrained
+closest-point problem with SLSQP (no simulations — the subproblem is
+algebraic), step, re-check the true constraints, repeat.
+
+Distances are measured relative to the parameter magnitudes so that a 1 %
+move of a 100 um width and of a 10 pF capacitor count equally.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Tuple
+
+import numpy as np
+from scipy import optimize
+
+from ..errors import FeasibilityError
+from ..evaluation.evaluator import Evaluator
+from .constraints import (FEASIBILITY_TOL, LinearConstraints,
+                          linearize_constraints, violation)
+
+#: Maximum linearize-and-project iterations.
+MAX_ITERATIONS = 15
+
+#: Extra margin requested from the linearized constraints so that the true
+#: (weakly nonlinear) constraints end up satisfied as well.
+TARGET_MARGIN = 1e-6
+
+
+def _solve_projection(linear: LinearConstraints, d_current: np.ndarray,
+                      d_target: np.ndarray, scale: np.ndarray,
+                      lower: np.ndarray, upper: np.ndarray
+                      ) -> Optional[np.ndarray]:
+    """Closest point to ``d_target`` satisfying the linearized constraints
+    and box bounds; distances scaled by ``scale``.  Pure algebra."""
+    d_ref = np.array([linear.d_ref[name] for name in linear.design_names])
+
+    def objective(x):
+        w = (x - d_target) / scale
+        return float(w @ w)
+
+    def objective_grad(x):
+        return 2.0 * (x - d_target) / scale**2
+
+    def constraint_values(x):
+        return linear.c0 + linear.jacobian @ (x - d_ref) - TARGET_MARGIN
+
+    result = optimize.minimize(
+        objective, d_current, jac=objective_grad, method="SLSQP",
+        bounds=list(zip(lower, upper)),
+        constraints=[{"type": "ineq", "fun": constraint_values,
+                      "jac": lambda x: linear.jacobian}],
+        options={"maxiter": 100, "ftol": 1e-12})
+    if not result.success:
+        return None
+    return np.asarray(result.x, dtype=float)
+
+
+def find_feasible_point(evaluator: Evaluator,
+                        d0: Mapping[str, float],
+                        max_iterations: int = MAX_ITERATIONS
+                        ) -> Tuple[Dict[str, float], Dict[str, float]]:
+    """Sec. 5.5: the closest feasible point to ``d0``.
+
+    Returns ``(d_f, c(d_f))``.  If ``d0`` is already feasible it is
+    returned unchanged.  Raises :class:`FeasibilityError` when no feasible
+    point is found within the iteration budget.
+    """
+    template = evaluator.template
+    names = template.design_names
+    lower, upper = template.design_bounds()
+    d_target = template.design_vector(d0)
+    scale = np.maximum(np.abs(d_target), 1e-12)
+
+    d_current = dict(d0)
+    values = evaluator.constraints(d_current)
+    if violation(values) == 0.0:
+        return dict(d_current), values
+
+    best: Optional[Tuple[float, Dict[str, float], Dict[str, float]]] = None
+    for _ in range(max_iterations):
+        linear = linearize_constraints(evaluator, d_current)
+        x = _solve_projection(linear, template.design_vector(d_current),
+                              d_target, scale, lower, upper)
+        if x is None:
+            # Fall back to relaxing toward the feasible side along the
+            # steepest violation-reduction direction of the linearization.
+            gradient = np.zeros(len(names))
+            for i, c in enumerate(linear.c0):
+                if c < 0.0:
+                    gradient += linear.jacobian[i]
+            norm = float(np.linalg.norm(gradient * scale))
+            if norm < 1e-18:
+                break
+            x = template.design_vector(d_current) + \
+                gradient * scale**2 / norm * 0.1
+            x = np.clip(x, lower, upper)
+        candidate = template.design_dict(x)
+        values = evaluator.constraints(candidate)
+        total = violation(values)
+        if best is None or total < best[0]:
+            best = (total, dict(candidate), dict(values))
+        if total == 0.0:
+            return dict(candidate), values
+        d_current = candidate
+    if best is not None and best[0] <= 1e-6:
+        # Numerically feasible (violation below solver noise).
+        return best[1], best[2]
+    raise FeasibilityError(
+        f"no feasible starting point found for template "
+        f"{template.name!r} within {max_iterations} iterations "
+        f"(best violation {best[0] if best else float('inf'):.3g})")

@@ -1,0 +1,68 @@
+"""Feasibility line search (Sec. 5.4, Eq. 23).
+
+The coordinate search works on *linearized* constraints, so its optimum
+``d*`` may leave the true feasibility region.  A simulation-based line
+search along ``r = d* - d_f`` finds the largest step that stays truly
+feasible:
+
+    gamma_max = argmax { gamma | c(d_f + gamma r) >= 0, 0 <= gamma <= 1 }
+
+using a small number of real (DC) simulations — the paper quotes ~10.
+The new iterate ``d_f + gamma_max r`` seeds the next linearization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Tuple
+
+import numpy as np
+
+from ..evaluation.evaluator import Evaluator
+from .constraints import FEASIBILITY_TOL, violation
+
+#: Bisection steps after the initial full-step probe (total simulations
+#: <= BISECTION_STEPS + 1, matching the paper's "e.g. 10").
+BISECTION_STEPS = 9
+
+
+@dataclass
+class LineSearchResult:
+    """Outcome of the Eq. 23 search."""
+
+    d_new: Dict[str, float]
+    gamma: float
+    simulations: int
+    feasible: bool
+
+
+def feasibility_line_search(evaluator: Evaluator,
+                            d_f: Mapping[str, float],
+                            d_star: Mapping[str, float],
+                            steps: int = BISECTION_STEPS
+                            ) -> LineSearchResult:
+    """Solve Eq. 23 by bisection on gamma.
+
+    ``d_f`` must be truly feasible (it is the previous iterate).  If the
+    full step is feasible, gamma = 1 with a single simulation.
+    """
+    names = evaluator.template.design_names
+    direction = {name: d_star[name] - d_f[name] for name in names}
+
+    def point(gamma: float) -> Dict[str, float]:
+        return {name: d_f[name] + gamma * direction[name] for name in names}
+
+    simulations = 1
+    if violation(evaluator.constraints(d_star)) <= FEASIBILITY_TOL:
+        return LineSearchResult(dict(d_star), 1.0, simulations, True)
+
+    lo, hi = 0.0, 1.0  # lo feasible, hi infeasible
+    for _ in range(steps):
+        mid = 0.5 * (lo + hi)
+        simulations += 1
+        if violation(evaluator.constraints(point(mid))) <= FEASIBILITY_TOL:
+            lo = mid
+        else:
+            hi = mid
+    gamma = lo
+    return LineSearchResult(point(gamma), gamma, simulations, True)

@@ -1,0 +1,214 @@
+"""Spec-wise linearized performance models (Eq. 16, 21-22).
+
+Each spec gets a first-order model built at its *own* worst-case point
+(and worst-case operating point):
+
+    f_bar(d, s) = f_b + grad_s f . (s - s_wc) + grad_d f . (d - d_f)
+
+Because the worst-case point is the most probable point on the spec
+boundary, this tangent plane is exact where yield is decided — the
+"spec-wise linearization" that gives the paper its accuracy (vs. the
+nominal-point linearization of the Table 4 ablation, which this module can
+also build for the ablation benchmark).
+
+Quadratic (mismatch-type) performances are additionally linearized at the
+*mirrored* worst-case point ``s_wc' = -s_wc`` with the flipped gradient
+(Eq. 21-22); detection costs exactly one extra simulation per spec, as the
+paper notes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..evaluation.evaluator import Evaluator
+from ..evaluation.gradient import performance_gradient_d
+from ..spec.operating import spec_key
+from ..spec.specification import Spec
+from .worst_case import WorstCaseResult
+
+
+
+@dataclass
+class SpecLinearModel:
+    """One linearized spec model, in normalized (``g >= g_b``) convention.
+
+    ``value = g_ref + grad_s . (s - s_ref) + sum_k grad_d[k] (d_k - d_ref[k])``
+
+    For worst-case linearization ``g_ref = g_b`` and ``s_ref = s_wc``
+    (Eq. 16); the nominal-point ablation uses ``s_ref = 0`` and
+    ``g_ref = g(d_f, 0)``.
+    """
+
+    spec: Spec
+    key: str
+    theta: Mapping[str, float]
+    s_ref: np.ndarray
+    g_ref: float
+    grad_s: np.ndarray
+    grad_d: Dict[str, float]
+    d_ref: Dict[str, float]
+    is_mirror: bool = False
+
+    @property
+    def g_bound(self) -> float:
+        return self.spec.normalized_bound
+
+    def value(self, d: Mapping[str, float], s_hat: np.ndarray) -> float:
+        """Model prediction of the normalized performance."""
+        s_hat = np.asarray(s_hat, dtype=float)
+        result = self.g_ref + float(self.grad_s @ (s_hat - self.s_ref))
+        for name, slope in self.grad_d.items():
+            result += slope * (d[name] - self.d_ref[name])
+        return result
+
+    def margin(self, d: Mapping[str, float], s_hat: np.ndarray) -> float:
+        """Model margin (>= 0 passes)."""
+        return self.value(d, s_hat) - self.g_bound
+
+    def statistical_part(self, samples: np.ndarray) -> np.ndarray:
+        """Per-sample constant part at ``d = d_ref`` minus the bound.
+
+        This is the quantity the paper stores per sample (Sec. 5.3): during
+        the coordinate search only the ``grad_d . (d - d_f)`` shift needs
+        recomputing (Eq. 20).
+        """
+        samples = np.asarray(samples, dtype=float)
+        return (self.g_ref - self.g_bound) + \
+            (samples - self.s_ref) @ self.grad_s
+
+
+def _grad_d_normalized(evaluator: Evaluator, spec: Spec,
+                       d: Mapping[str, float], s_hat: np.ndarray,
+                       theta: Mapping[str, float],
+                       base_value: Optional[float]) -> Dict[str, float]:
+    raw = performance_gradient_d(evaluator, spec.performance, d, s_hat,
+                                 theta, base_value=base_value)
+    return {name: spec.sign * slope for name, slope in raw.items()}
+
+
+def quadratic_mirror_reference(
+    evaluator: Evaluator,
+    wc: WorstCaseResult,
+    d: Mapping[str, float],
+    theta: Mapping[str, float],
+) -> Optional[Tuple[np.ndarray, float]]:
+    """Eq. 21, generalized: locate the *second* linearization point of a
+    quadratic (tent-shaped) spec.
+
+    The paper mirrors the worst-case point about the nominal point
+    (``s_wc' = -s_wc``), which assumes the tent's ridge passes through
+    ``s = 0``.  A systematic offset (a non-zero common-mode error, for
+    CMRR) shifts the ridge, so the second acceptance boundary sits at the
+    reflection about the *ridge* instead.  Fitting a parabola to the three
+    known samples along the ``s_wc`` line —
+
+        g(0) = g_nominal,  g(s_wc) = g_b,  g(-s_wc)  (1 extra simulation)
+
+    gives the ridge position ``t* = -b/(2a)`` and the mirror reference
+    ``s' = (2 t* - 1) s_wc``; one more simulation reads the value there.
+    For a ridge through the origin this reduces exactly to the paper's
+    ``s' = -s_wc``.  Returns ``(s_ref, g_ref)`` or None when the
+    performance is not meaningfully concave along the line (monotone
+    specs) — in that case the single tangent is sufficient and, per the
+    paper, only the one detection simulation was spent.
+    """
+    if not wc.on_boundary:
+        return None
+    norm = float(np.linalg.norm(wc.s_wc))
+    if norm < 1e-6:
+        return None  # nominal sits on the bound: no distinct mirror
+    g0 = wc.g_nominal
+    g1 = wc.g_wc  # == g_b up to solver tolerance
+    g_minus = wc.spec.normalize(evaluator.performance(
+        wc.spec.performance, d, -wc.s_wc, theta))
+    # Parabola g(t) = a t^2 + b t + g0 through t = -1, 0, +1.
+    a = 0.5 * ((g1 - g0) + (g_minus - g0))
+    b = 0.5 * ((g1 - g0) - (g_minus - g0))
+    scale = max(abs(g0 - wc.spec.normalized_bound), abs(g1 - g0), 1e-12)
+    if a >= -0.25 * scale:
+        return None  # not concave enough: effectively monotone
+    t_ridge = -b / (2.0 * a)
+    if t_ridge >= 1.0:
+        return None  # ridge beyond the worst-case point: one-sided here
+    t_mirror = 2.0 * t_ridge - 1.0
+    from .worst_case import BETA_MAX
+    if abs(t_mirror) * norm > BETA_MAX:
+        return None  # second boundary statistically irrelevant
+    s_mirror = t_mirror * wc.s_wc
+    g_mirror = wc.spec.normalize(evaluator.performance(
+        wc.spec.performance, d, s_mirror, theta))
+    return np.asarray(s_mirror), float(g_mirror)
+
+
+def detect_quadratic(evaluator: Evaluator, wc: WorstCaseResult,
+                     d: Mapping[str, float],
+                     theta: Mapping[str, float]) -> bool:
+    """True when the spec needs a second (mirrored) linearization."""
+    return quadratic_mirror_reference(evaluator, wc, d, theta) is not None
+
+
+def build_spec_models(
+    evaluator: Evaluator,
+    d_f: Mapping[str, float],
+    worst_case: Mapping[str, WorstCaseResult],
+    theta_per_spec: Mapping[str, Mapping[str, float]],
+    linearize_at: str = "worst_case",
+    detect_quadratic_specs: bool = True,
+) -> List[SpecLinearModel]:
+    """Build the full model set for one optimizer iteration.
+
+    ``linearize_at = "worst_case"`` implements Eq. 16; ``"nominal"``
+    implements the Table 4 ablation (tangent at ``s = 0``).  With quadratic
+    detection enabled, mismatch-type specs get their mirrored twin
+    (Eq. 21-22); the mirror model reuses the design-space gradient of the
+    primary model (the design dependence of a tent-shaped performance is
+    symmetric to first order), so it costs only the one detection
+    simulation.
+    """
+    if linearize_at not in ("worst_case", "nominal"):
+        raise ValueError(f"linearize_at must be 'worst_case' or 'nominal', "
+                         f"got {linearize_at!r}")
+    models: List[SpecLinearModel] = []
+    d_ref = dict(d_f)
+    for spec in evaluator.template.specs:
+        key = spec_key(spec)
+        wc = worst_case[key]
+        theta = theta_per_spec[key]
+        if linearize_at == "worst_case":
+            s_ref = wc.s_wc
+            g_ref = wc.g_wc if wc.on_boundary else wc.g_nominal
+            if not wc.on_boundary:
+                s_ref = np.zeros_like(wc.s_wc)
+            grad_s = wc.gradient
+            base = spec.denormalize(g_ref)
+            grad_d = _grad_d_normalized(evaluator, spec, d_f, s_ref, theta,
+                                        base_value=base)
+        else:
+            s_ref = np.zeros_like(wc.s_wc)
+            g_ref = wc.g_nominal
+            from ..evaluation.gradient import performance_gradient_s
+            grad_s = performance_gradient_s(
+                evaluator, spec.performance, d_f, s_ref, theta,
+                base_value=spec.denormalize(g_ref)) * spec.sign
+            grad_d = _grad_d_normalized(evaluator, spec, d_f, s_ref, theta,
+                                        base_value=spec.denormalize(g_ref))
+        primary = SpecLinearModel(
+            spec=spec, key=key, theta=dict(theta), s_ref=np.array(s_ref),
+            g_ref=g_ref, grad_s=np.array(grad_s), grad_d=grad_d,
+            d_ref=d_ref)
+        models.append(primary)
+        if linearize_at == "worst_case" and detect_quadratic_specs:
+            reference = quadratic_mirror_reference(evaluator, wc, d_f,
+                                                   theta)
+            if reference is not None:
+                s_mirror, g_mirror = reference
+                models.append(SpecLinearModel(
+                    spec=spec, key=key + "#mirror", theta=dict(theta),
+                    s_ref=np.array(s_mirror), g_ref=g_mirror,
+                    grad_s=-np.array(wc.gradient), grad_d=dict(grad_d),
+                    d_ref=d_ref, is_mirror=True))
+    return models

@@ -1,0 +1,206 @@
+"""Mismatch analysis: the Sec. 3 measure and matching-pair ranking.
+
+A performance is *mismatch-sensitive* (Definition 1) when two statistical
+parameters moving in opposite directions degrade it strongly while moving
+together leaves it unchanged — the tent-shaped CMRR surface of Fig. 1,
+with its *neutral line* ``ds_k = ds_l`` and *mismatch line*
+``ds_k = -ds_l``.
+
+Because the worst-case point aligns with the direction of maximum
+performance degradation (``s_wc = -kappa * grad f``), a matching pair shows
+up in ``s_wc`` as two components of (nearly) equal magnitude and opposite
+sign.  The measure of Eq. 9 scores every parameter pair on that signature:
+
+    m_kl = eta(beta_wc) * max(|s_wc,k|, |s_wc,l|)/s_max * Phi(arctan(s_wc,k/s_wc,l))
+
+* ``Phi`` selects pairs near the mismatch line (angle -pi/4), with an
+  uncertainty band ``Delta_1`` (full credit) + ``Delta_2`` (linear falloff)
+  — the paper's Fig. 2 window, reconstructed as a trapezoid since the
+  figure is not machine-readable (defaults 5 deg / 15 deg),
+* the magnitude ratio weights dominant components,
+* ``eta`` weights robust performances down (it is 1/2 at beta_wc = 0,
+  approaches 1 for badly failing specs and 0 for very robust ones, and is
+  continuous — Fig. 3).
+
+Since the worst-case points are computed anyway during yield optimization,
+this analysis costs **no extra simulations** (Sec. 3.2).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ReproError
+from .worst_case import WorstCaseResult
+
+#: Default Phi window half-widths [rad]: full credit within DELTA1 of the
+#: mismatch line, linear falloff over the next DELTA2.
+DELTA1 = math.radians(5.0)
+DELTA2 = math.radians(15.0)
+
+#: Parameters with |s_wc| below this fraction of the candidate s_max are
+#: noise, not mismatch signatures.
+COMPONENT_FLOOR = 1e-3
+
+#: Candidate components below this fraction of the *overall* worst-case
+#: point magnitude are ignored entirely.  This matters in mixed
+#: global+local spaces: a spec driven by global parameters has negligible
+#: local components, and normalizing those among themselves (the paper's
+#: s_max runs over the analysis set) would otherwise manufacture
+#: full-strength "pairs" out of finite-difference noise.
+NOISE_FLOOR = 0.1
+
+
+def phi_window(angle: float, delta1: float = DELTA1,
+               delta2: float = DELTA2) -> float:
+    """Mismatch-line selector ``Phi`` (Fig. 2).
+
+    ``angle = arctan(s_k / s_l)`` lies in (-pi/2, pi/2]; the mismatch line
+    maps to -pi/4 (opposite signs), the neutral line to +pi/4 (same
+    signs).  Returns 1 within ``delta1`` of -pi/4, 0 beyond
+    ``delta1 + delta2``, linear in between.
+    """
+    if delta1 < 0 or delta2 <= 0:
+        raise ReproError("phi_window: delta1 must be >= 0, delta2 > 0")
+    distance = abs(angle + math.pi / 4.0)
+    if distance <= delta1:
+        return 1.0
+    if distance >= delta1 + delta2:
+        return 0.0
+    return 1.0 - (distance - delta1) / delta2
+
+
+def eta_weight(beta_wc: float) -> float:
+    """Robustness weighting ``eta`` of Eq. 9 (Fig. 3).
+
+    ``beta_wc`` is the signed worst-case distance.  eta(0) = 1/2;
+    eta -> 1 as beta -> -inf (badly violated spec, mismatch matters most);
+    eta -> 0 as beta -> +inf (very robust spec, mismatch irrelevant).
+    """
+    if beta_wc < 0.0:
+        return 1.0 - 1.0 / (2.0 * (-beta_wc + 1.0))
+    return 1.0 / (2.0 * (beta_wc + 1.0))
+
+
+def mismatch_measure(s_wc: np.ndarray, beta_wc: float, k: int, l: int,
+                     candidate_indices: Optional[Sequence[int]] = None,
+                     delta1: float = DELTA1,
+                     delta2: float = DELTA2) -> float:
+    """The pairwise mismatch measure ``m_kl`` of Eq. 9.
+
+    ``candidate_indices`` restricts the normalization ``s_max`` to the
+    statistical parameters under analysis (the local/mismatch parameters);
+    by default all components are used, matching the paper's setting where
+    the analysis runs on a purely local statistical space.
+    """
+    s_wc = np.asarray(s_wc, dtype=float)
+    if k == l:
+        raise ReproError("mismatch measure needs two distinct parameters")
+    if candidate_indices is None:
+        candidate_indices = range(len(s_wc))
+    s_max = max(abs(float(s_wc[j])) for j in candidate_indices)
+    if s_max <= 0.0:
+        return 0.0
+    sk = float(s_wc[k])
+    sl = float(s_wc[l])
+    overall_max = float(np.max(np.abs(s_wc)))
+    if max(abs(sk), abs(sl)) < NOISE_FLOOR * overall_max:
+        return 0.0
+    if abs(sk) < COMPONENT_FLOOR * s_max and \
+            abs(sl) < COMPONENT_FLOOR * s_max:
+        return 0.0
+    if sl == 0.0:
+        angle = math.pi / 2.0
+    else:
+        angle = math.atan(sk / sl)
+    magnitude = max(abs(sk), abs(sl)) / s_max
+    return eta_weight(beta_wc) * magnitude * \
+        phi_window(angle, delta1, delta2)
+
+
+@dataclass(frozen=True)
+class PairMismatch:
+    """Ranked mismatch result for one parameter (transistor) pair."""
+
+    parameter_k: str
+    parameter_l: str
+    measure: float
+    spec_key: str
+
+    @property
+    def devices(self) -> Tuple[str, str]:
+        """Best-effort device names, assuming ``<kind>_<device>`` naming."""
+        def device_of(parameter: str) -> str:
+            return parameter.split("_", 1)[1] if "_" in parameter \
+                else parameter
+        return device_of(self.parameter_k), device_of(self.parameter_l)
+
+
+def rank_matching_pairs(
+    result: WorstCaseResult,
+    parameter_names: Sequence[str],
+    candidate_names: Optional[Sequence[str]] = None,
+    top: Optional[int] = None,
+    delta1: float = DELTA1,
+    delta2: float = DELTA2,
+) -> List[PairMismatch]:
+    """Rank all candidate parameter pairs by the Eq. 9 measure.
+
+    ``parameter_names`` names the components of ``result.s_wc``;
+    ``candidate_names`` restricts the analysis (typically to the local
+    threshold parameters).  Returns pairs sorted by decreasing measure,
+    optionally truncated to the ``top`` entries.
+    """
+    from ..spec.operating import spec_key
+    if not result.on_boundary:
+        # No worst-case point exists within the statistically relevant
+        # sphere — the spec boundary is unreachable under these (local)
+        # variations, so Definition 1 cannot apply and the clamped
+        # surrogate point carries no mismatch signature.
+        return []
+    if len(parameter_names) != len(result.s_wc):
+        raise ReproError(
+            f"got {len(parameter_names)} parameter names for a worst-case "
+            f"point of dimension {len(result.s_wc)}")
+    if candidate_names is None:
+        candidate_names = parameter_names
+    index_of = {name: i for i, name in enumerate(parameter_names)}
+    indices = []
+    for name in candidate_names:
+        if name not in index_of:
+            raise ReproError(f"unknown statistical parameter {name!r}")
+        indices.append(index_of[name])
+    pairs: List[PairMismatch] = []
+    for k, l in itertools.combinations(indices, 2):
+        measure = mismatch_measure(result.s_wc, result.beta_wc, k, l,
+                                   candidate_indices=indices,
+                                   delta1=delta1, delta2=delta2)
+        pairs.append(PairMismatch(parameter_names[k], parameter_names[l],
+                                  measure, spec_key(result.spec)))
+    pairs.sort(key=lambda p: p.measure, reverse=True)
+    return pairs[:top] if top is not None else pairs
+
+
+def analyze_mismatch(
+    worst_case_results: Mapping[str, WorstCaseResult],
+    parameter_names: Sequence[str],
+    candidate_names: Optional[Sequence[str]] = None,
+    threshold: float = 0.05,
+) -> Dict[str, List[PairMismatch]]:
+    """Full mismatch analysis over all specs (the Sec. 3 procedure).
+
+    Returns, per spec key, the pairs whose measure exceeds ``threshold``
+    (mismatch-sensitive pairs).  Specs with no qualifying pair map to an
+    empty list — those performances are not mismatch-sensitive.
+    """
+    report: Dict[str, List[PairMismatch]] = {}
+    for key, result in worst_case_results.items():
+        ranked = rank_matching_pairs(result, parameter_names,
+                                     candidate_names=candidate_names)
+        report[key] = [p for p in ranked if p.measure >= threshold]
+    return report

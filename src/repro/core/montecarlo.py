@@ -1,0 +1,107 @@
+"""Simulation-based operational Monte-Carlo yield (Sec. 2, Eq. 6-7).
+
+The reference yield estimate ``Y_tilde``: draw N statistical samples, and
+for each sample check every spec *at that spec's worst-case operating
+point*.  Specs sharing a worst-case corner share one simulation, which is
+the paper's remark that the true effort ``N*`` is usually well below
+``N * min(n_spec, 2^dim(Theta))``.
+
+This is the verifier the paper runs with N = 300 between optimizer
+iterations and at the end — it never drives the optimization itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..evaluation.evaluator import Evaluator
+from ..spec.operating import group_by_theta, spec_key
+from ..statistics.sampling import SampleSet
+
+
+@dataclass
+class MonteCarloResult:
+    """Operational Monte-Carlo outcome."""
+
+    yield_estimate: float
+    n_samples: int
+    #: per spec key, fraction of samples violating that spec
+    bad_fraction: Dict[str, float]
+    #: simulations actually run (after worst-case-corner grouping)
+    simulations: int
+    #: per spec key, sample mean of the performance at its worst-case
+    #: operating point (presentation units)
+    performance_mean: Dict[str, float] = field(default_factory=dict)
+    #: per spec key, sample standard deviation of the performance
+    performance_std: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def standard_error(self) -> float:
+        """Binomial standard error of the yield estimate."""
+        y = self.yield_estimate
+        return float(np.sqrt(max(y * (1.0 - y), 0.0) / self.n_samples))
+
+
+def operational_monte_carlo(
+    evaluator: Evaluator,
+    d: Mapping[str, float],
+    theta_per_spec: Mapping[str, Mapping[str, float]],
+    n_samples: int = 300,
+    seed: Optional[int] = 2001,
+    samples: Optional[SampleSet] = None,
+) -> MonteCarloResult:
+    """Estimate ``Y_tilde`` (Eq. 6-7) with real simulations.
+
+    ``theta_per_spec`` maps spec keys to their worst-case operating
+    points (from
+    :func:`repro.spec.find_worst_case_operating_points`).  Pass an explicit
+    ``samples`` set to reuse draws across designs (paired comparison).
+    """
+    template = evaluator.template
+    space = template.statistical_space
+    if samples is None:
+        samples = SampleSet.draw(n_samples, space.dim, seed=seed)
+    operating_range = template.operating_range
+    groups = group_by_theta(theta_per_spec, operating_range)
+    # Representative theta per group.
+    thetas: List[Tuple[Mapping[str, float], List[str]]] = []
+    for corner, keys in groups.items():
+        theta = dict(theta_per_spec[keys[0]])
+        thetas.append((theta, keys))
+
+    specs = {spec_key(spec): spec for spec in template.specs}
+    bad_counts: Dict[str, int] = {key: 0 for key in specs}
+    values_per_spec: Dict[str, List[float]] = {key: [] for key in specs}
+    pass_count = 0
+    simulations = 0
+    for j in range(samples.n):
+        s_hat = samples[j]
+        sample_ok = True
+        for theta, keys in thetas:
+            values = evaluator.evaluate(d, s_hat, theta)
+            simulations += 1
+            for key in keys:
+                spec = specs[key]
+                value = values[spec.performance]
+                values_per_spec[key].append(value)
+                if not spec.passes(value):
+                    bad_counts[key] += 1
+                    sample_ok = False
+        if sample_ok:
+            pass_count += 1
+    means = {key: float(np.mean(vals))
+             for key, vals in values_per_spec.items()}
+    stds = {key: float(np.std(vals, ddof=1)) if len(vals) > 1 else 0.0
+            for key, vals in values_per_spec.items()}
+    return MonteCarloResult(
+        yield_estimate=pass_count / samples.n,
+        n_samples=samples.n,
+        bad_fraction={key: count / samples.n
+                      for key, count in bad_counts.items()},
+        simulations=simulations,
+        performance_mean=means,
+        performance_std=stds,
+    )

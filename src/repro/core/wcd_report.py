@@ -1,0 +1,122 @@
+"""Worst-case-distance yield report.
+
+The companion estimate to the Monte-Carlo machinery: under the spec-wise
+linearization at the worst-case point, the partial yield of spec ``i`` is
+
+    Y_i = Phi(beta_wc_i)
+
+(the Gaussian CDF of the signed worst-case distance) — the classic result
+of the worst-case-distance methodology [Antreich/Graeb/Wieser 1994,
+ref. 10 of the paper].  The total yield obeys
+
+    1 - sum_i (1 - Y_i)  <=  Y  <=  min_i Y_i
+
+(union bound below, weakest-spec bound above).  This report turns a set of
+worst-case results into a per-spec *yield-loss budget*: which spec costs
+how much yield, before any sampling.
+
+For quadratic (mismatch-type) specs with a mirrored worst-case point the
+two-sided partial yield ``Phi(beta) - Phi(-beta) = 2 Phi(beta) - 1`` is
+used.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional
+
+from scipy.stats import norm
+
+from .worst_case import WorstCaseResult
+
+
+@dataclass(frozen=True)
+class SpecYield:
+    """Per-spec partial yield derived from the worst-case distance."""
+
+    key: str
+    beta_wc: float
+    partial_yield: float
+    two_sided: bool
+
+    @property
+    def loss(self) -> float:
+        """Yield loss attributable to this spec alone."""
+        return 1.0 - self.partial_yield
+
+
+@dataclass
+class WcdYieldReport:
+    """Yield-loss budget from worst-case distances (no sampling)."""
+
+    specs: List[SpecYield]
+
+    @property
+    def lower_bound(self) -> float:
+        """Union bound: ``max(0, 1 - sum of losses)``."""
+        return max(0.0, 1.0 - sum(s.loss for s in self.specs))
+
+    @property
+    def upper_bound(self) -> float:
+        """Weakest-spec bound: ``min_i Y_i``."""
+        return min(s.partial_yield for s in self.specs)
+
+    @property
+    def independent_estimate(self) -> float:
+        """Product estimate assuming independent spec failures."""
+        product = 1.0
+        for spec in self.specs:
+            product *= spec.partial_yield
+        return product
+
+    def dominant_loss(self) -> SpecYield:
+        """The spec costing the most yield."""
+        return max(self.specs, key=lambda s: s.loss)
+
+    def summary(self) -> str:
+        lines = [f"{'spec':>10} | {'beta_wc':>8} | {'partial Y':>9} | "
+                 f"{'loss':>8}"]
+        lines.append("-" * len(lines[0]))
+        for spec in sorted(self.specs, key=lambda s: s.partial_yield):
+            lines.append(
+                f"{spec.key:>10} | {spec.beta_wc:>+8.2f} | "
+                f"{spec.partial_yield * 100:>8.2f}% | "
+                f"{spec.loss * 100:>7.2f}%"
+                + ("  (two-sided)" if spec.two_sided else ""))
+        lines.append(
+            f"total yield in [{self.lower_bound * 100:.2f}%, "
+            f"{self.upper_bound * 100:.2f}%], independent estimate "
+            f"{self.independent_estimate * 100:.2f}%")
+        return "\n".join(lines)
+
+
+def partial_yield(beta_wc: float, two_sided: bool = False) -> float:
+    """``Phi(beta)`` (or ``2 Phi(beta) - 1`` for a two-sided spec)."""
+    if two_sided:
+        return max(0.0, 2.0 * float(norm.cdf(beta_wc)) - 1.0)
+    return float(norm.cdf(beta_wc))
+
+
+def wcd_yield_report(
+    worst_case: Mapping[str, WorstCaseResult],
+    two_sided_keys: Optional[set] = None,
+) -> WcdYieldReport:
+    """Build the yield-loss budget from a worst-case result set.
+
+    ``two_sided_keys`` marks specs whose acceptance region is a slab
+    between two parallel boundaries (the quadratic/mirror case of
+    Eq. 21-22); by default every spec is treated one-sided.
+    """
+    two_sided_keys = two_sided_keys or set()
+    specs = []
+    for key, result in worst_case.items():
+        two_sided = key in two_sided_keys
+        specs.append(SpecYield(
+            key=key,
+            beta_wc=result.beta_wc,
+            partial_yield=partial_yield(result.beta_wc, two_sided),
+            two_sided=two_sided))
+    if not specs:
+        raise ValueError("empty worst-case result set")
+    return WcdYieldReport(specs=specs)

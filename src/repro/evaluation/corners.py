@@ -1,0 +1,98 @@
+"""PVT corner analysis on circuit templates.
+
+A classic pre-statistical sanity check that complements the paper's
+Monte-Carlo view: evaluate every performance at the nominal statistical
+point and at one-at-a-time ``+-k sigma`` excursions of each *global*
+process parameter, across all operating-box corners, then report the
+worst value and the responsible corner per spec.
+
+This is what designers call "corners" (SS/FF/SF/FS plus temperature and
+supply); it costs ``(2 n_global + 1) * (2^dim(Theta) + 1)`` simulations
+and gives a quick, distribution-free robustness picture before the full
+yield machinery runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..spec.operating import spec_key
+from .evaluator import Evaluator
+
+
+@dataclass(frozen=True)
+class CornerObservation:
+    """One (process corner, operating point) evaluation of one spec."""
+
+    corner: str  # e.g. "gvtn+3.0", "typ"
+    theta: Mapping[str, float]
+    value: float
+    margin: float
+
+
+@dataclass
+class CornerReport:
+    """Worst-case corner view of a design."""
+
+    worst: Dict[str, CornerObservation]  # per spec key
+    observations: Dict[str, List[CornerObservation]]
+    simulations: int
+
+    def passes(self) -> bool:
+        """True when every spec holds at every evaluated corner."""
+        return all(obs.margin >= 0.0 for obs in self.worst.values())
+
+    def failing_specs(self) -> List[str]:
+        return sorted(key for key, obs in self.worst.items()
+                      if obs.margin < 0.0)
+
+    def summary(self) -> str:
+        """Human-readable corner table."""
+        lines = [f"{'spec':>10} | {'worst value':>12} | {'margin':>9} | "
+                 f"corner / theta"]
+        lines.append("-" * len(lines[0]))
+        for key, obs in sorted(self.worst.items()):
+            theta = ", ".join(f"{k}={v:g}" for k, v in obs.theta.items())
+            lines.append(f"{key:>10} | {obs.value:>12.3f} | "
+                         f"{obs.margin:>+9.3f} | {obs.corner} @ {theta}")
+        return "\n".join(lines)
+
+
+def corner_analysis(evaluator: Evaluator, d: Mapping[str, float],
+                    sigma_level: float = 3.0) -> CornerReport:
+    """Run the one-at-a-time global-corner sweep described above."""
+    template = evaluator.template
+    space = template.statistical_space
+    dim = space.dim
+
+    corners: List[Tuple[str, np.ndarray]] = [("typ", np.zeros(dim))]
+    for index in range(space.n_global):
+        name = space.names[index]
+        for sign in (+1.0, -1.0):
+            s_hat = np.zeros(dim)
+            s_hat[index] = sign * sigma_level
+            corners.append((f"{name}{sign * sigma_level:+g}", s_hat))
+
+    thetas = template.operating_range.corners() + \
+        [template.operating_range.nominal()]
+
+    observations: Dict[str, List[CornerObservation]] = {
+        spec_key(spec): [] for spec in template.specs}
+    simulations = 0
+    for corner_name, s_hat in corners:
+        for theta in thetas:
+            values = evaluator.evaluate(d, s_hat, theta)
+            simulations += 1
+            for spec in template.specs:
+                key = spec_key(spec)
+                value = values[spec.performance]
+                observations[key].append(CornerObservation(
+                    corner=corner_name, theta=dict(theta), value=value,
+                    margin=spec.margin(value)))
+    worst = {key: min(entries, key=lambda o: o.margin)
+             for key, entries in observations.items()}
+    return CornerReport(worst=worst, observations=observations,
+                        simulations=simulations)

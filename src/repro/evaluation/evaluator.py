@@ -1,0 +1,107 @@
+"""Counted, cached performance evaluator.
+
+Wraps a :class:`~repro.evaluation.template.CircuitTemplate` and
+
+* counts every underlying simulation (Table 7 of the paper reports these
+  counts; one "simulation" = one full testbench evaluation at a
+  ``(d, s, theta)`` point, as an industrial flow would count netlist runs),
+* memoizes results, so e.g. the repeated nominal-point evaluations of the
+  worst-case search and the verification Monte-Carlo do not re-simulate.
+
+All algorithmic modules accept an :class:`Evaluator` rather than a raw
+template, so simulation accounting is automatic and consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..spec.specification import Spec
+from .template import CircuitTemplate
+
+#: Significant digits used for cache keys.  Coarse enough to absorb float
+#: round-trip noise, fine enough never to collide for distinct FD steps.
+_KEY_DIGITS = 12
+
+
+def _round_sig(value: float) -> float:
+    return float(f"{value:.{_KEY_DIGITS}e}")
+
+
+class Evaluator:
+    """Counting/caching façade over a circuit template."""
+
+    def __init__(self, template: CircuitTemplate, cache: bool = True):
+        self.template = template
+        self.cache_enabled = cache
+        self._cache: Dict[Tuple, Dict[str, float]] = {}
+        #: number of performance simulations actually run (cache misses)
+        self.simulation_count = 0
+        #: number of evaluate() requests (including cache hits)
+        self.request_count = 0
+        #: number of constraint evaluations (DC-only simulations)
+        self.constraint_count = 0
+
+    # -- core ------------------------------------------------------------------
+    def _key(self, d: Mapping[str, float], s_hat: np.ndarray,
+             theta: Mapping[str, float]) -> Tuple:
+        dk = tuple(_round_sig(d[name]) for name in self.template.design_names)
+        sk = tuple(_round_sig(v) for v in np.asarray(s_hat, dtype=float))
+        tk = tuple(sorted((k, _round_sig(v)) for k, v in theta.items()))
+        return dk, sk, tk
+
+    def evaluate(self, d: Mapping[str, float], s_hat: np.ndarray,
+                 theta: Mapping[str, float]) -> Dict[str, float]:
+        """All performance values at ``(d, s_hat, theta)``."""
+        self.request_count += 1
+        if not self.cache_enabled:
+            self.simulation_count += 1
+            return self.template.evaluate(d, s_hat, theta)
+        key = self._key(d, s_hat, theta)
+        hit = self._cache.get(key)
+        if hit is not None:
+            return dict(hit)
+        result = self.template.evaluate(d, s_hat, theta)
+        self.simulation_count += 1
+        self._cache[key] = dict(result)
+        return result
+
+    def constraints(self, d: Mapping[str, float]) -> Dict[str, float]:
+        """Functional constraint values c(d) (>= 0 feasible)."""
+        self.constraint_count += 1
+        return self.template.constraints(d)
+
+    # -- conveniences -----------------------------------------------------------
+    def performance(self, name: str, d: Mapping[str, float],
+                    s_hat: np.ndarray,
+                    theta: Mapping[str, float]) -> float:
+        """One performance value."""
+        return self.evaluate(d, s_hat, theta)[name]
+
+    def margins(self, d: Mapping[str, float], s_hat: np.ndarray,
+                theta_per_spec: Mapping[str, Mapping[str, float]]
+                ) -> Dict[str, float]:
+        """Signed spec margins, each evaluated at its own worst-case
+        operating point (keyed by :func:`repro.spec.spec_key`)."""
+        from ..spec.operating import spec_key
+        result: Dict[str, float] = {}
+        for spec in self.template.specs:
+            key = spec_key(spec)
+            values = self.evaluate(d, s_hat, theta_per_spec[key])
+            result[key] = spec.margin(values[spec.performance])
+        return result
+
+    def reset_counters(self) -> None:
+        """Zero the simulation counters (cache is kept)."""
+        self.simulation_count = 0
+        self.request_count = 0
+        self.constraint_count = 0
+
+    def clear_cache(self) -> None:
+        self._cache.clear()
+
+    @property
+    def cache_size(self) -> int:
+        return len(self._cache)

@@ -1,0 +1,149 @@
+"""Opamp measurement testbench helpers.
+
+High-gain opamps cannot be operating-point-solved open loop — any offset
+rails the output.  The classic characterization trick (used by production
+analog decks, and here) closes the feedback path through a *huge inductor*
+and couples the small-signal drive through a *huge capacitor*:
+
+* at DC the inductor is a short -> unity-gain feedback biases the output
+  near the input common mode even under mismatch,
+* at every analysis frequency of interest the inductor is effectively open
+  and the capacitor a short -> the measured transfer is the open-loop gain.
+
+:class:`OpenLoopOpampBench` runs the standard measurement set on such a
+testbench: differential gain A0, transit frequency f_t, phase margin,
+common-mode gain / CMRR, supply power.  Templates build the netlist (core +
+bench elements) and delegate the extraction here.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..circuit.ac import AcSystem, phase_margin, unity_gain_frequency
+from ..circuit.dc import DCResult, solve_dc
+from ..circuit.devices import Vsource
+from ..circuit.netlist import Circuit
+from ..errors import ExtractionError
+from ..units import db
+
+#: Feedback inductor / coupling capacitor for the DC-closed, AC-open loop.
+FEEDBACK_INDUCTANCE = 1e9
+COUPLING_CAPACITANCE = 1.0
+
+#: Frequency at which "DC" gains are measured.  Low enough to sit on the
+#: gain plateau of any opamp in this package, high enough that the bench
+#: reactances are ideal.
+GAIN_MEASURE_HZ = 1.0
+
+
+def add_openloop_bench(circuit: Circuit, inp: str, inn: str, out: str,
+                       vcm: float) -> None:
+    """Attach the open-loop bench elements to an opamp core.
+
+    Drives ``inp`` from source ``VIP`` directly and ``inn`` from source
+    ``VIN`` through the coupling capacitor, and closes ``out -> inn`` with
+    the feedback inductor.  Both sources sit at the common-mode voltage
+    ``vcm`` at DC.
+    """
+    circuit.vsource("VIP", inp, "0", dc=vcm, ac=0.0)
+    circuit.vsource("VIN", "_vin_src", "0", dc=vcm, ac=0.0)
+    circuit.capacitor("CIN", "_vin_src", inn, COUPLING_CAPACITANCE)
+    circuit.inductor("LFB", out, inn, FEEDBACK_INDUCTANCE)
+
+
+@dataclass
+class OpampMeasurements:
+    """Extracted opamp performances (presentation units noted per field)."""
+
+    a0_db: float
+    ft_hz: float
+    pm_deg: float
+    cmrr_db: float
+    power_w: float
+    output_dc: float
+
+
+class OpenLoopOpampBench:
+    """Measurement driver for a circuit built with
+    :func:`add_openloop_bench`."""
+
+    def __init__(self, circuit: Circuit, out: str = "out",
+                 supply_source: str = "VDD", temp_c: float = 27.0):
+        self.circuit = circuit
+        self.out = out
+        self.supply_source = supply_source
+        self.temp_c = temp_c
+        self._op: Optional[DCResult] = None
+        self._systems: dict = {}
+
+    @property
+    def op(self) -> DCResult:
+        """The (lazily solved) DC operating point."""
+        if self._op is None:
+            self._op = solve_dc(self.circuit, temp_c=self.temp_c)
+        return self._op
+
+    def _system(self, ac_p: complex, ac_n: complex) -> AcSystem:
+        """Assembled AC system for one input drive (cached per drive)."""
+        key = (ac_p, ac_n)
+        system = self._systems.get(key)
+        if system is None:
+            vip = self.circuit.device("VIP")
+            vin = self.circuit.device("VIN")
+            assert isinstance(vip, Vsource) and isinstance(vin, Vsource)
+            vip.ac = ac_p
+            vin.ac = ac_n
+            system = AcSystem(self.circuit, self.op)
+            self._systems[key] = system
+        return system
+
+    def differential_gain(self, freq: float = GAIN_MEASURE_HZ) -> complex:
+        """Open-loop differential gain at ``freq`` (+0.5 / -0.5 drive)."""
+        return self._system(0.5, -0.5).transfer(self.out, freq)
+
+    def common_mode_gain(self, freq: float = GAIN_MEASURE_HZ) -> complex:
+        """Open-loop common-mode gain at ``freq`` (+1 / +1 drive)."""
+        return self._system(1.0, 1.0).transfer(self.out, freq)
+
+    def transit_frequency(self) -> float:
+        """Unity-gain frequency of the differential path [Hz]."""
+        return unity_gain_frequency(self._system(0.5, -0.5), self.out)
+
+    def phase_margin(self, ft_hz: Optional[float] = None) -> float:
+        """Phase margin of the differential path [degrees]."""
+        return phase_margin(self._system(0.5, -0.5), self.out,
+                            f_unity=ft_hz)
+
+    def supply_power(self, vdd: float) -> float:
+        """Static power drawn from the supply source [W]."""
+        current = self.op.source_current(self.supply_source)
+        return abs(current * vdd)
+
+    def measure(self, vdd: float, with_pm: bool = True,
+                cmrr_floor_db: float = 0.0) -> OpampMeasurements:
+        """Run the full measurement set.
+
+        ``cmrr_floor_db`` guards the pathological case of a dead circuit
+        whose differential gain is below its common-mode gain.
+        """
+        adm = abs(self.differential_gain())
+        acm = abs(self.common_mode_gain())
+        if adm <= 0.0:
+            raise ExtractionError("differential gain is zero; dead circuit?")
+        a0_db = db(adm)
+        cmrr_db = db(adm / acm) if acm > 0.0 else 200.0
+        cmrr_db = max(cmrr_db, cmrr_floor_db)
+        ft_hz = self.transit_frequency() if adm > 1.0 else 0.0
+        pm_deg = self.phase_margin(ft_hz) if (with_pm and ft_hz > 0.0) \
+            else 0.0
+        return OpampMeasurements(
+            a0_db=a0_db,
+            ft_hz=ft_hz,
+            pm_deg=pm_deg,
+            cmrr_db=cmrr_db,
+            power_w=self.supply_power(vdd),
+            output_dc=self.op.voltage(self.out),
+        )

@@ -1,0 +1,13 @@
+"""Process design kits (PDKs) for the reproduction.
+
+:class:`~repro.pdk.process.Process` describes a technology (nominal model
+cards + global/local statistics); :data:`~repro.pdk.generic035.GENERIC035`
+is the synthetic 0.35 um process used by the benchmark circuits in place of
+the paper's industrial process.
+"""
+
+from .generic035 import GENERIC035, NMOS, PMOS
+from .process import GlobalVariation, PelgromCoefficients, Process
+
+__all__ = ["GENERIC035", "NMOS", "PMOS", "GlobalVariation",
+           "PelgromCoefficients", "Process"]

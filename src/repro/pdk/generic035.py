@@ -1,0 +1,87 @@
+"""Synthetic 0.35 um CMOS process ("generic035").
+
+This stands in for the industrial fabrication process of the paper's
+Section 6 (see DESIGN.md).  All values are of textbook magnitude for a
+0.35 um, 3.3 V CMOS generation:
+
+* NMOS: VTO = 0.50 V, KP = 170 uA/V^2; PMOS: VTO = -0.65 V, KP = 58 uA/V^2,
+* channel-length modulation 0.06 / 0.14 per volt at L = 1 um,
+* global threshold sigma ~ 25-30 mV, gain-factor sigma ~ 4 %, with the
+  NMOS/PMOS gain factors positively correlated (common oxide thickness),
+* Pelgrom A_VT ~ 9.5 / 14 mV*um (ref. [1] of the paper reports 10-20 mV*um
+  for this era of processes).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..circuit.mos import MosModel
+from .process import GlobalVariation, PelgromCoefficients, Process
+
+NMOS = MosModel(
+    name="generic035_nmos",
+    polarity=1,
+    vto=0.50,
+    kp=170e-6,
+    lambda_=0.06,
+    gamma=0.58,
+    phi=0.7,
+    tox=7.6e-9,
+    cgso=1.2e-10,
+    cgdo=1.2e-10,
+    cj=9.0e-4,
+    tcv=1.5e-3,
+    bex=-1.5,
+)
+
+PMOS = MosModel(
+    name="generic035_pmos",
+    polarity=-1,
+    vto=-0.65,
+    kp=58e-6,
+    lambda_=0.14,
+    gamma=0.40,
+    phi=0.7,
+    tox=7.6e-9,
+    cgso=1.0e-10,
+    cgdo=1.0e-10,
+    cj=11.0e-4,
+    tcv=1.2e-3,
+    bex=-1.2,
+)
+
+_GLOBALS = (
+    GlobalVariation("gvtn", "vth_nmos", sigma=0.025),
+    GlobalVariation("gvtp", "vth_pmos", sigma=0.030),
+    GlobalVariation("gbetan", "beta_nmos", sigma=0.04),
+    GlobalVariation("gbetap", "beta_pmos", sigma=0.04),
+    GlobalVariation("gres", "res", sigma=0.08),
+)
+
+# NMOS/PMOS gain factors share the oxide, so they are positively
+# correlated; thresholds are treated as independent implants and the
+# poly sheet resistance as an independent back-end parameter.
+_CORRELATION = np.array([
+    [1.0, 0.0, 0.0, 0.0, 0.0],
+    [0.0, 1.0, 0.0, 0.0, 0.0],
+    [0.0, 0.0, 1.0, 0.6, 0.0],
+    [0.0, 0.0, 0.6, 1.0, 0.0],
+    [0.0, 0.0, 0.0, 0.0, 1.0],
+])
+
+GENERIC035 = Process(
+    name="generic035",
+    nmos=NMOS,
+    pmos=PMOS,
+    vdd_nominal=3.3,
+    temp_nominal=27.0,
+    global_variations=_GLOBALS,
+    global_correlation=_CORRELATION,
+    pelgrom=PelgromCoefficients(
+        avt_nmos=9.5e-9,
+        avt_pmos=14.0e-9,
+        abeta_nmos=1.0e-8,
+        abeta_pmos=1.2e-8,
+    ),
+)

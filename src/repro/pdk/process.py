@@ -1,0 +1,146 @@
+"""Process-kit container types.
+
+A :class:`Process` bundles everything the statistical machinery needs to
+know about a fabrication technology:
+
+* nominal NMOS/PMOS level-1 model cards,
+* supply/temperature nominals,
+* **global** variation: per-parameter standard deviations and a correlation
+  matrix (all global parameters act identically on every device of the
+  affected polarity),
+* **local** (mismatch) variation: Pelgrom coefficients, from which the
+  per-device standard deviations follow as ``sigma = A / sqrt(2 W L m)`` so
+  that the *difference* of a device pair has the textbook Pelgrom value
+  ``A / sqrt(W L)`` [Pelgrom 1989, ref. 1 of the paper].
+
+The paper used an unnamed industrial process; :mod:`repro.pdk.generic035`
+provides a synthetic 0.35 um CMOS process of realistic magnitude (see
+DESIGN.md, substitutions table).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from ..circuit.mos import MosModel
+from ..errors import ReproError
+
+
+@dataclass(frozen=True)
+class GlobalVariation:
+    """One global statistical parameter of the process.
+
+    ``target`` names what the parameter perturbs:
+
+    * ``"vth_nmos"`` / ``"vth_pmos"`` — additive threshold-magnitude shift
+      [V] on every device of that polarity,
+    * ``"beta_nmos"`` / ``"beta_pmos"`` — relative gain-factor variation
+      (the physical multiplier applied to ``kp`` is ``1 + value``),
+    * ``"res"`` — relative sheet-resistance variation applied to every
+      resistor (multiplier ``1 + value``); typically the largest global
+      spread in a CMOS process and the dominant source of bias-current
+      variation for supply-referred bias generators.
+
+    ``sigma`` is the physical standard deviation of the parameter.
+    """
+
+    name: str
+    target: str
+    sigma: float
+
+    _TARGETS = ("vth_nmos", "vth_pmos", "beta_nmos", "beta_pmos", "res")
+
+    def __post_init__(self):
+        if self.target not in self._TARGETS:
+            raise ReproError(f"unknown global-variation target "
+                             f"{self.target!r}; expected one of "
+                             f"{self._TARGETS}")
+        if self.sigma <= 0:
+            raise ReproError(f"global variation {self.name!r}: sigma must "
+                             f"be positive")
+
+
+@dataclass(frozen=True)
+class PelgromCoefficients:
+    """Area scaling constants of local (mismatch) variation.
+
+    ``avt`` in V*m (threshold), ``abeta`` in m (relative gain factor), per
+    polarity.  The *pair-difference* standard deviation of two identically
+    drawn devices of area ``W*L`` is ``avt / sqrt(W*L)``; individual devices
+    get ``avt / sqrt(2*W*L)`` each.
+    """
+
+    avt_nmos: float = 9.5e-9  # 9.5 mV*um
+    avt_pmos: float = 14.0e-9
+    abeta_nmos: float = 1.0e-8  # 1 %*um
+    abeta_pmos: float = 1.2e-8
+    #: Distance coefficient S_VT [V/m]: the second Pelgrom term
+    #: sigma^2(dVth_pair) = A_VT^2/(W L) + S_VT^2 D^2, realized as a
+    #: random die-level threshold gradient.  The paper neglects it
+    #: (Sec. 3, citing ref. [1]); it is available as an opt-in extension
+    #: via StatisticalSpace(with_gradient=True).  Typical magnitude for a
+    #: 0.35 um process: a few uV/um = a few V/m.
+    svt: float = 4.0
+
+    def sigma_vth(self, polarity: int, w: float, l: float, m: int = 1
+                  ) -> float:
+        """Per-device local threshold sigma [V] for area ``w*l*m``."""
+        avt = self.avt_nmos if polarity > 0 else self.avt_pmos
+        return avt / math.sqrt(2.0 * w * l * m)
+
+    def sigma_beta(self, polarity: int, w: float, l: float, m: int = 1
+                   ) -> float:
+        """Per-device relative gain-factor sigma for area ``w*l*m``."""
+        abeta = self.abeta_nmos if polarity > 0 else self.abeta_pmos
+        return abeta / math.sqrt(2.0 * w * l * m)
+
+
+@dataclass(frozen=True)
+class Process:
+    """A fabrication process: nominal models plus statistical description."""
+
+    name: str
+    nmos: MosModel
+    pmos: MosModel
+    vdd_nominal: float
+    temp_nominal: float
+    global_variations: Tuple[GlobalVariation, ...]
+    global_correlation: np.ndarray
+    pelgrom: PelgromCoefficients = field(default_factory=PelgromCoefficients)
+
+    def __post_init__(self):
+        n = len(self.global_variations)
+        corr = np.asarray(self.global_correlation, dtype=float)
+        if corr.shape != (n, n):
+            raise ReproError(
+                f"process {self.name!r}: correlation matrix shape "
+                f"{corr.shape} does not match {n} global variations")
+        if not np.allclose(corr, corr.T):
+            raise ReproError(
+                f"process {self.name!r}: correlation matrix not symmetric")
+        if not np.allclose(np.diag(corr), 1.0):
+            raise ReproError(
+                f"process {self.name!r}: correlation diagonal must be 1")
+        eigenvalues = np.linalg.eigvalsh(corr)
+        if np.min(eigenvalues) < -1e-12:
+            raise ReproError(
+                f"process {self.name!r}: correlation matrix not positive "
+                f"semidefinite (min eigenvalue {np.min(eigenvalues):.3g})")
+        object.__setattr__(self, "global_correlation", corr)
+
+    @property
+    def global_names(self) -> Tuple[str, ...]:
+        return tuple(gv.name for gv in self.global_variations)
+
+    def global_covariance(self) -> np.ndarray:
+        """Physical covariance matrix of the global parameters."""
+        sigmas = np.array([gv.sigma for gv in self.global_variations])
+        return self.global_correlation * np.outer(sigmas, sigmas)
+
+    def model(self, polarity: int) -> MosModel:
+        """Nominal model card for the given polarity (+1 NMOS, -1 PMOS)."""
+        return self.nmos if polarity > 0 else self.pmos

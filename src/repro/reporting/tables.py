@@ -1,0 +1,133 @@
+"""ASCII renderings of the paper's result tables.
+
+These formatters turn :class:`~repro.core.optimizer.OptimizationResult`
+traces and mismatch rankings into the exact row structure of the paper's
+Tables 1-7, so the benchmark harness can print "paper vs. measured"
+side by side.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.mismatch import PairMismatch
+from ..core.optimizer import IterationRecord, OptimizationResult
+from ..evaluation.template import CircuitTemplate
+from ..spec.operating import spec_key
+
+
+def _format_row(label: str, cells: Sequence[str], widths: Sequence[int]
+                ) -> str:
+    parts = [f"{label:<18}"]
+    parts.extend(f"{cell:>{width}}" for cell, width in zip(cells, widths))
+    return " | ".join(parts)
+
+
+def _iteration_label(index: int) -> str:
+    if index == 0:
+        return "Initial"
+    suffix = {1: "st", 2: "nd", 3: "rd"}.get(index if index < 20
+                                             else index % 10, "th")
+    return f"{index}{suffix} Iter."
+
+
+def optimization_trace_table(template: CircuitTemplate,
+                             result: OptimizationResult,
+                             records: Optional[Sequence[IterationRecord]]
+                             = None) -> str:
+    """Render an optimization trace in the layout of Tables 1/3/4/6.
+
+    Per iteration block: the ``f - f_b`` margins (presentation units), the
+    per-mille bad-sample counts in the linearized models, and the
+    simulation-based yield ``Y_tilde``.
+    """
+    if records is None:
+        records = result.records
+    specs = template.specs
+    keys = [spec_key(spec) for spec in specs]
+    header_cells = [f"{spec.performance}" for spec in specs]
+    bound_cells = [f"{spec.kind}{spec.bound:g}" for spec in specs]
+    widths = [max(len(h), len(b), 9) for h, b in zip(header_cells,
+                                                     bound_cells)]
+    lines: List[str] = []
+    lines.append(_format_row("Performance", header_cells, widths))
+    lines.append(_format_row("Specification", bound_cells, widths))
+    lines.append("-" * len(lines[0]))
+    for record in records:
+        label = _iteration_label(record.index)
+        margin_cells = [f"{record.margins[key]:.2f}" for key in keys]
+        bad_cells = [f"{record.bad_samples.get(key, 0.0) * 1000:.1f}"
+                     for key in keys]
+        lines.append(_format_row(f"{label} f-fb", margin_cells, widths))
+        lines.append(_format_row("  bad samples [permille]", bad_cells,
+                                 widths))
+        if record.yield_mc is not None:
+            lines.append(f"  Y_tilde = {record.yield_mc * 100:.1f}%")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def improvement_table(template: CircuitTemplate,
+                      before: IterationRecord,
+                      after: IterationRecord) -> str:
+    """Render the Table 2 layout: relative mean-margin improvement and
+    relative sigma change per performance between two iterations.
+
+    ``delta_mu / (mu - f_b)`` > 0 means the mean moved away from the spec
+    bound; ``delta_sigma / sigma`` < 0 means the spread shrank.  Requires
+    both records to carry verification Monte-Carlo statistics.
+    """
+    if before.mc is None or after.mc is None:
+        raise ValueError("improvement table needs verified records")
+    lines = [f"{'Performance':<14} | {'dMu/(Mu-fb)':>12} | "
+             f"{'dSigma/Sigma':>12}"]
+    lines.append("-" * len(lines[0]))
+    for spec in template.specs:
+        key = spec_key(spec)
+        mu0 = before.mc.performance_mean[key]
+        mu1 = after.mc.performance_mean[key]
+        s0 = before.mc.performance_std[key]
+        s1 = after.mc.performance_std[key]
+        margin0 = spec.sign * (mu0 - spec.bound)
+        dmu = spec.sign * (mu1 - mu0)
+        rel_mu = dmu / abs(margin0) if margin0 != 0 else float("inf")
+        rel_sigma = (s1 - s0) / s0 if s0 > 0 else 0.0
+        lines.append(f"{spec.performance:<14} | {rel_mu * 100:>+11.1f}% | "
+                     f"{rel_sigma * 100:>+11.1f}%")
+    return "\n".join(lines)
+
+
+def mismatch_table(pairs: Sequence[PairMismatch], top: int = 3) -> str:
+    """Render the Table 5 layout: the top mismatch pairs and measures."""
+    chosen = list(pairs)[:top]
+    labels = []
+    for i, pair in enumerate(chosen, start=1):
+        da, db = pair.devices
+        labels.append(f"P{i}=({da},{db})")
+    lines = ["Pair     | " + " | ".join(f"{label:>16}"
+                                        for label in labels)]
+    lines.append("m_kl     | " + " | ".join(f"{pair.measure:>16.2f}"
+                                            for pair in chosen))
+    return "\n".join(lines)
+
+
+def effort_table(rows: Sequence[Tuple[str, int, float]]) -> str:
+    """Render the Table 7 layout: circuit, #simulations, wall-clock time."""
+    lines = [f"{'Circuit':<16} | {'# Simulations':>14} | "
+             f"{'Wall Clock Time':>16}"]
+    lines.append("-" * len(lines[0]))
+    for name, simulations, seconds in rows:
+        if seconds >= 90:
+            time_text = f"{seconds / 60:.1f} min"
+        else:
+            time_text = f"{seconds:.1f} s"
+        lines.append(f"{name:<16} | {simulations:>14} | {time_text:>16}")
+    return "\n".join(lines)
+
+
+def side_by_side(paper: str, measured: str, title: str) -> str:
+    """Join a paper excerpt and our measured table under one banner."""
+    bar = "=" * 72
+    return (f"{bar}\n{title}\n{bar}\n"
+            f"--- paper ---\n{paper.rstrip()}\n\n"
+            f"--- this reproduction ---\n{measured.rstrip()}\n")

@@ -1,0 +1,11 @@
+"""Specifications and operating ranges (Sec. 2 of the paper)."""
+
+from .operating import (OperatingParameter, OperatingRange,
+                        find_worst_case_operating_points, group_by_theta,
+                        spec_key)
+from .specification import (KINDS, Performance, Spec,
+                            check_unique_performances)
+
+__all__ = ["KINDS", "OperatingParameter", "OperatingRange", "Performance",
+           "Spec", "check_unique_performances",
+           "find_worst_case_operating_points", "group_by_theta", "spec_key"]

@@ -1,0 +1,96 @@
+"""Performance and specification declarations.
+
+A *performance* is a named circuit quantity (DC gain, transit frequency,
+...) in presentation units (dB, MHz, ...).  A *specification* bounds one
+performance from below (``>=``) or above (``<=``).
+
+The paper writes every spec as ``f >= f_b`` (Sec. 2); upper bounds are
+handled by the *normalized* view ``g = -f >= -f_b``, so all algorithmic
+code (worst-case search, linearization, yield estimation) only ever sees
+lower bounds.  :meth:`Spec.normalize` performs that mapping and
+:meth:`Spec.margin` gives the signed pass margin in presentation units
+(positive = satisfied), which is what the paper's tables print in their
+``f - f_b`` rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..errors import SpecificationError
+
+#: Valid comparison kinds.
+KINDS = (">=", "<=")
+
+
+@dataclass(frozen=True)
+class Performance:
+    """A named circuit performance in presentation units."""
+
+    name: str
+    unit: str = ""
+    description: str = ""
+
+
+@dataclass(frozen=True)
+class Spec:
+    """One specification: ``performance >= bound`` or ``<= bound``."""
+
+    performance: str
+    kind: str
+    bound: float
+
+    def __post_init__(self):
+        if self.kind not in KINDS:
+            raise SpecificationError(
+                f"spec on {self.performance!r}: kind must be '>=' or '<=', "
+                f"got {self.kind!r}")
+
+    @property
+    def sign(self) -> float:
+        """+1 for lower bounds, -1 for upper bounds."""
+        return 1.0 if self.kind == ">=" else -1.0
+
+    def margin(self, value: float) -> float:
+        """Signed margin in presentation units; positive = spec satisfied.
+
+        This is the quantity the paper tabulates as ``f^(i) - f_b^(i)``
+        (for upper bounds the tables print ``f_b - f``, which this returns).
+        """
+        return self.sign * (value - self.bound)
+
+    def passes(self, value: float) -> bool:
+        """True if ``value`` satisfies the spec."""
+        return self.margin(value) >= 0.0
+
+    def normalize(self, value: float) -> float:
+        """Map to the internal lower-bound convention ``g >= g_b``."""
+        return self.sign * value
+
+    @property
+    def normalized_bound(self) -> float:
+        """The bound in the internal lower-bound convention."""
+        return self.sign * self.bound
+
+    def denormalize(self, g_value: float) -> float:
+        """Inverse of :meth:`normalize`."""
+        return self.sign * g_value
+
+    def __str__(self) -> str:
+        return f"{self.performance} {self.kind} {self.bound:g}"
+
+
+def check_unique_performances(specs: Tuple[Spec, ...]) -> None:
+    """Raise if two specs bound the same performance in the same direction.
+
+    One performance may legitimately carry both a lower and an upper bound;
+    duplicate identical-direction bounds indicate a setup error.
+    """
+    seen = set()
+    for spec in specs:
+        key = (spec.performance, spec.kind)
+        if key in seen:
+            raise SpecificationError(
+                f"duplicate specification {spec.performance} {spec.kind}")
+        seen.add(key)

@@ -1,0 +1,18 @@
+"""Statistical modeling: distributions, mismatch, and the Sec. 4 transform.
+
+* :mod:`repro.statistics.distributions` — normal / log-normal / uniform
+  with exact transforms to the standard normal (Sec. 2),
+* :mod:`repro.statistics.space` — the joint global+local parameter space
+  with design-dependent covariance ``C(d)`` and the ``G(d)`` normalization
+  of Eq. 11-12,
+* :mod:`repro.statistics.sampling` — seeded, reusable Monte-Carlo sample
+  sets in normalized coordinates.
+"""
+
+from .distributions import LogNormal, Normal, Uniform
+from .sampling import SampleSet
+from .space import (DeviceGeometry, LocalVariation, PhysicalVariations,
+                    StatisticalSpace)
+
+__all__ = ["DeviceGeometry", "LocalVariation", "LogNormal", "Normal",
+           "PhysicalVariations", "SampleSet", "StatisticalSpace", "Uniform"]

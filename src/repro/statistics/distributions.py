@@ -1,0 +1,102 @@
+"""Scalar distributions and their transform to the standard normal.
+
+Section 2 of the paper notes that the commonly used normal, log-normal and
+uniform parameter distributions "can be transformed into a normal
+(Gaussian) distribution", so the rest of the algorithm only handles
+``N(0, I)``.  These classes implement that transform explicitly via the
+probability-integral mapping: ``to_normal`` sends a sample of the
+distribution to an equivalent standard-normal quantile, ``from_normal``
+is its inverse, and ``from_normal(z) with z ~ N(0,1)`` reproduces the
+original distribution.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from scipy.special import erf, erfinv
+
+from ..errors import ReproError
+
+_SQRT2 = math.sqrt(2.0)
+
+
+def _std_normal_cdf(z: float) -> float:
+    return 0.5 * (1.0 + erf(z / _SQRT2))
+
+
+def _std_normal_quantile(p: float) -> float:
+    if not 0.0 < p < 1.0:
+        raise ReproError(f"quantile argument must be in (0, 1), got {p}")
+    return _SQRT2 * float(erfinv(2.0 * p - 1.0))
+
+
+@dataclass(frozen=True)
+class Normal:
+    """Gaussian distribution ``N(mean, sigma^2)``."""
+
+    mean: float = 0.0
+    sigma: float = 1.0
+
+    def __post_init__(self):
+        if self.sigma <= 0:
+            raise ReproError("Normal: sigma must be positive")
+
+    def from_normal(self, z: float) -> float:
+        """Map a standard-normal quantile to a sample of this distribution."""
+        return self.mean + self.sigma * z
+
+    def to_normal(self, x: float) -> float:
+        """Map a sample of this distribution to its standard-normal quantile."""
+        return (x - self.mean) / self.sigma
+
+
+@dataclass(frozen=True)
+class LogNormal:
+    """Log-normal distribution: ``exp(N(mu, sigma^2))``."""
+
+    mu: float = 0.0
+    sigma: float = 1.0
+
+    def __post_init__(self):
+        if self.sigma <= 0:
+            raise ReproError("LogNormal: sigma must be positive")
+
+    def from_normal(self, z: float) -> float:
+        return math.exp(self.mu + self.sigma * z)
+
+    def to_normal(self, x: float) -> float:
+        if x <= 0:
+            raise ReproError(f"LogNormal samples are positive, got {x}")
+        return (math.log(x) - self.mu) / self.sigma
+
+
+@dataclass(frozen=True)
+class Uniform:
+    """Uniform distribution on ``[low, high]``.
+
+    The transform clips an epsilon away from the interval ends so that
+    boundary samples map to finite (if large) normal quantiles.
+    """
+
+    low: float
+    high: float
+
+    _EDGE = 1e-12
+
+    def __post_init__(self):
+        if self.high <= self.low:
+            raise ReproError("Uniform: high must exceed low")
+
+    def from_normal(self, z: float) -> float:
+        p = _std_normal_cdf(z)
+        return self.low + (self.high - self.low) * p
+
+    def to_normal(self, x: float) -> float:
+        if not self.low <= x <= self.high:
+            raise ReproError(
+                f"Uniform sample {x} outside [{self.low}, {self.high}]")
+        p = (x - self.low) / (self.high - self.low)
+        p = min(max(p, self._EDGE), 1.0 - self._EDGE)
+        return _std_normal_quantile(p)

@@ -1,0 +1,59 @@
+"""Seeded Monte-Carlo sampling in normalized statistical coordinates.
+
+Everything downstream of the Sec. 4 transform works on ``s_hat ~ N(0, I)``,
+so sampling is simply a matrix of standard-normal draws.  A dedicated class
+keeps the sample set explicit: the paper evaluates the *same* N samples on
+the linearized models throughout one optimization pass (Eq. 17), so samples
+must be drawn once and reused, not regenerated per yield query.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ReproError
+
+
+class SampleSet:
+    """An immutable matrix of ``n`` standard-normal samples of dimension
+    ``dim`` (one sample per row)."""
+
+    def __init__(self, samples: np.ndarray):
+        samples = np.asarray(samples, dtype=float)
+        if samples.ndim != 2:
+            raise ReproError("samples must be a 2-D array (n, dim)")
+        self._samples = samples
+        self._samples.setflags(write=False)
+
+    @classmethod
+    def draw(cls, n: int, dim: int, seed: Optional[int] = None
+             ) -> "SampleSet":
+        """Draw ``n`` i.i.d. ``N(0, I_dim)`` samples with a fixed seed."""
+        if n <= 0 or dim <= 0:
+            raise ReproError(f"invalid sample-set shape ({n}, {dim})")
+        rng = np.random.default_rng(seed)
+        return cls(rng.standard_normal((n, dim)))
+
+    @property
+    def n(self) -> int:
+        return self._samples.shape[0]
+
+    @property
+    def dim(self) -> int:
+        return self._samples.shape[1]
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The (n, dim) sample matrix (read-only view)."""
+        return self._samples
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __getitem__(self, index: int) -> np.ndarray:
+        return self._samples[index]
+
+    def __iter__(self):
+        return iter(self._samples)

@@ -1,0 +1,103 @@
+"""Engineering-unit helpers shared across the package.
+
+The circuit world mixes linear quantities (volts, amperes) with logarithmic
+ones (dB) and SI-suffixed magnitudes (``10u``, ``2.2k``, ``1meg``).  This
+module centralizes those conversions so every subsystem formats and parses
+them identically.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .errors import ReproError
+
+#: Celsius offset used by the device temperature models.
+KELVIN_OFFSET = 273.15
+
+#: SPICE magnitude suffixes, longest first so ``meg`` wins over ``m``.
+_SI_SUFFIXES = [
+    ("meg", 1e6),
+    ("mil", 25.4e-6),
+    ("t", 1e12),
+    ("g", 1e9),
+    ("k", 1e3),
+    ("m", 1e-3),
+    ("u", 1e-6),
+    ("n", 1e-9),
+    ("p", 1e-12),
+    ("f", 1e-15),
+    ("a", 1e-18),
+]
+
+
+def db(magnitude: float) -> float:
+    """Convert a linear voltage ratio to decibels (20*log10).
+
+    Raises :class:`ReproError` for non-positive magnitudes, which indicate an
+    upstream extraction bug rather than a legitimate gain.
+    """
+    if magnitude <= 0.0:
+        raise ReproError(f"cannot express non-positive magnitude {magnitude!r} in dB")
+    return 20.0 * math.log10(magnitude)
+
+
+def from_db(value_db: float) -> float:
+    """Convert decibels back to a linear voltage ratio."""
+    return 10.0 ** (value_db / 20.0)
+
+
+def celsius_to_kelvin(temp_c: float) -> float:
+    """Convert a Celsius temperature to Kelvin."""
+    return temp_c + KELVIN_OFFSET
+
+
+def parse_value(text: str) -> float:
+    """Parse a SPICE-style magnitude such as ``"4.7k"``, ``"10u"`` or ``"1meg"``.
+
+    Trailing unit letters after the suffix are tolerated (``"10uF"``), as in
+    SPICE.  Plain Python floats (``"1e-6"``) parse unchanged.
+    """
+    token = text.strip().lower()
+    if not token:
+        raise ReproError("empty value string")
+    # Fast path: plain number.
+    try:
+        return float(token)
+    except ValueError:
+        pass
+    # Find the longest numeric prefix.
+    split = len(token)
+    while split > 0:
+        try:
+            number = float(token[:split])
+            break
+        except ValueError:
+            split -= 1
+    else:
+        raise ReproError(f"cannot parse value {text!r}")
+    rest = token[split:]
+    for suffix, scale in _SI_SUFFIXES:
+        if rest.startswith(suffix):
+            return number * scale
+    # No recognized suffix: unit letters only (e.g. "3v") are allowed.
+    if rest.isalpha():
+        return number
+    raise ReproError(f"cannot parse value {text!r}")
+
+
+def format_si(value: float, unit: str = "", digits: int = 4) -> str:
+    """Format ``value`` with an SI prefix, e.g. ``format_si(4.7e3, "Ohm")``
+    returns ``"4.7 kOhm"``.  Zero and non-finite values format plainly."""
+    if value == 0.0 or not math.isfinite(value):
+        return f"{value:g} {unit}".rstrip()
+    prefixes = [
+        (1e12, "T"), (1e9, "G"), (1e6, "M"), (1e3, "k"), (1.0, ""),
+        (1e-3, "m"), (1e-6, "u"), (1e-9, "n"), (1e-12, "p"), (1e-15, "f"),
+    ]
+    magnitude = abs(value)
+    for scale, prefix in prefixes:
+        if magnitude >= scale:
+            return f"{value / scale:.{digits}g} {prefix}{unit}".rstrip()
+    scale, prefix = prefixes[-1]
+    return f"{value / scale:.{digits}g} {prefix}{unit}".rstrip()

@@ -1,0 +1,163 @@
+"""Unit tests for the AC analysis engine (repro.circuit.ac)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuit import Circuit, solve_dc, solve_ac, transfer_at
+from repro.circuit.ac import (AcSystem, log_sweep, phase_margin,
+                              unity_gain_frequency)
+from repro.errors import ExtractionError
+from repro.pdk.generic035 import NMOS
+
+
+def rc_lowpass(r=1e3, c=1e-6):
+    ckt = Circuit("rc")
+    ckt.vsource("V1", "in", "0", dc=0.0, ac=1.0)
+    ckt.resistor("R1", "in", "out", r)
+    ckt.capacitor("C1", "out", "0", c)
+    return ckt, 1.0 / (2 * math.pi * r * c)
+
+
+class TestFirstOrder:
+    def test_pole_magnitude_and_phase(self):
+        ckt, fc = rc_lowpass()
+        op = solve_dc(ckt)
+        h = transfer_at(ckt, op, "out", fc)
+        assert abs(h) == pytest.approx(1 / math.sqrt(2), rel=1e-3)
+        assert math.degrees(math.atan2(h.imag, h.real)) == \
+            pytest.approx(-45.0, abs=0.1)
+
+    def test_asymptotic_rolloff(self):
+        ckt, fc = rc_lowpass()
+        op = solve_dc(ckt)
+        h1 = abs(transfer_at(ckt, op, "out", 100 * fc))
+        h2 = abs(transfer_at(ckt, op, "out", 1000 * fc))
+        assert h1 / h2 == pytest.approx(10.0, rel=1e-2)
+
+    def test_inductor_highpass(self):
+        ckt = Circuit("rl")
+        ckt.vsource("V1", "in", "0", ac=1.0)
+        ckt.resistor("R1", "in", "out", 1e3)
+        ckt.inductor("L1", "out", "0", 1e-3)
+        op = solve_dc(ckt)
+        fc = 1e3 / (2 * math.pi * 1e-3)
+        h = transfer_at(ckt, op, "out", fc)
+        assert abs(h) == pytest.approx(1 / math.sqrt(2), rel=1e-3)
+
+    def test_rlc_resonance(self):
+        ckt = Circuit("rlc")
+        ckt.vsource("V1", "in", "0", ac=1.0)
+        ckt.resistor("R1", "in", "out", 100.0)
+        ckt.inductor("L1", "out", "mid", 1e-3)
+        ckt.capacitor("C1", "mid", "0", 1e-9)
+        op = solve_dc(ckt)
+        f0 = 1.0 / (2 * math.pi * math.sqrt(1e-3 * 1e-9))
+        # At resonance the series LC from "out" to ground is a short, so
+        # the output is pulled to (nearly) zero through the divider.
+        h_res = abs(transfer_at(ckt, op, "out", f0))
+        h_low = abs(transfer_at(ckt, op, "out", f0 / 100))
+        assert h_res < 1e-3
+        assert h_low == pytest.approx(1.0, rel=1e-2)
+
+
+class TestAcSystem:
+    def test_matches_one_shot_api(self):
+        ckt, fc = rc_lowpass()
+        op = solve_dc(ckt)
+        system = AcSystem(ckt, op)
+        for freq in (0.1 * fc, fc, 10 * fc):
+            assert system.transfer("out", freq) == \
+                pytest.approx(transfer_at(ckt, op, "out", freq), rel=1e-12)
+
+    def test_solve_ac_grid(self):
+        ckt, fc = rc_lowpass()
+        op = solve_dc(ckt)
+        freqs = log_sweep(fc / 100, fc * 100, 5)
+        result = solve_ac(ckt, op, freqs)
+        mags = np.abs(result.voltage("out"))
+        assert mags[0] == pytest.approx(1.0, rel=1e-3)
+        assert np.all(np.diff(mags) < 0)  # monotone lowpass
+
+    def test_ground_node_is_zero(self):
+        ckt, _ = rc_lowpass()
+        op = solve_dc(ckt)
+        result = solve_ac(ckt, op, [1.0, 10.0])
+        assert np.all(result.voltage("0") == 0)
+
+    def test_unknown_node_raises(self):
+        ckt, _ = rc_lowpass()
+        op = solve_dc(ckt)
+        result = solve_ac(ckt, op, [1.0])
+        with pytest.raises(KeyError):
+            result.voltage("ghost")
+
+
+class TestSweepHelpers:
+    def test_log_sweep_endpoints(self):
+        grid = log_sweep(1.0, 1e6, 10)
+        assert grid[0] == pytest.approx(1.0)
+        assert grid[-1] == pytest.approx(1e6)
+        assert len(grid) == 61
+
+    def test_log_sweep_rejects_bad_range(self):
+        with pytest.raises(ExtractionError):
+            log_sweep(0.0, 10.0)
+        with pytest.raises(ExtractionError):
+            log_sweep(10.0, 1.0)
+
+
+class TestUnityGainAndPhase:
+    def _integrator(self, gm=1e-3, c=1e-9):
+        """VCCS integrator: H(s) = gm/(sC) -> f_t = gm/(2 pi C), PM = 90."""
+        ckt = Circuit("integrator")
+        ckt.vsource("V1", "in", "0", ac=1.0)
+        ckt.vccs("G1", "0", "out", "in", "0", gm=gm)
+        ckt.capacitor("C1", "out", "0", c)
+        ckt.resistor("R1", "out", "0", 1e9)  # DC path
+        return ckt, gm / (2 * math.pi * c)
+
+    def test_unity_gain_frequency_of_integrator(self):
+        ckt, ft_expected = self._integrator()
+        op = solve_dc(ckt)
+        system = AcSystem(ckt, op)
+        ft = unity_gain_frequency(system, "out")
+        assert ft == pytest.approx(ft_expected, rel=1e-3)
+
+    def test_phase_margin_of_single_pole(self):
+        ckt, _ = self._integrator()
+        op = solve_dc(ckt)
+        system = AcSystem(ckt, op)
+        assert phase_margin(system, "out") == pytest.approx(90.0, abs=1.0)
+
+    def test_two_pole_phase_margin_is_lower(self):
+        ckt, _ = self._integrator()
+        # Add a second pole a decade above f_t via an RC stage... simplest:
+        # larger series R into a second cap node measured at "out2".
+        ckt.resistor("R2", "out", "out2", 1e3)
+        ckt.capacitor("C2", "out2", "0", 1e-9)
+        op = solve_dc(ckt)
+        system = AcSystem(ckt, op)
+        pm_two_pole = phase_margin(system, "out2")
+        pm_one_pole = phase_margin(system, "out")
+        assert pm_two_pole < pm_one_pole
+
+    def test_no_crossing_raises(self):
+        ckt, _ = rc_lowpass()  # gain never exceeds 1
+        op = solve_dc(ckt)
+        system = AcSystem(ckt, op)
+        with pytest.raises(ExtractionError):
+            unity_gain_frequency(system, "out")
+
+    def test_mos_common_source_gain_matches_op(self):
+        ckt = Circuit("cs")
+        ckt.vsource("VDD", "vdd", "0", dc=3.3)
+        ckt.vsource("VG", "g", "0", dc=0.9, ac=1.0)
+        ckt.resistor("RD", "vdd", "d", 10e3)
+        ckt.mosfet("M1", "d", "g", "0", "0", NMOS, w=10e-6, l=1e-6)
+        op = solve_dc(ckt)
+        gain = abs(transfer_at(ckt, op, "d", 1.0))
+        dev = op.op("M1")
+        expected = dev["gm"] / (1e-4 + dev["gds"])
+        assert gain == pytest.approx(expected, rel=1e-6)

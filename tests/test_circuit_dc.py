@@ -1,0 +1,169 @@
+"""Unit tests for the DC operating-point solver (repro.circuit.dc)."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import Circuit, solve_dc
+from repro.errors import ConvergenceError, SingularMatrixError
+from repro.pdk.generic035 import NMOS, PMOS
+
+
+def divider(ratio_top=1e3, ratio_bottom=1e3, vin=2.0):
+    c = Circuit("divider")
+    c.vsource("V1", "in", "0", dc=vin)
+    c.resistor("R1", "in", "out", ratio_top)
+    c.resistor("R2", "out", "0", ratio_bottom)
+    return c
+
+
+class TestLinearCircuits:
+    def test_resistive_divider(self):
+        result = solve_dc(divider())
+        assert result.voltage("out") == pytest.approx(1.0, abs=1e-6)
+
+    def test_source_current_direction(self):
+        result = solve_dc(divider())
+        # 2 V over 2 kOhm: 1 mA flows out of the source's + terminal.
+        assert result.source_current("V1") == pytest.approx(-1e-3, rel=1e-6)
+
+    def test_current_source_into_resistor(self):
+        c = Circuit("isrc")
+        c.isource("I1", "0", "n1", dc=1e-3)  # pushes current into n1
+        c.resistor("R1", "n1", "0", 1e3)
+        result = solve_dc(c)
+        assert result.voltage("n1") == pytest.approx(1.0, rel=1e-6)
+
+    def test_vcvs_gain(self):
+        c = Circuit("vcvs")
+        c.vsource("V1", "a", "0", dc=0.5)
+        c.resistor("RL", "b", "0", 1e3)
+        c.vcvs("E1", "b", "0", "a", "0", gain=4.0)
+        result = solve_dc(c)
+        assert result.voltage("b") == pytest.approx(2.0, rel=1e-9)
+
+    def test_vccs_transconductance(self):
+        c = Circuit("vccs")
+        c.vsource("V1", "a", "0", dc=1.0)
+        c.resistor("RL", "b", "0", 2e3)
+        c.vccs("G1", "0", "b", "a", "0", gm=1e-3)  # pushes 1 mA into b
+        result = solve_dc(c)
+        assert result.voltage("b") == pytest.approx(2.0, rel=1e-6)
+
+    def test_inductor_is_dc_short(self):
+        c = Circuit("lshort")
+        c.vsource("V1", "a", "0", dc=1.0)
+        c.inductor("L1", "a", "b", 1e-3)
+        c.resistor("R1", "b", "0", 1e3)
+        result = solve_dc(c)
+        assert result.voltage("b") == pytest.approx(1.0, abs=1e-9)
+
+    def test_capacitor_is_dc_open(self):
+        c = Circuit("copen")
+        c.vsource("V1", "a", "0", dc=1.0)
+        c.resistor("R1", "a", "b", 1e3)
+        c.capacitor("C1", "b", "0", 1e-9)
+        c.resistor("R2", "b", "0", 1e6)  # define the node
+        result = solve_dc(c)
+        assert result.voltage("b") == pytest.approx(1.0 * 1e6 / 1.001e6,
+                                                    rel=1e-4)
+
+
+class TestMosCircuits:
+    def test_diode_connected_nmos_settles_above_vth(self):
+        c = Circuit("diode")
+        c.vsource("VDD", "vdd", "0", dc=3.3)
+        c.resistor("R1", "vdd", "d", 100e3)
+        c.mosfet("M1", "d", "d", "0", "0", NMOS, w=20e-6, l=1e-6)
+        result = solve_dc(c)
+        vgs = result.voltage("d")
+        assert NMOS.vto < vgs < 1.2
+        # KCL: resistor current equals drain current.
+        i_r = (3.3 - vgs) / 100e3
+        assert result.op("M1")["ids"] == pytest.approx(i_r, rel=1e-4)
+
+    def test_current_mirror_ratio(self):
+        c = Circuit("mirror")
+        c.vsource("VDD", "vdd", "0", dc=3.3)
+        c.isource("IB", "vdd", "g", dc=10e-6)
+        c.mosfet("M1", "g", "g", "0", "0", NMOS, w=10e-6, l=2e-6)
+        c.mosfet("M2", "d2", "g", "0", "0", NMOS, w=30e-6, l=2e-6)
+        c.vsource("VD", "d2", "0", dc=1.0)
+        result = solve_dc(c)
+        i1 = result.op("M1")["ids"]
+        i2 = result.op("M2")["ids"]
+        # 3:1 mirror (within channel-length-modulation error).
+        assert i2 / i1 == pytest.approx(3.0, rel=0.1)
+
+    def test_pmos_source_follower_level_shift(self):
+        c = Circuit("follower")
+        c.vsource("VDD", "vdd", "0", dc=3.3)
+        c.vsource("VG", "g", "0", dc=1.0)
+        c.isource("IB", "vdd", "s", dc=20e-6)  # bias current into the source
+        c.mosfet("M1", "0", "g", "s", "vdd", PMOS, w=40e-6, l=1e-6)
+        result = solve_dc(c)
+        vs = result.voltage("s")
+        assert vs > 1.0 + abs(PMOS.vto) * 0.8  # shifted up by ~|vgs|
+
+    def test_reverse_mode_swaps_source_drain(self):
+        """A symmetric device conducts either way; the op record flags it."""
+        c = Circuit("reverse")
+        c.vsource("V1", "a", "0", dc=0.0)
+        c.vsource("V2", "b", "0", dc=1.0)
+        c.vsource("VG", "g", "0", dc=2.0)
+        c.mosfet("M1", "a", "g", "b", "0", NMOS, w=10e-6, l=1e-6)
+        result = solve_dc(c)
+        op = result.op("M1")
+        assert op["swapped"] is True
+        assert op["vds"] >= 0.0
+
+    def test_multiplier_scales_current(self):
+        def drain_current(m):
+            c = Circuit("mult")
+            c.vsource("VDD", "vdd", "0", dc=3.3)
+            c.vsource("VG", "g", "0", dc=1.0)
+            c.mosfet("M1", "vdd", "g", "0", "0", NMOS, w=10e-6, l=1e-6, m=m)
+            return solve_dc(c).op("M1")["ids"]
+        assert drain_current(4) == pytest.approx(4 * drain_current(1),
+                                                 rel=1e-6)
+
+
+class TestRobustness:
+    def test_warm_start_reduces_iterations(self):
+        c = divider()
+        cold = solve_dc(c)
+        warm = solve_dc(c, x0=cold.x)
+        assert warm.iterations <= cold.iterations
+
+    def test_singular_matrix_reported(self):
+        c = Circuit("loop")
+        c.vsource("V1", "a", "0", dc=1.0)
+        c.vsource("V2", "a", "0", dc=2.0)  # conflicting source loop
+        c.resistor("R1", "a", "0", 1e3)
+        with pytest.raises((SingularMatrixError, ConvergenceError)):
+            solve_dc(c)
+
+    def test_temperature_changes_operating_point(self):
+        c = Circuit("temp")
+        c.vsource("VDD", "vdd", "0", dc=3.3)
+        c.resistor("R1", "vdd", "d", 100e3)
+        c.mosfet("M1", "d", "d", "0", "0", NMOS, w=20e-6, l=1e-6)
+        cold = solve_dc(c, temp_c=-40.0).voltage("d")
+        hot = solve_dc(c, temp_c=125.0).voltage("d")
+        assert cold != pytest.approx(hot, abs=1e-3)
+
+    def test_voltages_dict_covers_all_nodes(self):
+        result = solve_dc(divider())
+        assert set(result.voltages()) == {"in", "out"}
+
+    def test_unknown_node_raises(self):
+        result = solve_dc(divider())
+        with pytest.raises(KeyError):
+            result.voltage("nope")
+        assert result.voltage("0") == 0.0
+
+    def test_unknown_device_op_raises(self):
+        result = solve_dc(divider())
+        with pytest.raises(KeyError):
+            result.op("M404")
+        with pytest.raises(KeyError):
+            result.source_current("R1")  # no branch current

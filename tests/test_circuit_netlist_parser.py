@@ -1,0 +1,172 @@
+"""Unit tests for the circuit container and the SPICE-style parser."""
+
+import pytest
+
+from repro.circuit import Circuit, parse_netlist, solve_dc
+from repro.circuit.netlist import is_ground
+from repro.errors import NetlistError, ParseError
+from repro.pdk.generic035 import NMOS
+
+
+class TestCircuitContainer:
+    def test_duplicate_device_name_rejected(self):
+        c = Circuit("dup")
+        c.resistor("R1", "a", "0", 1e3)
+        with pytest.raises(NetlistError):
+            c.resistor("R1", "a", "b", 2e3)
+
+    def test_device_lookup(self):
+        c = Circuit("lookup")
+        r = c.resistor("R1", "a", "0", 1e3)
+        assert c.device("R1") is r
+        assert "R1" in c
+        with pytest.raises(NetlistError):
+            c.device("R2")
+
+    def test_ground_aliases(self):
+        assert is_ground("0")
+        assert is_ground("gnd")
+        assert is_ground("GND")
+        assert not is_ground("out")
+
+    def test_node_names_in_first_use_order(self):
+        c = Circuit("order")
+        c.vsource("V1", "in", "0", dc=1.0)
+        c.resistor("R1", "in", "mid", 1e3)
+        c.resistor("R2", "mid", "out", 1e3)
+        c.resistor("R3", "out", "0", 1e3)
+        assert c.node_names == ("in", "mid", "out")
+
+    def test_validate_catches_missing_ground(self):
+        c = Circuit("floating")
+        c.resistor("R1", "a", "b", 1e3)
+        c.resistor("R2", "b", "a", 1e3)
+        with pytest.raises(NetlistError, match="ground"):
+            c.validate()
+
+    def test_validate_catches_dangling_node(self):
+        c = Circuit("dangling")
+        c.vsource("V1", "a", "0", dc=1.0)
+        c.resistor("R1", "a", "b", 1e3)  # b connects to nothing else
+        with pytest.raises(NetlistError, match="single"):
+            c.validate()
+
+    def test_validate_accepts_good_circuit(self):
+        c = Circuit("ok")
+        c.vsource("V1", "a", "0", dc=1.0)
+        c.resistor("R1", "a", "0", 1e3)
+        c.validate()
+
+    def test_invalid_component_values_rejected(self):
+        c = Circuit("bad")
+        with pytest.raises(NetlistError):
+            c.resistor("R1", "a", "0", -5.0)
+        with pytest.raises(NetlistError):
+            c.capacitor("C1", "a", "0", -1e-12)
+        with pytest.raises(NetlistError):
+            c.inductor("L1", "a", "0", 0.0)
+        with pytest.raises(NetlistError):
+            c.mosfet("M1", "d", "g", "s", "b", NMOS, w=-1e-6, l=1e-6)
+        with pytest.raises(NetlistError):
+            c.mosfet("M2", "d", "g", "s", "b", NMOS, w=1e-6, l=1e-6, m=0)
+
+
+DIVIDER = """* resistive divider
+V1 in 0 DC 2.0
+R1 in out 1k
+R2 out 0 1k
+.end
+"""
+
+
+class TestParser:
+    def test_divider_parses_and_solves(self):
+        circuit = parse_netlist(DIVIDER)
+        result = solve_dc(circuit)
+        assert result.voltage("out") == pytest.approx(1.0, abs=1e-6)
+
+    def test_title_line(self):
+        circuit = parse_netlist("my title\nR1 a 0 1k\nV1 a 0 1\n")
+        assert circuit.title == "my title"
+
+    def test_continuation_lines(self):
+        text = "V1 in 0\n+ DC 2.0\nR1 in 0 1k\n"
+        circuit = parse_netlist(text)
+        assert solve_dc(circuit).voltage("in") == pytest.approx(2.0)
+
+    def test_end_of_line_comments(self):
+        circuit = parse_netlist("R1 a 0 1k ; load\nV1 a 0 1 ; source\n")
+        assert len(circuit) == 2
+
+    def test_si_suffixes(self):
+        circuit = parse_netlist(
+            "V1 a 0 1\nR1 a b 4.7k\nC1 b 0 10u\nL1 b 0 2m\n")
+        assert circuit.device("R1").resistance == pytest.approx(4700.0)
+        assert circuit.device("C1").capacitance == pytest.approx(10e-6)
+        assert circuit.device("L1").inductance == pytest.approx(2e-3)
+
+    def test_model_card_and_mosfet(self):
+        text = """
+.model mynmos nmos (vto=0.6 kp=150u lambda=0.05)
+VDD vdd 0 3.3
+VG g 0 1.2
+RD vdd d 10k
+M1 d g 0 0 mynmos W=20u L=2u
+"""
+        circuit = parse_netlist(text, title="cs")
+        m1 = circuit.device("M1")
+        assert m1.model.vto == pytest.approx(0.6)
+        assert m1.w == pytest.approx(20e-6)
+        assert m1.l == pytest.approx(2e-6)
+        result = solve_dc(circuit)
+        assert 0.0 < result.voltage("d") < 3.3
+
+    def test_model_before_or_after_element(self):
+        text = ("M1 d g 0 0 n1 W=10u L=1u\n"
+                "VD d 0 1\nVG g 0 1\n"
+                ".model n1 nmos (vto=0.5 kp=100u)\n")
+        circuit = parse_netlist(text, title="")
+        assert circuit.device("M1").model.kp == pytest.approx(100e-6)
+
+    def test_controlled_sources(self):
+        text = ("V1 a 0 1\nRL b 0 1k\nE1 b 0 a 0 2.0\n"
+                "G1 0 c a 0 1m\nRC c 0 1k\n")
+        circuit = parse_netlist(text, title="")
+        result = solve_dc(circuit)
+        assert result.voltage("b") == pytest.approx(2.0, rel=1e-6)
+        assert result.voltage("c") == pytest.approx(1.0, rel=1e-6)
+
+    def test_ac_values(self):
+        circuit = parse_netlist("V1 a 0 DC 1 AC 0.5\nR1 a 0 1k\n", title="")
+        assert circuit.device("V1").dc == pytest.approx(1.0)
+        assert circuit.device("V1").ac == pytest.approx(0.5)
+
+    # -- error paths ------------------------------------------------------
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ParseError, match="unknown model"):
+            parse_netlist("M1 d g 0 0 ghost W=1u L=1u\n", title="")
+
+    def test_unknown_card_rejected(self):
+        with pytest.raises(ParseError, match="unsupported card"):
+            parse_netlist(".tran 1n 1u\nR1 a 0 1k\n", title="")
+
+    def test_unknown_model_parameter_rejected(self):
+        with pytest.raises(ParseError, match="unknown model parameter"):
+            parse_netlist(".model x nmos (banana=1)\n", title="")
+
+    def test_bad_model_type_rejected(self):
+        with pytest.raises(ParseError, match="model type"):
+            parse_netlist(".model x jfet (vto=1)\n", title="")
+
+    def test_too_few_tokens_reports_line(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_netlist("R1 a 0\n", title="")
+        assert excinfo.value.line_number == 1
+
+    def test_orphan_continuation_rejected(self):
+        with pytest.raises(ParseError, match="continuation"):
+            parse_netlist("+ R1 a 0 1k\n", title="")
+
+    def test_empty_netlist_rejected(self):
+        with pytest.raises(ParseError, match="empty"):
+            parse_netlist("* only comments\n")

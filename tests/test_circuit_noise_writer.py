@@ -1,0 +1,211 @@
+"""Tests for the noise analysis and the netlist writer."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import (Circuit, parse_netlist, solve_dc, solve_noise,
+                           write_netlist)
+from repro.circuit.noise import (BOLTZMANN, input_referred_density)
+from repro.pdk.generic035 import NMOS, PMOS
+from repro.units import celsius_to_kelvin
+
+
+class TestThermalNoise:
+    def test_resistor_divider_matches_4ktr(self):
+        """Two equal resistors from a stiff source: output noise is the
+        parallel combination's 4kTR."""
+        c = Circuit("divider")
+        c.vsource("V1", "in", "0", dc=1.0)
+        c.resistor("R1", "in", "out", 10e3)
+        c.resistor("R2", "out", "0", 10e3)
+        op = solve_dc(c)
+        result = solve_noise(c, op, "out", [1e3], temp_c=27.0)
+        r_parallel = 5e3
+        expected = 4 * BOLTZMANN * celsius_to_kelvin(27.0) * r_parallel
+        assert result.output_density[0] == pytest.approx(expected,
+                                                         rel=1e-6)
+
+    def test_noise_scales_with_temperature(self):
+        c = Circuit("r")
+        c.vsource("V1", "in", "0", dc=0.0)
+        c.resistor("R1", "in", "out", 1e3)
+        c.resistor("R2", "out", "0", 1e6)
+        op = solve_dc(c)
+        cold = solve_noise(c, op, "out", [1e3], temp_c=-40.0)
+        hot = solve_noise(c, op, "out", [1e3], temp_c=125.0)
+        ratio = hot.output_density[0] / cold.output_density[0]
+        assert ratio == pytest.approx(
+            celsius_to_kelvin(125.0) / celsius_to_kelvin(-40.0), rel=1e-9)
+
+    def test_rc_filtered_noise_integrates_to_kt_over_c(self):
+        """The classic kT/C: integrated output noise of an RC lowpass."""
+        r, cap = 100e3, 1e-12
+        c = Circuit("ktc")
+        c.vsource("V1", "in", "0", dc=0.0)
+        c.resistor("R1", "in", "out", r)
+        c.capacitor("C1", "out", "0", cap)
+        op = solve_dc(c)
+        f_pole = 1.0 / (2 * math.pi * r * cap)
+        freqs = np.linspace(1.0, 400 * f_pole, 6000)
+        result = solve_noise(c, op, "out", freqs, temp_c=27.0)
+        expected = math.sqrt(BOLTZMANN * celsius_to_kelvin(27.0) / cap)
+        # Finite integration band captures ~97 % of kT/C.
+        assert result.output_rms() == pytest.approx(expected, rel=0.05)
+
+    def test_mos_channel_noise_present(self):
+        c = Circuit("cs")
+        c.vsource("VDD", "vdd", "0", dc=3.3)
+        c.vsource("VG", "g", "0", dc=0.9)
+        c.resistor("RD", "vdd", "d", 10e3)
+        c.mosfet("M1", "d", "g", "0", "0", NMOS, w=10e-6, l=1e-6)
+        op = solve_dc(c)
+        result = solve_noise(c, op, "d", [1e6])
+        devices = {e.device for e in result.contributions[0]
+                   if e.density > 0}
+        assert "M1" in devices and "RD" in devices
+
+    def test_flicker_noise_dominates_at_low_frequency(self):
+        c = Circuit("cs")
+        c.vsource("VDD", "vdd", "0", dc=3.3)
+        c.vsource("VG", "g", "0", dc=0.9)
+        c.resistor("RD", "vdd", "d", 10e3)
+        c.mosfet("M1", "d", "g", "0", "0", NMOS, w=10e-6, l=1e-6)
+        op = solve_dc(c)
+        result = solve_noise(c, op, "d", [1.0, 1e7])
+        def flicker_fraction(index):
+            total = result.output_density[index]
+            flicker = sum(e.density for e in result.contributions[index]
+                          if e.kind == "flicker")
+            return flicker / total
+        assert flicker_fraction(0) > 0.5
+        assert flicker_fraction(1) < 0.1
+
+    def test_flicker_scales_inversely_with_area(self):
+        def flicker_at_1hz(w):
+            c = Circuit("cs")
+            c.vsource("VDD", "vdd", "0", dc=3.3)
+            c.isource("IB", "vdd", "d", dc=50e-6)
+            c.mosfet("M1", "d", "d", "0", "0", NMOS, w=w, l=1e-6)
+            op = solve_dc(c)
+            result = solve_noise(c, op, "d", [1.0])
+            return sum(e.density for e in result.contributions[0]
+                       if e.kind == "flicker")
+        small = flicker_at_1hz(10e-6)
+        large = flicker_at_1hz(40e-6)
+        # gm^2/area: gm ~ sqrt(W), area ~ W -> flicker independent-ish of
+        # W at fixed current... but the transfer (1/gm^2 at a diode node)
+        # scales it down; overall the larger device must be quieter.
+        assert large < small
+
+    def test_input_referred(self):
+        c = Circuit("r")
+        c.vsource("V1", "in", "0", dc=0.0)
+        c.resistor("R1", "in", "out", 1e3)
+        c.resistor("R2", "out", "0", 1e6)
+        op = solve_dc(c)
+        noise = solve_noise(c, op, "out", [1e3])
+        referred = input_referred_density(noise, gain=10.0)
+        assert referred[0] == pytest.approx(noise.output_density[0] / 100)
+        with pytest.raises(ValueError):
+            input_referred_density(noise, gain=0.0)
+
+    def test_dominant_device(self):
+        c = Circuit("dom")
+        c.vsource("V1", "in", "0", dc=0.0)
+        c.resistor("RBIG", "in", "out", 1e6)
+        c.resistor("RSMALL", "out", "0", 1e2)
+        op = solve_dc(c)
+        noise = solve_noise(c, op, "out", [1e3])
+        # The small resistor shunts the node: the big one's current noise
+        # sees ~R_small^2 transfer but has tiny density ~1/R_big... the
+        # small resistor dominates.
+        assert noise.dominant_device(0) == "RSMALL"
+
+
+class TestNetlistWriter:
+    def _rc(self):
+        c = Circuit("rc bench")
+        c.vsource("V1", "in", "0", dc=2.0, ac=1.0)
+        c.resistor("R1", "in", "out", 4.7e3)
+        c.capacitor("C1", "out", "0", 10e-9)
+        return c
+
+    def test_roundtrip_preserves_dc(self):
+        original = self._rc()
+        text = write_netlist(original)
+        parsed = parse_netlist(text)
+        assert solve_dc(parsed).voltage("out") == pytest.approx(
+            solve_dc(original).voltage("out"), rel=1e-12)
+
+    def test_roundtrip_preserves_title_and_devices(self):
+        parsed = parse_netlist(write_netlist(self._rc()))
+        assert parsed.title == "rc bench"
+        assert {d.name for d in parsed.devices} == {"V1", "R1", "C1"}
+
+    def test_mosfet_roundtrip(self):
+        c = Circuit("mos")
+        c.vsource("VDD", "vdd", "0", dc=3.3)
+        c.vsource("VG", "g", "0", dc=1.0)
+        c.resistor("RD", "vdd", "d", 10e3)
+        c.mosfet("M1", "d", "g", "0", "0", NMOS, w=12e-6, l=0.7e-6, m=2)
+        parsed = parse_netlist(write_netlist(c))
+        m1 = parsed.device("M1")
+        assert m1.w == pytest.approx(12e-6)
+        assert m1.l == pytest.approx(0.7e-6)
+        assert m1.m == 2
+        assert solve_dc(parsed).voltage("d") == pytest.approx(
+            solve_dc(c).voltage("d"), rel=1e-9)
+
+    def test_statistical_perturbations_are_baked_in(self):
+        c = Circuit("mos")
+        c.vsource("VDD", "vdd", "0", dc=3.3)
+        c.vsource("VG", "g", "0", dc=1.0)
+        c.resistor("RD", "vdd", "d", 10e3)
+        c.mosfet("M1", "d", "g", "0", "0", NMOS, w=12e-6, l=1e-6,
+                 delta_vto=0.02, beta_factor=1.05)
+        parsed = parse_netlist(write_netlist(c))
+        assert solve_dc(parsed).voltage("d") == pytest.approx(
+            solve_dc(c).voltage("d"), rel=1e-6)
+
+    def test_controlled_sources_roundtrip(self):
+        c = Circuit("ctl")
+        c.vsource("V1", "a", "0", dc=1.0)
+        c.resistor("RL", "b", "0", 1e3)
+        c.vcvs("E1", "b", "0", "a", "0", 2.5)
+        c.vccs("G1", "0", "cnode", "a", "0", 1e-3)
+        c.resistor("RC", "cnode", "0", 1e3)
+        parsed = parse_netlist(write_netlist(c))
+        assert solve_dc(parsed).voltage("b") == pytest.approx(2.5, rel=1e-9)
+        assert solve_dc(parsed).voltage("cnode") == pytest.approx(1.0,
+                                                                  rel=1e-9)
+
+    @given(r=st.floats(1.0, 1e9), cap=st.floats(1e-15, 1e-3),
+           dc=st.floats(-10, 10))
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_property(self, r, cap, dc):
+        c = Circuit("prop")
+        c.vsource("V1", "in", "0", dc=dc)
+        c.resistor("R1", "in", "out", r)
+        c.capacitor("C1", "out", "0", cap)
+        c.resistor("R2", "out", "0", r)
+        parsed = parse_netlist(write_netlist(c))
+        assert parsed.device("R1").resistance == pytest.approx(r, rel=1e-9)
+        assert parsed.device("C1").capacitance == pytest.approx(cap,
+                                                                rel=1e-9)
+        assert parsed.device("V1").dc == pytest.approx(dc, abs=1e-12)
+
+    def test_miller_opamp_roundtrips(self):
+        """The full benchmark circuit survives a write/parse cycle."""
+        from repro.circuits import MillerOpamp
+        template = MillerOpamp()
+        d = template.initial_design()
+        pv = template.statistical_space.to_physical(
+            d, template.statistical_space.nominal())
+        circuit = template.build(d, pv, template.operating_range.nominal())
+        parsed = parse_netlist(write_netlist(circuit))
+        assert solve_dc(parsed).voltage("out") == pytest.approx(
+            solve_dc(circuit).voltage("out"), rel=1e-6)

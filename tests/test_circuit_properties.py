@@ -1,0 +1,197 @@
+"""Property-based tests of fundamental circuit-solver invariants.
+
+These check physics, not implementation details: Kirchhoff's current law
+at every node of the solved system, superposition and reciprocity of the
+linear AC engine, passivity of random RC ladders, and consistency between
+the transient and AC views of the same network.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import Circuit, solve_dc, solve_transient, step_waveform
+from repro.circuit.ac import AcSystem
+from repro.pdk.generic035 import NMOS, PMOS
+
+resistances = st.floats(10.0, 1e7)
+voltages = st.floats(-5.0, 5.0)
+
+
+def random_ladder(values, vin):
+    """R-ladder: in - n1 - n2 - ... - 0 with rungs to ground."""
+    c = Circuit("ladder")
+    c.vsource("V1", "n0", "0", dc=vin)
+    previous = "n0"
+    for k, (series, shunt) in enumerate(values, start=1):
+        node = f"n{k}"
+        c.resistor(f"RS{k}", previous, node, series)
+        c.resistor(f"RP{k}", node, "0", shunt)
+        previous = node
+    return c
+
+
+class TestKirchhoff:
+    @given(values=st.lists(st.tuples(resistances, resistances),
+                           min_size=1, max_size=5),
+           vin=voltages)
+    @settings(max_examples=40, deadline=None)
+    def test_kcl_at_every_internal_node(self, values, vin):
+        circuit = random_ladder(values, vin)
+        result = solve_dc(circuit)
+        for k in range(1, len(values) + 1):
+            node = f"n{k}"
+            v_here = result.voltage(node)
+            v_prev = result.voltage(f"n{k - 1}")
+            series, shunt = values[k - 1]
+            i_in = (v_prev - v_here) / series
+            i_shunt = v_here / shunt
+            i_next = 0.0
+            if k < len(values):
+                v_next = result.voltage(f"n{k + 1}")
+                i_next = (v_here - v_next) / values[k][0]
+            assert i_in == pytest.approx(i_shunt + i_next,
+                                         abs=1e-9 + 1e-6 * abs(i_in))
+
+    @given(values=st.lists(st.tuples(resistances, resistances),
+                           min_size=1, max_size=4),
+           vin=st.floats(0.1, 5.0))
+    @settings(max_examples=30, deadline=None)
+    def test_voltages_bounded_by_source(self, values, vin):
+        """A resistive divider network cannot exceed its source."""
+        circuit = random_ladder(values, vin)
+        result = solve_dc(circuit)
+        for node, voltage in result.voltages().items():
+            assert -1e-6 <= voltage <= vin + 1e-6
+
+    def test_mos_circuit_kcl(self):
+        """Drain current equals resistor current in a CS stage, to solver
+        tolerance."""
+        c = Circuit("cs")
+        c.vsource("VDD", "vdd", "0", dc=3.3)
+        c.vsource("VG", "g", "0", dc=1.1)
+        c.resistor("RD", "vdd", "d", 20e3)
+        c.mosfet("M1", "d", "g", "0", "0", NMOS, w=10e-6, l=1e-6)
+        result = solve_dc(c)
+        i_r = (3.3 - result.voltage("d")) / 20e3
+        assert result.op("M1")["ids"] == pytest.approx(i_r, rel=1e-5)
+
+
+class TestLinearity:
+    def _rc(self, ac1=1.0, ac2=0.0):
+        c = Circuit("two-source")
+        c.vsource("V1", "a", "0", dc=0.0, ac=ac1)
+        c.isource("I1", "0", "b", dc=0.0, ac=ac2)
+        c.resistor("R1", "a", "b", 1e3)
+        c.resistor("R2", "b", "0", 2e3)
+        c.capacitor("C1", "b", "0", 1e-9)
+        return c
+
+    @given(freq=st.floats(1.0, 1e8), a1=st.floats(-2, 2),
+           a2=st.floats(-1e-3, 1e-3))
+    @settings(max_examples=30, deadline=None)
+    def test_superposition(self, freq, a1, a2):
+        """Response to both sources equals the sum of the individual
+        responses."""
+        def response(ac1, ac2):
+            circuit = self._rc(ac1, ac2)
+            op = solve_dc(circuit)
+            return AcSystem(circuit, op).transfer("b", freq)
+
+        both = response(a1, a2)
+        only1 = response(a1, 0.0)
+        only2 = response(0.0, a2)
+        assert both == pytest.approx(only1 + only2, rel=1e-9, abs=1e-15)
+
+    @given(freq=st.floats(1.0, 1e8), scale=st.floats(0.1, 10.0))
+    @settings(max_examples=30, deadline=None)
+    def test_homogeneity(self, freq, scale):
+        def response(ac1):
+            circuit = self._rc(ac1, 0.0)
+            op = solve_dc(circuit)
+            return AcSystem(circuit, op).transfer("b", freq)
+
+        assert response(scale) == pytest.approx(scale * response(1.0),
+                                                rel=1e-9)
+
+    @given(freq=st.floats(10.0, 1e7))
+    @settings(max_examples=25, deadline=None)
+    def test_reciprocity_of_rc_twoport(self, freq):
+        """For a reciprocal (RC) network, the transfer from a current
+        injection at node A to the voltage at node B equals the transfer
+        from B to A."""
+        def transfer(inject, observe):
+            c = Circuit("recip")
+            c.isource("I1", "0", inject, dc=0.0, ac=1.0)
+            c.resistor("R1", "x", "y", 1e3)
+            c.resistor("R2", "x", "0", 5e3)
+            c.resistor("R3", "y", "0", 2e3)
+            c.capacitor("C1", "x", "0", 1e-9)
+            c.capacitor("C2", "y", "0", 3e-9)
+            op = solve_dc(c)
+            return AcSystem(c, op).transfer(observe, freq)
+
+        forward = transfer("x", "y")
+        backward = transfer("y", "x")
+        assert forward == pytest.approx(backward, rel=1e-9)
+
+    @given(freq=st.floats(1.0, 1e9))
+    @settings(max_examples=25, deadline=None)
+    def test_rc_passivity(self, freq):
+        """|H| of a passive divider never exceeds 1 at any frequency."""
+        circuit = self._rc(1.0, 0.0)
+        op = solve_dc(circuit)
+        assert abs(AcSystem(circuit, op).transfer("b", freq)) <= 1.0 + 1e-9
+
+
+class TestCrossAnalysisConsistency:
+    @given(r=st.floats(100.0, 1e5), cap=st.floats(1e-12, 1e-7))
+    @settings(max_examples=15, deadline=None)
+    def test_transient_time_constant_matches_ac_pole(self, r, cap):
+        """The 63 %-rise time of the step response equals 1/(2 pi f_pole)
+        from the AC view — two engines, one network."""
+        tau = r * cap
+        circuit = Circuit("rc")
+        circuit.vsource("V1", "in", "0", dc=0.0, ac=1.0,
+                        waveform=step_waveform(0.0, 0.0, 1.0))
+        circuit.resistor("R1", "in", "out", r)
+        circuit.capacitor("C1", "out", "0", cap)
+        # AC view.
+        op = solve_dc(circuit)
+        f_pole = 1.0 / (2 * math.pi * tau)
+        h = AcSystem(circuit, op).transfer("out", f_pole)
+        assert abs(h) == pytest.approx(1 / math.sqrt(2), rel=1e-3)
+        # Transient view.
+        result = solve_transient(circuit, t_stop=3 * tau, dt=tau / 400)
+        v = result.voltage("out")
+        k63 = int(np.searchsorted(v, 1.0 - math.exp(-1.0)))
+        t63 = result.times[min(k63, len(v) - 1)]
+        assert t63 == pytest.approx(tau, rel=0.02)
+
+    def test_pmos_nmos_symmetry(self):
+        """A PMOS circuit mirrored about VDD/ground behaves like its NMOS
+        twin up to the parameter differences — with identical model cards
+        the solutions are exact mirrors."""
+        import dataclasses
+        pmos_twin = dataclasses.replace(
+            NMOS, name="ptwin", polarity=-1, vto=-NMOS.vto)
+        vdd = 3.3
+
+        n = Circuit("n")
+        n.vsource("VDD", "vdd", "0", dc=vdd)
+        n.vsource("VG", "g", "0", dc=1.0)
+        n.resistor("RD", "vdd", "d", 10e3)
+        n.mosfet("M1", "d", "g", "0", "0", NMOS, w=10e-6, l=1e-6)
+
+        p = Circuit("p")
+        p.vsource("VDD", "vdd", "0", dc=vdd)
+        p.vsource("VG", "g", "0", dc=vdd - 1.0)
+        p.resistor("RD", "d", "0", 10e3)
+        p.mosfet("M1", "d", "g", "vdd", "vdd", pmos_twin, w=10e-6, l=1e-6)
+
+        vn = solve_dc(n).voltage("d")
+        vp = solve_dc(p).voltage("d")
+        assert vp == pytest.approx(vdd - vn, abs=1e-6)

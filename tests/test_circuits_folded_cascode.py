@@ -1,0 +1,144 @@
+"""Tests for the folded-cascode opamp template (Fig. 7): bias sanity,
+mismatch physics (the Fig. 1 tent), and the design-dependent statistics."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import FoldedCascodeOpamp
+from repro.circuits.folded_cascode import MATCHED_PAIRS
+
+TEMPLATE = FoldedCascodeOpamp()
+D = TEMPLATE.initial_design()
+THETA = TEMPLATE.operating_range.nominal()
+S0 = TEMPLATE.statistical_space.nominal()
+NOMINAL = TEMPLATE.evaluate(D, S0, THETA)
+
+
+def evaluate_with_vth_mismatch(device_a, device_b, delta):
+    """Evaluate with +-delta applied to a device pair's local vth."""
+    space = TEMPLATE.statistical_space
+    s = np.zeros(space.dim)
+    sigma_a = space.local_variations[
+        [lv.name for lv in space.local_variations].index(
+            f"dvt_{device_a}")].sigma(TEMPLATE.process, D)
+    sigma_b = space.local_variations[
+        [lv.name for lv in space.local_variations].index(
+            f"dvt_{device_b}")].sigma(TEMPLATE.process, D)
+    s[space.index(f"dvt_{device_a}")] = delta / sigma_a
+    s[space.index(f"dvt_{device_b}")] = -delta / sigma_b
+    return TEMPLATE.evaluate(D, s, THETA)
+
+
+class TestNominal:
+    def test_values_in_plausible_ranges(self):
+        assert 55.0 < NOMINAL["a0"] < 95.0
+        assert 25.0 < NOMINAL["ft"] < 60.0
+        assert 85.0 < NOMINAL["cmrr"] < 130.0
+        assert 25.0 < NOMINAL["sr"] < 55.0
+        assert 0.5 < NOMINAL["power"] < 2.5
+
+    def test_initial_design_is_feasible(self):
+        values = TEMPLATE.constraints(D)
+        assert min(values.values()) >= 0.0
+
+    def test_statistical_space_shape(self):
+        space = TEMPLATE.statistical_space
+        # 5 globals + (vth + beta) for 11 core transistors.
+        assert space.dim == 5 + 22
+        assert len(TEMPLATE.local_vth_names()) == 11
+
+    def test_local_only_variant(self):
+        t = FoldedCascodeOpamp(with_global=False)
+        assert t.statistical_space.dim == 22
+
+    def test_global_only_variant(self):
+        t = FoldedCascodeOpamp(with_local=False)
+        assert t.statistical_space.dim == 5
+
+
+class TestMismatchPhysics:
+    """The Fig. 1 tent: CMRR collapses along the mismatch line of the
+    load/sink pairs and is flat along the neutral line."""
+
+    def test_mirror_pair_mismatch_degrades_cmrr(self):
+        tilted = evaluate_with_vth_mismatch("M9", "M10", 2e-3)
+        assert tilted["cmrr"] < NOMINAL["cmrr"] - 10.0
+
+    def test_mismatch_is_symmetric(self):
+        plus = evaluate_with_vth_mismatch("M9", "M10", 2e-3)
+        minus = evaluate_with_vth_mismatch("M10", "M9", 2e-3)
+        assert plus["cmrr"] == pytest.approx(minus["cmrr"], abs=3.0)
+
+    def test_common_shift_is_harmless(self):
+        """Neutral line: both thresholds moving together leave CMRR
+        (nearly) unchanged — Definition 1 of the paper."""
+        space = TEMPLATE.statistical_space
+        s = np.zeros(space.dim)
+        sigma = space.local_variations[
+            [lv.name for lv in space.local_variations].index(
+                "dvt_M9")].sigma(TEMPLATE.process, D)
+        s[space.index("dvt_M9")] = 2e-3 / sigma
+        s[space.index("dvt_M10")] = 2e-3 / sigma
+        shifted = TEMPLATE.evaluate(D, s, THETA)
+        tilted = evaluate_with_vth_mismatch("M9", "M10", 2e-3)
+        assert abs(shifted["cmrr"] - NOMINAL["cmrr"]) < \
+            0.2 * abs(tilted["cmrr"] - NOMINAL["cmrr"])
+
+    def test_sink_pair_also_matters(self):
+        """The mismatch-induced common-mode error adds *signed* to the
+        systematic one, so one polarity may cancel (CMRR improves) — the
+        degrading polarity must hurt by several dB."""
+        plus = evaluate_with_vth_mismatch("M3", "M4", 2e-3)
+        minus = evaluate_with_vth_mismatch("M4", "M3", 2e-3)
+        assert min(plus["cmrr"], minus["cmrr"]) < NOMINAL["cmrr"] - 5.0
+
+    def test_other_performances_insensitive_to_pair_mismatch(self):
+        tilted = evaluate_with_vth_mismatch("M9", "M10", 2e-3)
+        assert tilted["ft"] == pytest.approx(NOMINAL["ft"], rel=0.05)
+        assert tilted["power"] == pytest.approx(NOMINAL["power"], rel=0.05)
+
+    def test_matched_pairs_listed(self):
+        assert ("M1", "M2") in MATCHED_PAIRS
+        assert ("M9", "M10") in MATCHED_PAIRS
+
+
+class TestDesignDependentStatistics:
+    def test_larger_mirror_area_shrinks_cmrr_spread(self):
+        """The C(d) design dependence: growing W9*L9 reduces the physical
+        effect of the same normalized mismatch sample."""
+        space = TEMPLATE.statistical_space
+        s = np.zeros(space.dim)
+        s[space.index("dvt_M9")] = 2.0
+        s[space.index("dvt_M10")] = -2.0
+        small_area = TEMPLATE.evaluate(D, s, THETA)
+        d_big = dict(D)
+        d_big["w9"] = D["w9"] * 4
+        big_area = TEMPLATE.evaluate(d_big, s, THETA)
+        nominal_big = TEMPLATE.evaluate(d_big, S0, THETA)
+        drop_small = NOMINAL["cmrr"] - small_area["cmrr"]
+        drop_big = nominal_big["cmrr"] - big_area["cmrr"]
+        assert drop_big < drop_small
+
+    def test_tail_width_raises_slew_and_ft(self):
+        d = dict(D)
+        d["w0"] = D["w0"] * 1.3
+        result = TEMPLATE.evaluate(d, S0, THETA)
+        assert result["sr"] > NOMINAL["sr"]
+        assert result["ft"] > NOMINAL["ft"]
+
+    def test_input_width_raises_ft_only(self):
+        d = dict(D)
+        d["w1"] = D["w1"] * 1.5
+        result = TEMPLATE.evaluate(d, S0, THETA)
+        assert result["ft"] > NOMINAL["ft"]
+        assert result["sr"] == pytest.approx(NOMINAL["sr"], rel=0.02)
+
+
+class TestOperatingBehaviour:
+    def test_cold_low_supply_is_worst_for_slew(self):
+        worst = TEMPLATE.evaluate(D, S0, {"temp": -40.0, "vdd": 3.0})
+        assert worst["sr"] < NOMINAL["sr"]
+
+    def test_hot_low_supply_is_worst_for_ft(self):
+        worst = TEMPLATE.evaluate(D, S0, {"temp": 125.0, "vdd": 3.0})
+        assert worst["ft"] < NOMINAL["ft"]

@@ -1,0 +1,97 @@
+"""Tests for the five-transistor OTA template (incl. the noise spec)."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import FiveTransistorOta
+from repro.core import OptimizerConfig, YieldOptimizer
+from repro.evaluation import Evaluator, corner_analysis
+
+TEMPLATE = FiveTransistorOta()
+D = TEMPLATE.initial_design()
+THETA = TEMPLATE.operating_range.nominal()
+S0 = TEMPLATE.statistical_space.nominal()
+NOMINAL = TEMPLATE.evaluate(D, S0, THETA)
+
+
+class TestNominal:
+    def test_values_in_plausible_ranges(self):
+        assert 35.0 < NOMINAL["a0"] < 55.0
+        assert 30.0 < NOMINAL["ft"] < 120.0
+        assert 55.0 < NOMINAL["cmrr"] < 90.0
+        assert 20.0 < NOMINAL["sr"] < 80.0
+        assert 0.1 < NOMINAL["power"] < 1.0
+        assert 2.0 < NOMINAL["noise"] < 15.0  # nV/sqrt(Hz)
+
+    def test_initial_design_is_feasible(self):
+        assert min(TEMPLATE.constraints(D).values()) >= 0.0
+
+    def test_statistical_dimensions(self):
+        # 5 globals + (vth + beta) x 5 transistors.
+        assert TEMPLATE.statistical_space.dim == 15
+        assert len(TEMPLATE.local_vth_names()) == 5
+
+
+class TestNoiseSpec:
+    def test_bigger_input_pair_is_quieter(self):
+        """gm up -> channel noise referred to the input drops."""
+        d = dict(D)
+        d["w1"] = D["w1"] * 3
+        quieter = TEMPLATE.evaluate(d, S0, THETA)
+        assert quieter["noise"] < NOMINAL["noise"]
+
+    def test_noise_grows_with_temperature(self):
+        hot = TEMPLATE.evaluate(D, S0, {"temp": 125.0, "vdd": 3.3})
+        cold = TEMPLATE.evaluate(D, S0, {"temp": -40.0, "vdd": 3.3})
+        assert hot["noise"] > cold["noise"]
+
+    def test_noise_spec_is_declared_upper_bound(self):
+        spec = TEMPLATE.spec_for("noise")
+        assert spec.kind == "<="
+
+
+class TestMismatchBehaviour:
+    def test_pair_mismatch_moves_cmrr(self):
+        """The OTA's CMRR is dominated by the *systematic* mirror gain
+        error, so pair mismatch shifts it by a few dB (signed, one
+        polarity cancels) rather than collapsing it like the folded
+        cascode's."""
+        space = TEMPLATE.statistical_space
+        s = np.zeros(space.dim)
+        s[space.index("dvt_M3")] = 6.0
+        s[space.index("dvt_M4")] = -6.0
+        plus = TEMPLATE.evaluate(D, s, THETA)
+        minus = TEMPLATE.evaluate(D, -s, THETA)
+        assert min(plus["cmrr"], minus["cmrr"]) < NOMINAL["cmrr"] - 2.0
+        assert max(plus["cmrr"], minus["cmrr"]) > NOMINAL["cmrr"]
+
+
+class TestCornerBehaviour:
+    @pytest.mark.slow
+    def test_corner_report_runs_clean_or_flags_marginal_specs(self):
+        evaluator = Evaluator(TEMPLATE)
+        report = corner_analysis(evaluator, D)
+        # a0 is the tightest spec of this sizing; whatever fails must be
+        # in the marginal set, never e.g. power.
+        assert set(report.failing_specs()) <= {"a0>=", "cmrr>=", "noise<="}
+
+
+@pytest.mark.slow
+class TestYieldOptimization:
+    def test_optimizer_improves_or_holds_yield(self):
+        config = OptimizerConfig(n_samples_linear=4000,
+                                 n_samples_verify=60,
+                                 max_iterations=2, seed=3)
+        result = YieldOptimizer(TEMPLATE, config).run()
+        assert result.final.yield_mc >= result.initial.yield_mc - 0.05
+        assert result.final.yield_mc > 0.5
+
+
+class TestDeadCircuitSentinels:
+    def test_dead_circuit_fails_every_spec(self):
+        """A sample whose testbench cannot be measured must violate every
+        spec — including upper-bounded ones like noise and power."""
+        from repro.circuits.base import DEAD_CIRCUIT_PERFORMANCES
+        for spec in TEMPLATE.specs:
+            value = DEAD_CIRCUIT_PERFORMANCES.get(spec.performance, 0.0)
+            assert not spec.passes(value), spec

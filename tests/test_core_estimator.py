@@ -1,0 +1,190 @@
+"""Unit tests for the linearized-model yield estimator (Eq. 17-20)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.estimator import LinearizedYieldEstimator
+from repro.core.linear_model import SpecLinearModel
+from repro.errors import ReproError
+from repro.spec import Spec
+from repro.statistics import SampleSet
+
+THETA = {"temp": 27.0}
+
+
+def make_model(grad_s, grad_d, g_ref=0.0, s_ref=None, bound=0.0,
+               key="f>=", kind=">=", d_ref=None, mirror=False):
+    grad_s = np.asarray(grad_s, dtype=float)
+    return SpecLinearModel(
+        spec=Spec(key.rstrip("<>="), kind, bound), key=key, theta=THETA,
+        s_ref=np.zeros_like(grad_s) if s_ref is None else np.asarray(s_ref),
+        g_ref=g_ref, grad_s=grad_s,
+        grad_d=dict(grad_d), d_ref=d_ref or {"d0": 0.0},
+        is_mirror=mirror)
+
+
+def brute_force_yield(models, samples, d):
+    count = 0
+    for s in samples.matrix:
+        if all(m.margin(d, s) >= 0 for m in models):
+            count += 1
+    return count / samples.n
+
+
+class TestYieldEstimate:
+    def test_matches_brute_force(self):
+        rng = np.random.default_rng(0)
+        models = [
+            make_model([1.0, 0.2], {"d0": 1.0}, g_ref=0.8, key="a>="),
+            make_model([-0.5, 1.0], {"d0": -2.0}, g_ref=0.3, key="b>="),
+        ]
+        samples = SampleSet.draw(2000, 2, seed=1)
+        est = LinearizedYieldEstimator(models, samples)
+        for _ in range(5):
+            d = {"d0": rng.uniform(-1, 1)}
+            assert est.yield_estimate(d) == pytest.approx(
+                brute_force_yield(models, samples, d), abs=1e-12)
+
+    def test_gaussian_closed_form(self):
+        """One model margin = mu + g.s: yield = Phi(mu/||g||)."""
+        from scipy.stats import norm
+        mu, g = 0.7, np.array([0.6, 0.8])
+        model = make_model(g, {"d0": 0.0}, g_ref=mu)
+        samples = SampleSet.draw(60000, 2, seed=2)
+        est = LinearizedYieldEstimator([model], samples)
+        assert est.yield_estimate({"d0": 0.0}) == pytest.approx(
+            norm.cdf(mu / np.linalg.norm(g)), abs=0.01)
+
+    def test_design_shift_moves_yield(self):
+        model = make_model([1.0, 0.0], {"d0": 1.0}, g_ref=0.0)
+        samples = SampleSet.draw(5000, 2, seed=3)
+        est = LinearizedYieldEstimator([model], samples)
+        y0 = est.yield_estimate({"d0": 0.0})
+        y_hi = est.yield_estimate({"d0": 3.0})
+        y_lo = est.yield_estimate({"d0": -3.0})
+        assert y_lo < y0 < y_hi
+        assert y0 == pytest.approx(0.5, abs=0.03)
+
+    def test_empty_models_rejected(self):
+        with pytest.raises(ReproError):
+            LinearizedYieldEstimator([], SampleSet.draw(10, 2, seed=0))
+
+
+class TestBadSamples:
+    def test_per_model_fractions(self):
+        model_easy = make_model([1.0, 0.0], {"d0": 0.0}, g_ref=10.0,
+                                key="easy>=")
+        model_coin = make_model([1.0, 0.0], {"d0": 0.0}, g_ref=0.0,
+                                key="coin>=")
+        samples = SampleSet.draw(20000, 2, seed=4)
+        est = LinearizedYieldEstimator([model_easy, model_coin], samples)
+        bad = est.bad_sample_fraction({"d0": 0.0})
+        assert bad["easy>="] == pytest.approx(0.0, abs=1e-4)
+        assert bad["coin>="] == pytest.approx(0.5, abs=0.02)
+
+    def test_mirror_folded_into_primary(self):
+        primary = make_model([1.0, 0.0], {"d0": 0.0}, g_ref=1.0, key="f>=")
+        mirror = make_model([-1.0, 0.0], {"d0": 0.0}, g_ref=1.0,
+                            key="f>=#mirror", mirror=True)
+        samples = SampleSet.draw(20000, 2, seed=5)
+        est = LinearizedYieldEstimator([primary, mirror], samples)
+        bad = est.bad_samples_per_spec({"d0": 0.0})
+        assert set(bad) == {"f>="}
+        # pass region: |s0| <= 1 -> fail fraction = 2*(1-Phi(1)) ~ 0.317
+        assert bad["f>="] == pytest.approx(0.317, abs=0.02)
+
+
+class TestCoordinateMaximization:
+    def _grid_maximum(self, est, d, name, lo, hi, n=20001):
+        best_y, best_x = -1.0, None
+        for x in np.linspace(lo, hi, n):
+            probe = dict(d)
+            probe[name] = x
+            y = est.yield_estimate(probe)
+            if y > best_y:
+                best_y, best_x = y, x
+        return best_y, best_x
+
+    def test_exact_maximum_matches_dense_grid(self):
+        rng = np.random.default_rng(6)
+        models = [
+            make_model(rng.standard_normal(2), {"d0": 1.0, "d1": 0.3},
+                       g_ref=0.5, key="a>="),
+            make_model(rng.standard_normal(2), {"d0": -1.2, "d1": 0.1},
+                       g_ref=0.7, key="b>="),
+            make_model(rng.standard_normal(2), {"d0": 0.4, "d1": -0.9},
+                       g_ref=0.6, key="c>="),
+        ]
+        for m in models:
+            m.d_ref = {"d0": 0.0, "d1": 0.0}
+        samples = SampleSet.draw(300, 2, seed=7)
+        est = LinearizedYieldEstimator(models, samples)
+        d = {"d0": 0.1, "d1": -0.2}
+        result = est.maximize_coordinate(d, "d0", -2.0, 2.0)
+        grid_y, _ = self._grid_maximum(est, d, "d0", -2.0, 2.0)
+        assert result.yield_estimate == pytest.approx(grid_y, abs=1e-9)
+        probe = dict(d)
+        probe["d0"] = result.value
+        assert est.yield_estimate(probe) == pytest.approx(
+            result.yield_estimate, abs=1e-12)
+
+    @given(seed=st.integers(0, 200))
+    @settings(max_examples=25, deadline=None)
+    def test_exact_maximum_never_below_grid(self, seed):
+        """Property: the sweep maximum dominates any grid probe."""
+        rng = np.random.default_rng(seed)
+        models = [
+            make_model(rng.standard_normal(2),
+                       {"d0": float(rng.standard_normal())},
+                       g_ref=float(rng.uniform(-0.5, 1.0)),
+                       key=f"m{i}>=")
+            for i in range(3)
+        ]
+        samples = SampleSet.draw(200, 2, seed=seed + 1)
+        est = LinearizedYieldEstimator(models, samples)
+        d = {"d0": 0.0}
+        result = est.maximize_coordinate(d, "d0", -3.0, 3.0)
+        for x in np.linspace(-3.0, 3.0, 301):
+            assert result.yield_estimate >= \
+                est.yield_estimate({"d0": float(x)}) - 1e-12
+
+    def test_ties_broken_toward_current_value(self):
+        # Flat model: every x passes everything -> stay put.
+        model = make_model([0.1, 0.0], {"d0": 0.0}, g_ref=100.0)
+        samples = SampleSet.draw(100, 2, seed=8)
+        est = LinearizedYieldEstimator([model], samples)
+        result = est.maximize_coordinate({"d0": 0.3}, "d0", -1.0, 1.0)
+        assert result.value == pytest.approx(0.3)
+        assert result.yield_estimate == 1.0
+
+    def test_all_fail_returns_zero(self):
+        model = make_model([0.0, 0.1], {"d0": 0.0}, g_ref=-100.0)
+        samples = SampleSet.draw(100, 2, seed=9)
+        est = LinearizedYieldEstimator([model], samples)
+        result = est.maximize_coordinate({"d0": 0.0}, "d0", -1.0, 1.0)
+        assert result.yield_estimate == 0.0
+
+    def test_empty_range_rejected(self):
+        model = make_model([1.0, 0.0], {"d0": 1.0})
+        est = LinearizedYieldEstimator([model], SampleSet.draw(10, 2,
+                                                               seed=0))
+        with pytest.raises(ReproError):
+            est.maximize_coordinate({"d0": 0.0}, "d0", 1.0, -1.0)
+
+    def test_incremental_update_equals_full_recompute(self):
+        """Eq. 20: the stored statistical part plus the scalar design shift
+        reproduces a full model evaluation for every sample."""
+        rng = np.random.default_rng(10)
+        model = make_model(rng.standard_normal(3),
+                           {"d0": 1.5, "d1": -0.7},
+                           g_ref=0.4, s_ref=rng.standard_normal(3),
+                           d_ref={"d0": 0.2, "d1": -0.1})
+        samples = SampleSet.draw(500, 3, seed=11)
+        est = LinearizedYieldEstimator([model], samples)
+        d = {"d0": 1.0, "d1": 0.5}
+        margins = est.margins(d)[:, 0]
+        for j in (0, 17, 123, 499):
+            assert margins[j] == pytest.approx(
+                model.margin(d, samples[j]), abs=1e-12)

@@ -1,0 +1,152 @@
+"""Unit tests for spec-wise linearization (Eq. 16, 21-22)."""
+
+import numpy as np
+import pytest
+
+from helpers import LinearTemplate, QuadraticTemplate
+from repro.core.linear_model import (SpecLinearModel, build_spec_models,
+                                     detect_quadratic)
+from repro.core.worst_case import find_all_worst_case_points
+from repro.evaluation import Evaluator
+from repro.spec import Spec
+
+THETA = {"temp": 27.0}
+D = {"d0": 1.0, "d1": 0.0}
+
+
+def build_for(template, d=D, linearize_at="worst_case",
+              detect=True):
+    ev = Evaluator(template)
+    theta_map = {"f>=": THETA, "f<=": THETA}
+    theta_map = {k: v for k, v in theta_map.items()
+                 if any(k == f"{s.performance}{s.kind}"
+                        for s in template.specs)}
+    wc = find_all_worst_case_points(ev, d, theta_map)
+    models = build_spec_models(ev, d, wc, theta_map,
+                               linearize_at=linearize_at,
+                               detect_quadratic_specs=detect)
+    return ev, wc, models
+
+
+class TestSpecLinearModel:
+    def _model(self):
+        return SpecLinearModel(
+            spec=Spec("f", ">=", 2.0), key="f>=", theta=THETA,
+            s_ref=np.array([1.0, 0.0]), g_ref=2.0,
+            grad_s=np.array([0.5, -1.0]), grad_d={"d0": 2.0},
+            d_ref={"d0": 1.0})
+
+    def test_value_arithmetic(self):
+        m = self._model()
+        value = m.value({"d0": 1.5}, np.array([2.0, 1.0]))
+        # 2.0 + [0.5,-1].[1,1] + 2*(0.5) = 2.0 - 0.5 + 1.0
+        assert value == pytest.approx(2.5)
+
+    def test_margin_is_value_minus_bound(self):
+        m = self._model()
+        s = np.array([0.0, 0.0])
+        assert m.margin({"d0": 1.0}, s) == \
+            pytest.approx(m.value({"d0": 1.0}, s) - 2.0)
+
+    def test_statistical_part_matches_per_sample_margin(self):
+        """The stored Eq. 20 constant equals the margin at d = d_ref."""
+        m = self._model()
+        samples = np.random.default_rng(0).standard_normal((50, 2))
+        stat = m.statistical_part(samples)
+        for j in range(50):
+            assert stat[j] == pytest.approx(
+                m.margin({"d0": 1.0}, samples[j]), abs=1e-12)
+
+
+class TestWorstCaseLinearization:
+    def test_linear_template_model_is_exact(self):
+        """For an affine performance the spec-wise model reproduces the
+        template everywhere, not just at the worst-case point."""
+        t = LinearTemplate(offset=5.0, cd={"d0": 2.0, "d1": -1.0},
+                           cs=np.array([1.0, 0.5]))
+        ev, wc, models = build_for(t)
+        assert len(models) == 1
+        model = models[0]
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            d = {"d0": rng.uniform(0, 2), "d1": rng.uniform(-1, 1)}
+            s = rng.standard_normal(2)
+            assert model.value(d, s) == pytest.approx(
+                t.value(d, s, THETA), rel=1e-3, abs=1e-3)
+
+    def test_nominal_ablation_reference_point(self):
+        t = LinearTemplate()
+        ev, wc, models = build_for(t, linearize_at="nominal")
+        model = models[0]
+        assert np.all(model.s_ref == 0.0)
+        assert model.g_ref == pytest.approx(t.value(D, np.zeros(2), THETA))
+
+    def test_invalid_mode_rejected(self):
+        t = LinearTemplate()
+        with pytest.raises(ValueError):
+            build_for(t, linearize_at="banana")
+
+
+class TestMirrorDetection:
+    def test_tent_gets_mirror_model(self):
+        """Quadratic (CMRR-like) performances get the Eq. 21-22 twin."""
+        t = QuadraticTemplate(dim=3)
+        ev, wc, models = build_for(t, d={"d0": 0.0})
+        keys = [m.key for m in models]
+        assert "f>=" in keys
+        assert "f>=#mirror" in keys
+        primary = models[0]
+        mirror = models[1]
+        assert mirror.is_mirror
+        assert np.allclose(mirror.s_ref, -primary.s_ref)
+        assert np.allclose(mirror.grad_s, -primary.grad_s)
+        assert mirror.grad_d == primary.grad_d
+
+    def test_linear_spec_gets_no_mirror(self):
+        t = LinearTemplate()
+        ev, wc, models = build_for(t)
+        assert len(models) == 1
+
+    def test_violated_monotone_spec_gets_no_mirror(self):
+        """Regression guard: a violated monotone spec must not be treated
+        as quadratic (the single tangent already covers the mirror side)."""
+        t = LinearTemplate(offset=-2.0)  # f0 = -1 < 0 = bound
+        ev, wc, models = build_for(t)
+        assert len(models) == 1
+
+    def test_detection_disabled(self):
+        t = QuadraticTemplate(dim=3)
+        ev, wc, models = build_for(t, d={"d0": 0.0}, detect=False)
+        assert len(models) == 1
+
+    def test_detect_quadratic_costs_one_simulation(self):
+        t = QuadraticTemplate(dim=3)
+        ev = Evaluator(t)
+        theta_map = {"f>=": THETA}
+        wc = find_all_worst_case_points(ev, {"d0": 0.0}, theta_map)
+        ev.reset_counters()
+        ev.clear_cache()
+        detect_quadratic(ev, wc["f>="], {"d0": 0.0}, THETA)
+        assert ev.simulation_count == 1
+
+
+class TestMirrorModelYieldAccuracy:
+    def test_two_models_capture_both_tails(self):
+        """With the tent template, one linearization misses half the
+        failures; primary+mirror predict the true failure set."""
+        t = QuadraticTemplate(peak=10.0, curvature=1.0, bound=2.0, dim=3)
+        ev, wc, models = build_for(t, d={"d0": 0.0})
+        rng = np.random.default_rng(7)
+        samples = rng.standard_normal((4000, 3))
+        true_pass = np.array([
+            t.evaluate({"d0": 0.0}, s, THETA)["f"] >= 2.0 for s in samples])
+        primary = models[0]
+        both_pass = np.array([
+            all(m.margin({"d0": 0.0}, s) >= 0 for m in models)
+            for s in samples])
+        primary_pass = np.array([
+            primary.margin({"d0": 0.0}, s) >= 0 for s in samples])
+        err_primary = np.mean(primary_pass != true_pass)
+        err_both = np.mean(both_pass != true_pass)
+        assert err_both < err_primary
+        assert abs(np.mean(both_pass) - np.mean(true_pass)) < 0.02

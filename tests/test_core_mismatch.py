@@ -1,0 +1,192 @@
+"""Unit tests for the mismatch measure (Sec. 3, Eq. 9)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from helpers import QuadraticTemplate
+from repro.core.mismatch import (analyze_mismatch, eta_weight,
+                                 mismatch_measure, phi_window,
+                                 rank_matching_pairs)
+from repro.core.worst_case import WorstCaseResult, find_worst_case_point
+from repro.errors import ReproError
+from repro.evaluation import Evaluator
+from repro.spec import Spec
+
+
+def make_result(s_wc, beta, spec=None):
+    s_wc = np.asarray(s_wc, dtype=float)
+    return WorstCaseResult(
+        spec=spec or Spec("cmrr", ">=", 80.0),
+        s_wc=s_wc, beta_wc=beta, gradient=-s_wc,
+        g_wc=80.0, g_nominal=85.0, on_boundary=True, iterations=1,
+        method="test")
+
+
+class TestPhiWindow:
+    def test_full_credit_on_mismatch_line(self):
+        assert phi_window(-math.pi / 4) == 1.0
+
+    def test_zero_on_neutral_line(self):
+        assert phi_window(math.pi / 4) == 0.0
+
+    def test_zero_on_axes(self):
+        assert phi_window(0.0) == 0.0
+        assert phi_window(math.pi / 2) == 0.0
+
+    def test_linear_falloff(self):
+        d1, d2 = math.radians(5), math.radians(15)
+        mid = -math.pi / 4 + d1 + d2 / 2
+        assert phi_window(mid, d1, d2) == pytest.approx(0.5)
+
+    @given(angle=st.floats(-math.pi / 2, math.pi / 2))
+    @settings(max_examples=60, deadline=None)
+    def test_range_zero_to_one(self, angle):
+        assert 0.0 <= phi_window(angle) <= 1.0
+
+    def test_invalid_widths_rejected(self):
+        with pytest.raises(ReproError):
+            phi_window(0.0, delta1=-0.1)
+        with pytest.raises(ReproError):
+            phi_window(0.0, delta2=0.0)
+
+
+class TestEtaWeight:
+    def test_half_at_zero(self):
+        assert eta_weight(0.0) == pytest.approx(0.5)
+
+    def test_limits(self):
+        assert eta_weight(1000.0) == pytest.approx(0.0, abs=1e-3)
+        assert eta_weight(-1000.0) == pytest.approx(1.0, abs=1e-3)
+
+    def test_continuity_at_zero(self):
+        eps = 1e-9
+        assert eta_weight(-eps) == pytest.approx(eta_weight(eps), abs=1e-8)
+
+    @given(beta=st.floats(-50, 50))
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_decreasing_and_bounded(self, beta):
+        """Requirement 4: more robust (larger beta) -> smaller weight."""
+        assert 0.0 < eta_weight(beta) < 1.0
+        assert eta_weight(beta) >= eta_weight(beta + 0.1) - 1e-12
+
+
+class TestMismatchMeasure:
+    def test_perfect_pair_scores_high(self):
+        """Requirement 1: opposite-sign equal-magnitude dominant components
+        lie on the mismatch line."""
+        result = make_result([2.0, -2.0, 0.01, 0.0], beta=0.0)
+        m = mismatch_measure(result.s_wc, result.beta_wc, 0, 1)
+        assert m == pytest.approx(0.5)  # eta(0) * 1 * 1
+
+    def test_same_sign_pair_scores_zero(self):
+        result = make_result([2.0, 2.0, 0.0, 0.0], beta=0.0)
+        assert mismatch_measure(result.s_wc, result.beta_wc, 0, 1) == 0.0
+
+    def test_small_components_score_zero(self):
+        result = make_result([2.0, -2.0, 1e-6, -1e-6], beta=0.0)
+        assert mismatch_measure(result.s_wc, result.beta_wc, 2, 3) == 0.0
+
+    @given(sk=st.floats(-3, 3), sl=st.floats(-3, 3),
+           beta=st.floats(-5, 5))
+    @settings(max_examples=80, deadline=None)
+    def test_range_zero_to_one(self, sk, sl, beta):
+        """Requirement 2: the measure is in [0, 1]."""
+        s = np.array([sk, sl, 1.0])
+        m = mismatch_measure(s, beta, 0, 1)
+        assert 0.0 <= m <= 1.0
+
+    def test_magnitude_weighting(self):
+        """Bigger deviations weigh more (2nd factor of Eq. 9)."""
+        s = np.array([3.0, -3.0, 1.0, -1.0])
+        big = mismatch_measure(s, 0.0, 0, 1)
+        small = mismatch_measure(s, 0.0, 2, 3)
+        assert big > small
+
+    def test_robust_spec_scores_lower(self):
+        """Requirement 4 via eta."""
+        s = [2.0, -2.0, 0.0]
+        fragile = mismatch_measure(np.array(s), -1.0, 0, 1)
+        robust = mismatch_measure(np.array(s), +3.0, 0, 1)
+        assert fragile > robust
+
+    def test_candidate_restriction_changes_normalization(self):
+        s = np.array([1.0, -1.0, 10.0])
+        unrestricted = mismatch_measure(s, 0.0, 0, 1)
+        restricted = mismatch_measure(s, 0.0, 0, 1,
+                                      candidate_indices=[0, 1])
+        assert restricted > unrestricted
+
+    def test_identical_indices_rejected(self):
+        with pytest.raises(ReproError):
+            mismatch_measure(np.array([1.0, -1.0]), 0.0, 1, 1)
+
+    def test_zero_point_scores_zero(self):
+        assert mismatch_measure(np.zeros(3), 0.0, 0, 1) == 0.0
+
+
+class TestRanking:
+    NAMES = ["dvt_M1", "dvt_M2", "dvt_M3", "dvt_M4"]
+
+    def test_dominant_pair_ranks_first(self):
+        result = make_result([2.0, -2.0, 0.5, -0.5], beta=0.5)
+        pairs = rank_matching_pairs(result, self.NAMES)
+        assert pairs[0].parameter_k == "dvt_M1"
+        assert pairs[0].parameter_l == "dvt_M2"
+        assert pairs[0].measure > pairs[1].measure
+
+    def test_devices_extracted_from_names(self):
+        result = make_result([2.0, -2.0, 0.0, 0.0], beta=0.0)
+        pairs = rank_matching_pairs(result, self.NAMES, top=1)
+        assert pairs[0].devices == ("M1", "M2")
+
+    def test_top_truncation(self):
+        result = make_result([2.0, -2.0, 0.5, -0.5], beta=0.0)
+        assert len(rank_matching_pairs(result, self.NAMES, top=2)) == 2
+        assert len(rank_matching_pairs(result, self.NAMES)) == 6  # C(4,2)
+
+    def test_candidate_subset(self):
+        result = make_result([2.0, -2.0, 0.5, -0.5], beta=0.0)
+        pairs = rank_matching_pairs(result, self.NAMES,
+                                    candidate_names=["dvt_M3", "dvt_M4"])
+        assert len(pairs) == 1
+        assert pairs[0].devices == ("M3", "M4")
+
+    def test_name_count_mismatch_rejected(self):
+        result = make_result([1.0, -1.0], beta=0.0)
+        with pytest.raises(ReproError):
+            rank_matching_pairs(result, self.NAMES)
+
+    def test_unknown_candidate_rejected(self):
+        result = make_result([1.0, -1.0, 0.0, 0.0], beta=0.0)
+        with pytest.raises(ReproError):
+            rank_matching_pairs(result, self.NAMES,
+                                candidate_names=["ghost"])
+
+    def test_analyze_mismatch_thresholds(self):
+        strong = make_result([2.0, -2.0, 0.0, 0.0], beta=0.0)
+        weak = make_result([0.0, 0.0, 0.0, 2.0], beta=0.0)
+        report = analyze_mismatch({"a>=": strong, "b>=": weak},
+                                  self.NAMES, threshold=0.05)
+        assert len(report["a>="]) >= 1
+        assert report["b>="] == []  # single-component point: no pair
+
+
+class TestEndToEndOnTent:
+    def test_worst_case_point_reveals_the_pair(self):
+        """Full Sec. 3 pipeline on the analytic tent: the worst-case point
+        search plus the measure identify (s0, s1) as the matching pair."""
+        t = QuadraticTemplate(dim=4)
+        ev = Evaluator(t)
+        wc = find_worst_case_point(ev, t.specs[0], {"d0": 0.0},
+                                   {"temp": 27.0}, seed=5)
+        names = [f"s{i}" for i in range(4)]
+        pairs = rank_matching_pairs(wc, names, top=1)
+        assert {pairs[0].parameter_k, pairs[0].parameter_l} == {"s0", "s1"}
+        # measure = eta(beta) * 1 * 1 with beta = expected_wc_norm() = 2.
+        from repro.core.mismatch import eta_weight
+        assert pairs[0].measure == pytest.approx(
+            eta_weight(t.expected_wc_norm()), rel=1e-2)

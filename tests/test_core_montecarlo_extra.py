@@ -1,0 +1,107 @@
+"""Additional coverage: Monte-Carlo details, optimizer records on real
+circuits reused from cheap fixtures, and table rendering round trips."""
+
+import numpy as np
+import pytest
+
+from helpers import LinearTemplate, tiny_process
+from repro.core import (OptimizerConfig, YieldOptimizer, build_spec_models,
+                        find_all_worst_case_points, wcd_yield_report)
+from repro.core.estimator import LinearizedYieldEstimator
+from repro.evaluation import Evaluator
+from repro.statistics import SampleSet
+
+THETA = {"temp": 27.0}
+
+
+class TestOptimizerEdgeCases:
+    def test_zero_max_iterations_rejected_gracefully(self):
+        """max_iterations=0 still yields a result object (no records)."""
+        t = LinearTemplate()
+        result = YieldOptimizer(
+            t, OptimizerConfig(max_iterations=0, n_samples_linear=100,
+                               verify=False)).run()
+        assert result.records == []
+        assert result.converged is False
+
+    def test_single_sample_budget(self):
+        t = LinearTemplate()
+        result = YieldOptimizer(
+            t, OptimizerConfig(max_iterations=1, n_samples_linear=1,
+                               n_samples_verify=1, seed=1,
+                               trust_radius=0.0)).run()
+        assert 0.0 <= result.final.yield_linear <= 1.0
+
+    def test_seed_reproducibility(self):
+        t1 = LinearTemplate()
+        t2 = LinearTemplate()
+        config = OptimizerConfig(max_iterations=2, n_samples_linear=500,
+                                 n_samples_verify=50, seed=9,
+                                 trust_radius=0.0)
+        r1 = YieldOptimizer(t1, config).run()
+        r2 = YieldOptimizer(t2, config).run()
+        assert r1.d_final == r2.d_final
+        assert r1.final.yield_mc == r2.final.yield_mc
+
+    def test_already_perfect_design_converges_immediately(self):
+        t = LinearTemplate(offset=100.0)  # passes by ~100 sigma
+        result = YieldOptimizer(
+            t, OptimizerConfig(max_iterations=4, n_samples_linear=500,
+                               n_samples_verify=30, seed=1,
+                               trust_radius=0.0)).run()
+        assert result.converged
+        assert len(result.records) == 2  # initial + one no-gain iteration
+        assert result.final.yield_mc == 1.0
+
+    def test_evaluator_shared_across_runs(self):
+        """An externally supplied evaluator keeps its cache/counters."""
+        t = LinearTemplate()
+        evaluator = Evaluator(t)
+        config = OptimizerConfig(max_iterations=1, n_samples_linear=100,
+                                 n_samples_verify=10, seed=1)
+        YieldOptimizer(t, config, evaluator=evaluator).run()
+        first_count = evaluator.simulation_count
+        YieldOptimizer(t, config, evaluator=evaluator).run()
+        # Second run hits the cache for most points.
+        assert evaluator.simulation_count < 2 * first_count
+
+
+class TestEstimatorMirrorInteraction:
+    def test_mirror_models_tighten_the_wcd_report(self):
+        """Consistency across the two yield views: for the tent template
+        the two-sided Phi(beta) estimate matches the two-model linearized
+        Monte-Carlo estimate."""
+        from helpers import QuadraticTemplate
+        t = QuadraticTemplate(peak=10.0, curvature=1.0, bound=2.0, dim=3)
+        ev = Evaluator(t)
+        theta_map = {"f>=": THETA}
+        wc = find_all_worst_case_points(ev, {"d0": 0.0}, theta_map, seed=3)
+        models = build_spec_models(ev, {"d0": 0.0}, wc, theta_map)
+        assert len(models) == 2  # primary + mirror
+        samples = SampleSet.draw(20000, 3, seed=4)
+        estimator = LinearizedYieldEstimator(models, samples)
+        y_linear = estimator.yield_estimate({"d0": 0.0})
+        report = wcd_yield_report(wc, two_sided_keys={"f>="})
+        assert y_linear == pytest.approx(report.independent_estimate,
+                                         abs=0.02)
+
+
+class TestRecordsSerialization:
+    def test_records_carry_worst_case_data(self):
+        t = LinearTemplate()
+        result = YieldOptimizer(
+            t, OptimizerConfig(max_iterations=1, n_samples_linear=200,
+                               n_samples_verify=20, seed=2)).run()
+        wc = result.initial.worst_case["f>="]
+        assert wc.spec.performance == "f"
+        assert np.isfinite(wc.beta_wc)
+
+    def test_cumulative_counts_monotone(self):
+        t = LinearTemplate()
+        result = YieldOptimizer(
+            t, OptimizerConfig(max_iterations=3, n_samples_linear=200,
+                               n_samples_verify=20, seed=2,
+                               trust_radius=0.0)).run()
+        counts = [r.simulations for r in result.records]
+        assert counts == sorted(counts)
+        assert result.total_simulations >= counts[-1]

@@ -1,0 +1,188 @@
+"""Unit tests for the feasibility machinery and the coordinate search."""
+
+import numpy as np
+import pytest
+
+from helpers import LinearTemplate
+from repro.core.constraints import (LinearConstraints, UnconstrainedRegion,
+                                    linearize_constraints, true_feasible,
+                                    violation)
+from repro.core.coordinate_search import coordinate_search
+from repro.core.estimator import LinearizedYieldEstimator
+from repro.core.feasible_point import find_feasible_point
+from repro.core.line_search import feasibility_line_search
+from repro.core.linear_model import SpecLinearModel
+from repro.errors import FeasibilityError
+from repro.evaluation import Evaluator
+from repro.spec import Spec
+from repro.statistics import SampleSet
+
+THETA = {"temp": 27.0}
+
+
+def estimator_for(grad_s, grad_d, g_ref, d_ref, n=2000, seed=1):
+    model = SpecLinearModel(
+        spec=Spec("f", ">=", 0.0), key="f>=", theta=THETA,
+        s_ref=np.zeros(len(grad_s)), g_ref=g_ref,
+        grad_s=np.asarray(grad_s, dtype=float), grad_d=dict(grad_d),
+        d_ref=dict(d_ref))
+    samples = SampleSet.draw(n, len(grad_s), seed=seed)
+    return LinearizedYieldEstimator([model], samples)
+
+
+class TestLinearConstraints:
+    def test_linearization_of_affine_constraint_is_exact(self):
+        t = LinearTemplate(min_d0=0.4)
+        ev = Evaluator(t)
+        linear = linearize_constraints(ev, {"d0": 1.0, "d1": 0.0})
+        for d0 in (0.0, 0.4, 2.0):
+            values = linear.values({"d0": d0, "d1": 0.5})
+            assert values[0] == pytest.approx(d0 - 0.4, abs=1e-6)
+
+    def test_satisfied(self):
+        t = LinearTemplate(min_d0=0.4)
+        ev = Evaluator(t)
+        linear = linearize_constraints(ev, {"d0": 1.0, "d1": 0.0})
+        assert linear.satisfied({"d0": 0.5, "d1": 0.0})
+        assert not linear.satisfied({"d0": 0.3, "d1": 0.0})
+
+    def test_coordinate_interval_respects_constraint(self):
+        t = LinearTemplate(min_d0=0.4)
+        ev = Evaluator(t)
+        linear = linearize_constraints(ev, {"d0": 1.0, "d1": 0.0})
+        interval = linear.coordinate_interval({"d0": 1.0, "d1": 0.0},
+                                              "d0", -10.0, 10.0)
+        lo, hi = interval
+        assert lo == pytest.approx(0.4, abs=1e-3)
+        assert hi == 10.0
+
+    def test_unconstrained_coordinate_full_box(self):
+        t = LinearTemplate(min_d0=0.4)
+        ev = Evaluator(t)
+        linear = linearize_constraints(ev, {"d0": 1.0, "d1": 0.0})
+        assert linear.coordinate_interval({"d0": 1.0, "d1": 0.0},
+                                          "d1", -5.0, 5.0) == (-5.0, 5.0)
+
+    def test_infeasible_fixed_constraint_returns_none(self):
+        linear = LinearConstraints(
+            names=("c0",), c0=np.array([-1.0]),
+            jacobian=np.array([[0.0, 1.0]]),
+            d_ref={"d0": 0.0, "d1": 0.0},
+            design_names=("d0", "d1"))
+        # c depends only on d1; moving d0 cannot fix the violation.
+        assert linear.coordinate_interval({"d0": 0.0, "d1": 0.0},
+                                          "d0", -1.0, 1.0) is None
+
+    def test_unconstrained_region(self):
+        region = UnconstrainedRegion()
+        assert region.coordinate_interval({}, "x", -1.0, 2.0) == (-1.0, 2.0)
+        assert region.satisfied({})
+
+    def test_violation_helper(self):
+        assert violation({"a": 1.0, "b": -0.5, "c": -0.25}) == \
+            pytest.approx(0.75)
+        assert violation({"a": 0.0}) == 0.0
+
+    def test_true_feasible(self):
+        t = LinearTemplate(min_d0=0.4)
+        ev = Evaluator(t)
+        assert true_feasible(ev, {"d0": 1.0, "d1": 0.0})
+        assert not true_feasible(ev, {"d0": 0.0, "d1": 0.0})
+
+
+class TestFeasibleStartingPoint:
+    def test_already_feasible_returns_unchanged(self):
+        t = LinearTemplate(min_d0=0.4)
+        ev = Evaluator(t)
+        d0 = {"d0": 1.0, "d1": 0.5}
+        d_f, values = find_feasible_point(ev, d0)
+        assert d_f == d0
+        assert values["c0"] == pytest.approx(0.6)
+
+    def test_projects_onto_boundary(self):
+        """Sec. 5.5: closest feasible point to an infeasible start."""
+        t = LinearTemplate(min_d0=0.4)
+        ev = Evaluator(t)
+        d_f, values = find_feasible_point(ev, {"d0": -1.0, "d1": 0.7})
+        assert values["c0"] >= -1e-9
+        assert d_f["d0"] == pytest.approx(0.4, abs=1e-3)
+        assert d_f["d1"] == pytest.approx(0.7, abs=1e-6)  # untouched
+
+    def test_infeasible_problem_raises(self):
+        t = LinearTemplate(min_d0=99.0)  # outside the design box
+        ev = Evaluator(t)
+        with pytest.raises(FeasibilityError):
+            find_feasible_point(ev, {"d0": 0.0, "d1": 0.0})
+
+
+class TestLineSearch:
+    def test_full_step_when_feasible(self):
+        t = LinearTemplate(min_d0=0.4)
+        ev = Evaluator(t)
+        result = feasibility_line_search(ev, {"d0": 1.0, "d1": 0.0},
+                                         {"d0": 2.0, "d1": 1.0})
+        assert result.gamma == 1.0
+        assert result.simulations == 1
+
+    def test_bisection_stops_at_boundary(self):
+        """Eq. 23: largest gamma keeping c(d) >= 0, found by bisection."""
+        t = LinearTemplate(min_d0=0.4)
+        ev = Evaluator(t)
+        d_f = {"d0": 1.0, "d1": 0.0}
+        d_star = {"d0": -1.0, "d1": 0.0}  # crosses c at gamma = 0.3
+        result = feasibility_line_search(ev, d_f, d_star)
+        assert result.gamma == pytest.approx(0.3, abs=0.01)
+        assert t.constraints(result.d_new)["c0"] >= -1e-9
+        assert result.simulations <= 11  # paper: ~10 simulations
+
+    def test_zero_direction_is_noop(self):
+        t = LinearTemplate(min_d0=0.4)
+        ev = Evaluator(t)
+        d_f = {"d0": 1.0, "d1": 0.0}
+        result = feasibility_line_search(ev, d_f, dict(d_f))
+        assert result.d_new == d_f
+
+
+class TestCoordinateSearch:
+    def test_improves_yield_to_optimum(self):
+        # margin = -1 + 1.0*d0 + s0: best yield at d0 as high as allowed.
+        est = estimator_for([1.0, 0.0], {"d0": 1.0, "d1": 0.0},
+                            g_ref=-1.0, d_ref={"d0": 0.0, "d1": 0.0})
+        t = LinearTemplate()
+        result = coordinate_search(est, UnconstrainedRegion(), t,
+                                   {"d0": 0.0, "d1": 0.0})
+        assert result.yield_estimate > 0.99
+        assert result.d_star["d0"] > 3.0
+        assert result.yield_estimate >= result.initial_estimate
+
+    def test_respects_linear_constraints(self):
+        est = estimator_for([1.0, 0.0], {"d0": -1.0, "d1": 0.0},
+                            g_ref=1.0, d_ref={"d0": 0.0, "d1": 0.0})
+        # Yield wants d0 as low as possible; constraint says d0 >= 0.4.
+        linear = LinearConstraints(
+            names=("c0",), c0=np.array([-0.4]),
+            jacobian=np.array([[1.0, 0.0]]),
+            d_ref={"d0": 0.0, "d1": 0.0}, design_names=("d0", "d1"))
+        t = LinearTemplate()
+        result = coordinate_search(est, linear, t, {"d0": 1.0, "d1": 0.0})
+        assert result.d_star["d0"] >= 0.4 - 1e-9
+
+    def test_respects_trust_radius(self):
+        est = estimator_for([1.0, 0.0], {"d0": 1.0, "d1": 0.0},
+                            g_ref=-3.0, d_ref={"d0": 0.0, "d1": 0.0})
+        t = LinearTemplate()
+        start = {"d0": 1.0, "d1": 0.0}
+        result = coordinate_search(est, UnconstrainedRegion(), t, start,
+                                   trust_radius=0.25)
+        assert result.d_star["d0"] <= 1.0 * 1.25 + 1e-12
+
+    def test_logs_steps(self):
+        est = estimator_for([1.0, 0.0], {"d0": 1.0, "d1": 0.0},
+                            g_ref=-1.0, d_ref={"d0": 0.0, "d1": 0.0})
+        t = LinearTemplate()
+        result = coordinate_search(est, UnconstrainedRegion(), t,
+                                   {"d0": 0.0, "d1": 0.0})
+        assert result.steps
+        sweep, name, value, estimate = result.steps[0]
+        assert name == "d0"
+        assert estimate > result.initial_estimate

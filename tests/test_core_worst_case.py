@@ -1,0 +1,116 @@
+"""Unit tests for the worst-case point search (Eq. 8) on analytic templates."""
+
+import math
+
+import numpy as np
+import pytest
+
+from helpers import LinearTemplate, QuadraticTemplate
+from repro.evaluation import Evaluator
+from repro.core.worst_case import (BETA_MAX, find_all_worst_case_points,
+                                   find_worst_case_point)
+
+THETA = {"temp": 27.0}
+D = {"d0": 1.0, "d1": 0.0}
+
+
+class TestLinearPerformance:
+    """For f = offset + cs.s with spec f >= bound, the exact worst-case
+    distance is (f0 - bound)/||cs|| and s_wc = -(f0-bound) cs/||cs||^2."""
+
+    def test_satisfied_spec_distance_and_point(self):
+        t = LinearTemplate(offset=5.0, cs=np.array([3.0, 4.0]), bound=0.0)
+        ev = Evaluator(t)
+        wc = find_worst_case_point(ev, t.specs[0], D, THETA)
+        f0 = 5.0 + 1.0  # offset + d0
+        expected_beta = f0 / 5.0  # ||cs|| = 5
+        assert wc.on_boundary
+        assert wc.beta_wc == pytest.approx(expected_beta, rel=1e-3)
+        expected_point = -f0 * np.array([3.0, 4.0]) / 25.0
+        assert wc.s_wc == pytest.approx(expected_point, rel=1e-2)
+
+    def test_violated_spec_has_negative_distance(self):
+        t = LinearTemplate(offset=-3.0, cs=np.array([1.0, 0.0]), bound=0.0)
+        ev = Evaluator(t)
+        wc = find_worst_case_point(ev, t.specs[0], D, THETA)
+        # f0 = -3 + 1 = -2, boundary at s0 = +2 -> beta = -2.
+        assert wc.beta_wc == pytest.approx(-2.0, rel=1e-3)
+        assert not wc.nominal_satisfied
+
+    def test_upper_bound_spec(self):
+        t = LinearTemplate(offset=1.0, cs=np.array([1.0, 0.0]),
+                           bound=4.0, kind="<=")
+        ev = Evaluator(t)
+        wc = find_worst_case_point(ev, t.specs[0], D, THETA)
+        # f0 = 2, upper bound 4 -> boundary at s0 = +2 -> beta = +2.
+        assert wc.beta_wc == pytest.approx(2.0, rel=1e-3)
+        assert wc.nominal_satisfied
+
+    def test_gradient_is_normalized_performance_gradient(self):
+        t = LinearTemplate(cs=np.array([2.0, -1.0]), bound=0.0, kind="<=")
+        ev = Evaluator(t)
+        wc = find_worst_case_point(ev, t.specs[0], D, THETA)
+        # normalized g = -f, so grad_s g = -cs.
+        assert wc.gradient == pytest.approx(np.array([-2.0, 1.0]), rel=1e-4)
+
+    def test_unreachable_spec_is_clamped(self):
+        t = LinearTemplate(offset=1000.0, cs=np.array([1.0, 1.0]),
+                           bound=0.0)
+        ev = Evaluator(t)
+        wc = find_worst_case_point(ev, t.specs[0], D, THETA)
+        assert not wc.on_boundary
+        assert wc.beta_wc == pytest.approx(BETA_MAX)
+
+    def test_warm_start_converges_faster(self):
+        t = LinearTemplate(offset=5.0, cs=np.array([3.0, 4.0]))
+        ev = Evaluator(t)
+        cold = find_worst_case_point(ev, t.specs[0], D, THETA)
+        warm = find_worst_case_point(ev, t.specs[0], D, THETA,
+                                     s_start=cold.s_wc)
+        assert warm.iterations <= cold.iterations
+        assert warm.beta_wc == pytest.approx(cold.beta_wc, rel=1e-6)
+
+
+class TestQuadraticPerformance:
+    """The tent-shaped template mimics CMRR (Fig. 1): worst-case points sit
+    on the mismatch line at an exactly known radius."""
+
+    def test_finds_mismatch_line_boundary(self):
+        t = QuadraticTemplate(peak=10.0, curvature=1.0, bound=2.0)
+        ev = Evaluator(t)
+        wc = find_worst_case_point(ev, t.specs[0], {"d0": 0.0}, THETA,
+                                   seed=3)
+        assert wc.on_boundary
+        assert abs(wc.beta_wc) == pytest.approx(t.expected_wc_norm(),
+                                                rel=1e-2)
+        # The point lies on the mismatch line: s0 ~ -s1, s2 ~ 0.
+        s = wc.s_wc
+        assert s[0] == pytest.approx(-s[1], abs=0.05)
+        assert s[2] == pytest.approx(0.0, abs=0.05)
+
+    def test_mirror_point_is_equally_bad(self):
+        t = QuadraticTemplate()
+        ev = Evaluator(t)
+        wc = find_worst_case_point(ev, t.specs[0], {"d0": 0.0}, THETA,
+                                   seed=3)
+        f_wc = ev.performance("f", {"d0": 0.0}, wc.s_wc, THETA)
+        f_mirror = ev.performance("f", {"d0": 0.0}, -wc.s_wc, THETA)
+        assert f_mirror == pytest.approx(f_wc, rel=1e-9)
+
+
+class TestAllSpecs:
+    def test_keys_cover_all_specs(self):
+        t = LinearTemplate()
+        ev = Evaluator(t)
+        theta_map = {"f>=": THETA}
+        results = find_all_worst_case_points(ev, D, theta_map)
+        assert set(results) == {"f>="}
+
+    def test_previous_results_warm_start(self):
+        t = LinearTemplate()
+        ev = Evaluator(t)
+        theta_map = {"f>=": THETA}
+        first = find_all_worst_case_points(ev, D, theta_map)
+        again = find_all_worst_case_points(ev, D, theta_map, previous=first)
+        assert again["f>="].beta_wc == pytest.approx(
+            first["f>="].beta_wc, rel=1e-6)

@@ -1,0 +1,112 @@
+"""Integration tests: the full Fig.-6 loop and the Sec.-3 analysis on the
+real benchmark circuits, with reduced budgets so the suite stays fast.
+
+The full-budget paper reproductions live in ``benchmarks/``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits import FoldedCascodeOpamp, MillerOpamp
+from repro.core import (OptimizerConfig, YieldOptimizer, analyze_mismatch,
+                        find_all_worst_case_points, rank_matching_pairs)
+from repro.evaluation import Evaluator
+from repro.reporting import optimization_trace_table
+from repro.spec.operating import find_worst_case_operating_points
+
+
+@pytest.mark.slow
+class TestMillerEndToEnd:
+    @pytest.fixture(scope="class")
+    def result(self):
+        config = OptimizerConfig(n_samples_linear=4000,
+                                 n_samples_verify=60,
+                                 max_iterations=3, seed=1)
+        return YieldOptimizer(MillerOpamp(), config).run()
+
+    def test_yield_improves_substantially(self, result):
+        assert result.initial.yield_mc < 0.6
+        assert result.final.yield_mc > 0.9
+
+    def test_slew_rate_was_the_initial_problem(self, result):
+        initial = result.initial
+        assert initial.margins["sr>="] < 0
+        assert initial.bad_samples["sr>="] > 0.3
+        assert result.final.margins["sr>="] > 0
+
+    def test_linearized_estimate_close_to_mc(self, result):
+        """The <1-2 % accuracy claim of Sec. 5.2 on a real circuit."""
+        initial = result.initial
+        assert initial.yield_linear == pytest.approx(initial.yield_mc,
+                                                     abs=0.12)
+
+    def test_final_design_feasible(self, result):
+        template = MillerOpamp()
+        values = template.constraints(result.d_final)
+        assert min(values.values()) >= -1e-9
+
+    def test_trace_table_renders(self, result):
+        text = optimization_trace_table(MillerOpamp(), result)
+        assert "Initial" in text and "bad samples" in text
+
+
+@pytest.mark.slow
+class TestFoldedCascodeAnalysis:
+    @pytest.fixture(scope="class")
+    def worst_case(self):
+        template = FoldedCascodeOpamp()
+        evaluator = Evaluator(template)
+        d = template.initial_design()
+        s0 = template.statistical_space.nominal()
+        theta_wc = find_worst_case_operating_points(
+            lambda th: evaluator.evaluate(d, s0, th), template.specs,
+            template.operating_range)
+        wc = find_all_worst_case_points(evaluator, d, theta_wc, seed=2)
+        return template, wc
+
+    def test_cmrr_and_ft_are_the_critical_specs(self, worst_case):
+        template, wc = worst_case
+        assert wc["ft>="].beta_wc < 0  # violated at worst corner
+        assert abs(wc["cmrr>="].beta_wc) < 2.0  # marginal
+        assert wc["a0>="].beta_wc > 3.0  # robust
+        assert wc["power<="].beta_wc > 3.0
+
+    def test_mismatch_analysis_finds_matched_pairs(self, worst_case):
+        """Sec. 3 on the real circuit: the CMRR worst-case point exposes
+        physical matching pairs, with no topology knowledge."""
+        template, wc = worst_case
+        names = list(template.statistical_space.names)
+        pairs = rank_matching_pairs(
+            wc["cmrr>="], names,
+            candidate_names=template.local_vth_names(), top=3)
+        top_devices = {frozenset(p.devices) for p in pairs
+                       if p.measure > 0.01}
+        known_pairs = {frozenset(("M9", "M10")), frozenset(("M3", "M4")),
+                       frozenset(("M1", "M2")), frozenset(("M5", "M6")),
+                       frozenset(("M7", "M8"))}
+        assert top_devices  # at least one pair detected
+        assert top_devices <= known_pairs  # only true pairs reported
+
+    def test_only_cmrr_is_mismatch_sensitive(self, worst_case):
+        template, wc = worst_case
+        names = list(template.statistical_space.names)
+        report = analyze_mismatch(wc, names,
+                                  candidate_names=template.local_vth_names(),
+                                  threshold=0.05)
+        flagged = {key for key, pairs in report.items() if pairs}
+        assert "cmrr>=" in flagged
+        assert "power<=" not in flagged
+        assert "a0>=" not in flagged
+
+    def test_worst_case_operating_points_make_sense(self, worst_case):
+        template, _ = worst_case
+        evaluator = Evaluator(template)
+        d = template.initial_design()
+        s0 = template.statistical_space.nominal()
+        theta_wc = find_worst_case_operating_points(
+            lambda th: evaluator.evaluate(d, s0, th), template.specs,
+            template.operating_range)
+        # Slew is worst cold at low supply (bias current smallest).
+        assert theta_wc["sr>="] == {"temp": -40.0, "vdd": 3.0}
+        # Transit frequency is worst hot at low supply.
+        assert theta_wc["ft>="] == {"temp": 125.0, "vdd": 3.0}

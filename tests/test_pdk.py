@@ -1,0 +1,103 @@
+"""Unit tests for the process-kit layer (repro.pdk)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.pdk import GENERIC035, GlobalVariation, PelgromCoefficients, Process
+from repro.pdk.generic035 import NMOS, PMOS
+
+
+class TestGlobalVariation:
+    def test_valid_targets(self):
+        for target in ("vth_nmos", "vth_pmos", "beta_nmos", "beta_pmos",
+                       "res"):
+            GlobalVariation("g", target, sigma=0.01)
+
+    def test_invalid_target_rejected(self):
+        with pytest.raises(ReproError):
+            GlobalVariation("g", "tox", sigma=0.01)
+
+    def test_non_positive_sigma_rejected(self):
+        with pytest.raises(ReproError):
+            GlobalVariation("g", "res", sigma=0.0)
+
+
+class TestPelgrom:
+    def test_area_scaling_law(self):
+        p = PelgromCoefficients()
+        s1 = p.sigma_vth(1, 10e-6, 1e-6)
+        s4 = p.sigma_vth(1, 20e-6, 2e-6)  # 4x area
+        assert s1 == pytest.approx(2 * s4, rel=1e-12)
+
+    def test_multiplier_counts_as_area(self):
+        p = PelgromCoefficients()
+        assert p.sigma_vth(1, 10e-6, 1e-6, m=4) == \
+            pytest.approx(p.sigma_vth(1, 40e-6, 1e-6), rel=1e-12)
+
+    def test_pmos_uses_pmos_coefficient(self):
+        p = PelgromCoefficients(avt_nmos=1e-8, avt_pmos=2e-8)
+        assert p.sigma_vth(-1, 10e-6, 1e-6) == \
+            pytest.approx(2 * p.sigma_vth(1, 10e-6, 1e-6), rel=1e-12)
+
+    def test_beta_sigma_uses_beta_coefficient(self):
+        p = PelgromCoefficients(abeta_nmos=5e-9)
+        expected = 5e-9 / np.sqrt(2 * 10e-6 * 1e-6)
+        assert p.sigma_beta(1, 10e-6, 1e-6) == pytest.approx(expected)
+
+
+class TestProcessValidation:
+    def _variations(self, n):
+        return tuple(GlobalVariation(f"g{i}", "res", 0.01)
+                     for i in range(n))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ReproError, match="shape"):
+            Process("p", NMOS, PMOS, 3.3, 27.0, self._variations(2),
+                    np.eye(3))
+
+    def test_asymmetric_correlation_rejected(self):
+        corr = np.array([[1.0, 0.5], [0.2, 1.0]])
+        with pytest.raises(ReproError, match="symmetric"):
+            Process("p", NMOS, PMOS, 3.3, 27.0, self._variations(2), corr)
+
+    def test_non_unit_diagonal_rejected(self):
+        corr = np.array([[2.0, 0.0], [0.0, 1.0]])
+        with pytest.raises(ReproError, match="diagonal"):
+            Process("p", NMOS, PMOS, 3.3, 27.0, self._variations(2), corr)
+
+    def test_indefinite_correlation_rejected(self):
+        corr = np.array([[1.0, 2.0], [2.0, 1.0]])  # eigenvalues -1, 3
+        with pytest.raises(ReproError, match="semidefinite"):
+            Process("p", NMOS, PMOS, 3.3, 27.0, self._variations(2), corr)
+
+
+class TestGeneric035:
+    def test_polarities(self):
+        assert GENERIC035.nmos.polarity == 1
+        assert GENERIC035.pmos.polarity == -1
+        assert GENERIC035.model(1) is GENERIC035.nmos
+        assert GENERIC035.model(-1) is GENERIC035.pmos
+
+    def test_thresholds_have_proper_signs(self):
+        assert GENERIC035.nmos.vto > 0
+        assert GENERIC035.pmos.vto < 0
+
+    def test_global_covariance_is_psd(self):
+        cov = GENERIC035.global_covariance()
+        eigenvalues = np.linalg.eigvalsh(cov)
+        assert np.min(eigenvalues) >= -1e-18
+
+    def test_global_covariance_diagonal_matches_sigmas(self):
+        cov = GENERIC035.global_covariance()
+        sigmas = np.array([gv.sigma for gv in GENERIC035.global_variations])
+        assert np.allclose(np.diag(cov), sigmas**2)
+
+    def test_beta_factors_are_correlated(self):
+        cov = GENERIC035.global_covariance()
+        names = list(GENERIC035.global_names)
+        i, j = names.index("gbetan"), names.index("gbetap")
+        assert cov[i, j] > 0
+
+    def test_cholesky_exists(self):
+        np.linalg.cholesky(GENERIC035.global_covariance())

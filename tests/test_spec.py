@@ -1,0 +1,142 @@
+"""Unit tests for repro.spec: specifications and operating ranges."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SpecificationError
+from repro.spec import (OperatingParameter, OperatingRange, Spec,
+                        check_unique_performances,
+                        find_worst_case_operating_points, group_by_theta,
+                        spec_key)
+
+
+class TestSpec:
+    def test_lower_bound_margin(self):
+        spec = Spec("a0", ">=", 40.0)
+        assert spec.margin(45.0) == pytest.approx(5.0)
+        assert spec.margin(38.0) == pytest.approx(-2.0)
+        assert spec.passes(40.0)
+        assert not spec.passes(39.999)
+
+    def test_upper_bound_margin(self):
+        spec = Spec("power", "<=", 3.5)
+        assert spec.margin(3.0) == pytest.approx(0.5)
+        assert spec.margin(4.0) == pytest.approx(-0.5)
+        assert spec.passes(3.5)
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(SpecificationError):
+            Spec("x", "==", 1.0)
+
+    @given(value=st.floats(-1e3, 1e3), bound=st.floats(-1e3, 1e3),
+           kind=st.sampled_from([">=", "<="]))
+    @settings(max_examples=80, deadline=None)
+    def test_normalized_view_preserves_margin(self, value, bound, kind):
+        """margin(f) == normalize(f) - normalized_bound for either kind —
+        the property that lets the core handle only lower bounds."""
+        spec = Spec("f", kind, bound)
+        assert spec.margin(value) == pytest.approx(
+            spec.normalize(value) - spec.normalized_bound, abs=1e-9)
+
+    @given(value=st.floats(-1e3, 1e3))
+    @settings(max_examples=40, deadline=None)
+    def test_denormalize_inverts_normalize(self, value):
+        spec = Spec("f", "<=", 1.0)
+        assert spec.denormalize(spec.normalize(value)) == \
+            pytest.approx(value)
+
+    def test_spec_key_and_str(self):
+        spec = Spec("cmrr", ">=", 80.0)
+        assert spec_key(spec) == "cmrr>="
+        assert str(spec) == "cmrr >= 80"
+
+    def test_duplicate_direction_rejected(self):
+        with pytest.raises(SpecificationError):
+            check_unique_performances((Spec("a", ">=", 1.0),
+                                       Spec("a", ">=", 2.0)))
+
+    def test_two_sided_bounds_allowed(self):
+        check_unique_performances((Spec("a", ">=", 1.0),
+                                   Spec("a", "<=", 2.0)))
+
+
+class TestOperatingRange:
+    def test_corner_enumeration(self):
+        rng = OperatingRange([
+            OperatingParameter("temp", -40.0, 125.0, 27.0),
+            OperatingParameter("vdd", 3.0, 3.6, 3.3),
+        ])
+        corners = rng.corners()
+        assert len(corners) == 4
+        assert {"temp": -40.0, "vdd": 3.0} in corners
+        assert {"temp": 125.0, "vdd": 3.6} in corners
+        assert rng.nominal() == {"temp": 27.0, "vdd": 3.3}
+
+    def test_nominal_outside_bounds_rejected(self):
+        with pytest.raises(SpecificationError):
+            OperatingParameter("temp", 0.0, 10.0, 20.0)
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SpecificationError):
+            OperatingRange([OperatingParameter("t", 0, 1, 0.5),
+                            OperatingParameter("t", 0, 1, 0.5)])
+
+    def test_corner_key_is_hashable_identity(self):
+        rng = OperatingRange([OperatingParameter("temp", 0, 100, 50)])
+        key = rng.corner_key({"temp": 100.0})
+        assert key == (100.0,)
+        assert hash(key) == hash((100.0,))
+
+
+class TestWorstCaseOperatingPoints:
+    def _range(self):
+        return OperatingRange([
+            OperatingParameter("temp", -40.0, 125.0, 27.0),
+            OperatingParameter("vdd", 3.0, 3.6, 3.3),
+        ])
+
+    def test_monotone_performance_picks_extreme_corner(self):
+        rng = self._range()
+        specs = [Spec("speed", ">=", 1.0), Spec("power", "<=", 2.0)]
+
+        def evaluate(theta):
+            # speed degrades with temperature, power grows with supply
+            return {"speed": 10.0 - 0.05 * theta["temp"],
+                    "power": theta["vdd"]}
+
+        wc = find_worst_case_operating_points(evaluate, specs, rng)
+        assert wc["speed>="]["temp"] == 125.0
+        assert wc["power<="]["vdd"] == 3.6
+
+    def test_missing_performance_rejected(self):
+        rng = self._range()
+        with pytest.raises(SpecificationError):
+            find_worst_case_operating_points(
+                lambda theta: {"other": 1.0}, [Spec("speed", ">=", 1.0)],
+                rng)
+
+    def test_grouping_shares_corners(self):
+        rng = self._range()
+        wc = {
+            "a>=": {"temp": 125.0, "vdd": 3.0},
+            "b>=": {"temp": 125.0, "vdd": 3.0},
+            "c<=": {"temp": -40.0, "vdd": 3.6},
+        }
+        groups = group_by_theta(wc, rng)
+        assert len(groups) == 2
+        sizes = sorted(len(keys) for keys in groups.values())
+        assert sizes == [1, 2]
+
+    def test_evaluation_count_matches_bound(self):
+        """Corner search costs 2^dim + 1 evaluations (Sec. 2 bound)."""
+        rng = self._range()
+        calls = []
+
+        def evaluate(theta):
+            calls.append(theta)
+            return {"f": 1.0}
+
+        find_worst_case_operating_points(evaluate, [Spec("f", ">=", 0.0)],
+                                         rng)
+        assert len(calls) == 2**2 + 1

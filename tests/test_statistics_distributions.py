@@ -1,0 +1,86 @@
+"""Unit tests for repro.statistics.distributions (Sec. 2 transform)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.statistics import LogNormal, Normal, Uniform
+
+
+class TestNormal:
+    def test_identity_for_standard(self):
+        d = Normal(0.0, 1.0)
+        assert d.from_normal(1.7) == pytest.approx(1.7)
+        assert d.to_normal(-0.3) == pytest.approx(-0.3)
+
+    @given(z=st.floats(-6, 6), mean=st.floats(-10, 10),
+           sigma=st.floats(0.01, 10))
+    @settings(max_examples=80, deadline=None)
+    def test_roundtrip(self, z, mean, sigma):
+        d = Normal(mean, sigma)
+        assert d.to_normal(d.from_normal(z)) == pytest.approx(z, abs=1e-9)
+
+    def test_invalid_sigma(self):
+        with pytest.raises(ReproError):
+            Normal(0.0, 0.0)
+
+
+class TestLogNormal:
+    @given(z=st.floats(-6, 6))
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip(self, z):
+        d = LogNormal(mu=0.5, sigma=0.3)
+        assert d.to_normal(d.from_normal(z)) == pytest.approx(z, abs=1e-9)
+
+    def test_samples_are_positive(self):
+        d = LogNormal(0.0, 1.0)
+        for z in (-5, -1, 0, 1, 5):
+            assert d.from_normal(z) > 0
+
+    def test_non_positive_sample_rejected(self):
+        with pytest.raises(ReproError):
+            LogNormal(0.0, 1.0).to_normal(-1.0)
+
+    def test_transform_reproduces_distribution(self):
+        """Mapping N(0,1) draws through from_normal gives log-normal
+        moments (the Sec. 2 claim: everything reduces to a Gaussian)."""
+        rng = np.random.default_rng(0)
+        d = LogNormal(mu=0.0, sigma=0.25)
+        samples = np.array([d.from_normal(z)
+                            for z in rng.standard_normal(20000)])
+        expected_mean = math.exp(0.25**2 / 2)
+        assert samples.mean() == pytest.approx(expected_mean, rel=0.02)
+
+
+class TestUniform:
+    @given(z=st.floats(-5, 5))
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip(self, z):
+        d = Uniform(-2.0, 3.0)
+        assert d.to_normal(d.from_normal(z)) == pytest.approx(z, abs=1e-6)
+
+    def test_samples_stay_in_interval(self):
+        d = Uniform(1.0, 2.0)
+        for z in (-8, -1, 0, 1, 8):
+            assert 1.0 <= d.from_normal(z) <= 2.0
+
+    def test_median_maps_to_zero(self):
+        d = Uniform(0.0, 10.0)
+        assert d.to_normal(5.0) == pytest.approx(0.0, abs=1e-12)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ReproError):
+            Uniform(0.0, 1.0).to_normal(1.5)
+
+    def test_degenerate_interval_rejected(self):
+        with pytest.raises(ReproError):
+            Uniform(1.0, 1.0)
+
+    def test_boundary_maps_to_finite_quantile(self):
+        d = Uniform(0.0, 1.0)
+        assert math.isfinite(d.to_normal(0.0))
+        assert math.isfinite(d.to_normal(1.0))

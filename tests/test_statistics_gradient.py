@@ -1,0 +1,113 @@
+"""Tests for the Pelgrom distance-term (die gradient) extension.
+
+The paper neglects the distance term of the Pelgrom law (Sec. 3, citing
+its ref. [1]); ``StatisticalSpace(with_gradient=True)`` provides it as an
+opt-in: a random linear threshold gradient across the die, realized by two
+extra statistical parameters, reproducing
+
+    sigma^2(dVth_pair) = A_VT^2 / (W L) + S_VT^2 * D^2
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.pdk import GENERIC035
+from repro.statistics import (DeviceGeometry, LocalVariation,
+                              StatisticalSpace)
+
+D = {"w": 10e-6, "l": 1e-6}
+
+
+def make_space(separation=100e-6, with_gradient=True):
+    lvs = (
+        LocalVariation("dvt_M1", "M1", "vth", 1,
+                       DeviceGeometry(w="w", l="l", x=0.0, y=0.0)),
+        LocalVariation("dvt_M2", "M2", "vth", 1,
+                       DeviceGeometry(w="w", l="l", x=separation, y=0.0)),
+    )
+    return StatisticalSpace(GENERIC035, lvs, with_global=False,
+                            with_gradient=with_gradient)
+
+
+class TestStructure:
+    def test_dimension_and_names(self):
+        space = make_space()
+        assert space.dim == 4
+        assert space.names[-2:] == ("grad_vth_x", "grad_vth_y")
+
+    def test_gradient_requires_locals(self):
+        with pytest.raises(ReproError):
+            StatisticalSpace(GENERIC035, (), with_global=False,
+                             with_gradient=True)
+
+    def test_default_space_has_no_gradient(self):
+        space = make_space(with_gradient=False)
+        assert space.dim == 2
+        assert space.n_gradient == 0
+
+    def test_transform_still_factorizes_covariance(self):
+        space = make_space()
+        g = space.transform_matrix(D)
+        c = space.covariance(D)
+        assert np.allclose(g @ g.T, c, atol=1e-24)
+
+
+class TestPhysics:
+    def test_gradient_shifts_scale_with_position(self):
+        space = make_space(separation=50e-6)
+        s = np.zeros(space.dim)
+        s[space.index("grad_vth_x")] = 1.0
+        pv = space.to_physical(D, s)
+        svt = GENERIC035.pelgrom.svt
+        assert pv.delta_vto("M1") == pytest.approx(0.0)
+        assert pv.delta_vto("M2") == pytest.approx(svt * 50e-6)
+
+    def test_y_gradient_ignores_x_separation(self):
+        space = make_space(separation=50e-6)
+        s = np.zeros(space.dim)
+        s[space.index("grad_vth_y")] = 1.0
+        pv = space.to_physical(D, s)
+        assert pv.delta_vto("M2") == pytest.approx(0.0)
+
+    def test_pair_variance_matches_full_pelgrom_law(self):
+        """Sampled sigma^2(dVth_M1 - dVth_M2) = A^2/(WL) + S^2 D^2."""
+        separation = 200e-6
+        space = make_space(separation=separation)
+        rng = np.random.default_rng(0)
+        samples = rng.standard_normal((40000, space.dim))
+        g = space.transform_matrix(D)
+        diffs = []
+        for s_hat in samples:
+            pv = space.to_physical(D, s_hat)
+            diffs.append(pv.delta_vto("M1") - pv.delta_vto("M2"))
+        measured_var = np.var(diffs)
+        avt = GENERIC035.pelgrom.avt_nmos
+        svt = GENERIC035.pelgrom.svt
+        expected = avt**2 / (10e-6 * 1e-6) + svt**2 * separation**2
+        assert measured_var == pytest.approx(expected, rel=0.05)
+
+    def test_colocated_pair_sees_area_term_only(self):
+        space = make_space(separation=0.0)
+        rng = np.random.default_rng(1)
+        diffs = []
+        for s_hat in rng.standard_normal((20000, space.dim)):
+            pv = space.to_physical(D, s_hat)
+            diffs.append(pv.delta_vto("M1") - pv.delta_vto("M2"))
+        avt = GENERIC035.pelgrom.avt_nmos
+        expected = avt**2 / (10e-6 * 1e-6)
+        assert np.var(diffs) == pytest.approx(expected, rel=0.05)
+
+    def test_distant_pairs_mismatch_more(self):
+        """The design guidance the distance term encodes: placing a
+        matched pair further apart increases its mismatch spread."""
+        def pair_sigma(separation):
+            space = make_space(separation=separation)
+            rng = np.random.default_rng(2)
+            diffs = []
+            for s_hat in rng.standard_normal((8000, space.dim)):
+                pv = space.to_physical(D, s_hat)
+                diffs.append(pv.delta_vto("M1") - pv.delta_vto("M2"))
+            return np.std(diffs)
+
+        assert pair_sigma(1e-3) > 1.3 * pair_sigma(10e-6)

@@ -1,0 +1,182 @@
+"""Unit tests for the statistical space and the Sec. 4 transform."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.pdk import GENERIC035
+from repro.statistics import (DeviceGeometry, LocalVariation, SampleSet,
+                              StatisticalSpace)
+
+
+def make_locals():
+    return (
+        LocalVariation("dvt_M1", "M1", "vth", 1,
+                       DeviceGeometry(w="w1", l="l1")),
+        LocalVariation("dvt_M2", "M2", "vth", 1,
+                       DeviceGeometry(w="w1", l="l1")),
+        LocalVariation("dbeta_M1", "M1", "beta", 1,
+                       DeviceGeometry(w="w1", l="l1")),
+    )
+
+
+D = {"w1": 20e-6, "l1": 1e-6}
+
+
+class TestDeviceGeometry:
+    def test_resolves_names_and_values(self):
+        g = DeviceGeometry(w="w1", l=0.5e-6, m=2)
+        assert g.resolve(D) == (20e-6, 0.5e-6, 2)
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(ReproError):
+            DeviceGeometry(w="nope", l=1e-6).resolve(D)
+
+    def test_non_positive_rejected(self):
+        with pytest.raises(ReproError):
+            DeviceGeometry(w=0.0, l=1e-6).resolve(D)
+
+
+class TestLocalVariation:
+    def test_pelgrom_sigma_scaling(self):
+        """Quadrupling the area halves the local sigma (Pelgrom)."""
+        lv = make_locals()[0]
+        small = lv.sigma(GENERIC035, {"w1": 10e-6, "l1": 1e-6})
+        large = lv.sigma(GENERIC035, {"w1": 40e-6, "l1": 1e-6})
+        assert small == pytest.approx(2 * large, rel=1e-12)
+
+    def test_pair_difference_matches_pelgrom_constant(self):
+        """sigma(dVth_pair) = A_VT / sqrt(W L) for two independent devices."""
+        lv = make_locals()[0]
+        sigma_device = lv.sigma(GENERIC035, D)
+        sigma_pair = np.sqrt(2) * sigma_device
+        expected = GENERIC035.pelgrom.avt_nmos / np.sqrt(20e-6 * 1e-6)
+        assert sigma_pair == pytest.approx(expected, rel=1e-12)
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(ReproError):
+            LocalVariation("x", "M1", "banana", 1,
+                           DeviceGeometry(w=1e-6, l=1e-6))
+
+
+class TestStatisticalSpace:
+    def test_dimension_and_names(self):
+        space = StatisticalSpace(GENERIC035, make_locals())
+        assert space.dim == len(GENERIC035.global_names) + 3
+        assert space.names[:len(GENERIC035.global_names)] == \
+            GENERIC035.global_names
+        assert space.index("dvt_M2") == len(GENERIC035.global_names) + 1
+
+    def test_duplicate_parameter_rejected(self):
+        doubled = make_locals() + (make_locals()[0],)
+        with pytest.raises(ReproError):
+            StatisticalSpace(GENERIC035, doubled)
+
+    def test_transform_factorizes_covariance(self):
+        """G(d) G(d)^T == C(d) — the defining property of Eq. 11."""
+        space = StatisticalSpace(GENERIC035, make_locals())
+        g = space.transform_matrix(D)
+        c = space.covariance(D)
+        assert np.allclose(g @ g.T, c, atol=1e-18)
+
+    @given(scale=st.floats(0.5, 8.0))
+    @settings(max_examples=30, deadline=None)
+    def test_covariance_tracks_design(self, scale):
+        """Scaling the device area by k scales the local variances by 1/k —
+        the design dependence of C(d) that motivates Sec. 4."""
+        space = StatisticalSpace(GENERIC035, make_locals())
+        base = space.covariance(D)
+        scaled = space.covariance({"w1": D["w1"] * scale, "l1": D["l1"]})
+        ng = space.n_global
+        assert np.allclose(scaled[ng:, ng:] * scale, base[ng:, ng:],
+                           rtol=1e-9)
+        assert np.allclose(scaled[:ng, :ng], base[:ng, :ng])  # globals fixed
+
+    def test_to_physical_splits_global_and_local(self):
+        space = StatisticalSpace(GENERIC035, make_locals())
+        s_hat = np.zeros(space.dim)
+        s_hat[space.index("gvtn")] = 1.0  # +1 sigma global NMOS vth
+        s_hat[space.index("dvt_M1")] = 1.0  # +1 sigma local on M1
+        pv = space.to_physical(D, s_hat)
+        sigma_g = GENERIC035.global_variations[0].sigma
+        sigma_l = make_locals()[0].sigma(GENERIC035, D)
+        assert pv.delta_vto("M1") == pytest.approx(sigma_g + sigma_l)
+        assert pv.delta_vto("M2") == pytest.approx(sigma_g)
+        assert pv.beta_factor("M2") == pytest.approx(1.0)
+
+    def test_resistance_factor_from_gres(self):
+        space = StatisticalSpace(GENERIC035, make_locals())
+        s_hat = np.zeros(space.dim)
+        s_hat[space.index("gres")] = 2.0
+        pv = space.to_physical(D, s_hat)
+        sigma = GENERIC035.global_variations[-1].sigma
+        assert pv.resistance_factor == pytest.approx(1.0 + 2.0 * sigma)
+
+    def test_factors_clamped_at_extreme_tails(self):
+        """Multiplicative factors stay physical even for absurd probes."""
+        space = StatisticalSpace(GENERIC035, make_locals())
+        s_hat = np.full(space.dim, -50.0)
+        pv = space.to_physical(D, s_hat)
+        assert pv.resistance_factor >= 0.05
+        assert all(v >= 0.05 for v in pv.device_beta_factor.values())
+
+    def test_wrong_shape_rejected(self):
+        space = StatisticalSpace(GENERIC035, make_locals())
+        with pytest.raises(ReproError):
+            space.to_physical(D, np.zeros(space.dim + 1))
+
+    def test_without_globals(self):
+        space = StatisticalSpace(GENERIC035, make_locals(),
+                                 with_global=False)
+        assert space.dim == 3
+        s_hat = np.array([1.0, 0.0, 0.0])
+        pv = space.to_physical(D, s_hat)
+        assert pv.global_values == {}
+        assert pv.delta_vto("M1") > 0
+        assert pv.resistance_factor == 1.0
+
+    def test_nominal_is_zero(self):
+        space = StatisticalSpace(GENERIC035, make_locals())
+        assert np.all(space.nominal() == 0.0)
+
+    def test_unknown_name_rejected(self):
+        space = StatisticalSpace(GENERIC035, make_locals())
+        with pytest.raises(ReproError):
+            space.index("ghost")
+
+
+class TestSampleSet:
+    def test_seeded_reproducibility(self):
+        a = SampleSet.draw(100, 5, seed=42)
+        b = SampleSet.draw(100, 5, seed=42)
+        assert np.array_equal(a.matrix, b.matrix)
+
+    def test_different_seeds_differ(self):
+        a = SampleSet.draw(100, 5, seed=1)
+        b = SampleSet.draw(100, 5, seed=2)
+        assert not np.array_equal(a.matrix, b.matrix)
+
+    def test_shape_and_iteration(self):
+        s = SampleSet.draw(10, 3, seed=0)
+        assert (s.n, s.dim) == (10, 3)
+        assert len(s) == 10
+        assert len(list(s)) == 10
+        assert s[0].shape == (3,)
+
+    def test_matrix_is_readonly(self):
+        s = SampleSet.draw(5, 2, seed=0)
+        with pytest.raises(ValueError):
+            s.matrix[0, 0] = 99.0
+
+    def test_moments_are_standard_normal(self):
+        s = SampleSet.draw(20000, 2, seed=3)
+        assert s.matrix.mean() == pytest.approx(0.0, abs=0.02)
+        assert s.matrix.std() == pytest.approx(1.0, abs=0.02)
+
+    def test_invalid_shape_rejected(self):
+        with pytest.raises(Exception):
+            SampleSet.draw(0, 3)
+        with pytest.raises(Exception):
+            SampleSet(np.zeros(5))

@@ -1,0 +1,82 @@
+"""Unit tests for repro.units."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.units import (celsius_to_kelvin, db, format_si, from_db,
+                         parse_value)
+
+
+class TestDecibels:
+    def test_known_values(self):
+        assert db(10.0) == pytest.approx(20.0)
+        assert db(1.0) == pytest.approx(0.0)
+        assert db(0.1) == pytest.approx(-20.0)
+
+    def test_non_positive_rejected(self):
+        with pytest.raises(ReproError):
+            db(0.0)
+        with pytest.raises(ReproError):
+            db(-1.0)
+
+    @given(st.floats(1e-12, 1e12))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip(self, magnitude):
+        assert from_db(db(magnitude)) == pytest.approx(magnitude, rel=1e-9)
+
+
+class TestTemperature:
+    def test_celsius_to_kelvin(self):
+        assert celsius_to_kelvin(0.0) == pytest.approx(273.15)
+        assert celsius_to_kelvin(27.0) == pytest.approx(300.15)
+
+
+class TestParseValue:
+    @pytest.mark.parametrize("text,expected", [
+        ("1", 1.0),
+        ("4.7k", 4700.0),
+        ("10u", 10e-6),
+        ("2.2n", 2.2e-9),
+        ("100p", 100e-12),
+        ("3f", 3e-15),
+        ("1meg", 1e6),
+        ("2g", 2e9),
+        ("1.5m", 1.5e-3),
+        ("1e-6", 1e-6),
+        ("-3.3", -3.3),
+        ("10uF", 10e-6),  # trailing unit letters
+        ("5K", 5000.0),   # case-insensitive
+    ])
+    def test_spice_suffixes(self, text, expected):
+        assert parse_value(text) == pytest.approx(expected)
+
+    @pytest.mark.parametrize("text", ["", "abc", "k10", "1..2"])
+    def test_garbage_rejected(self, text):
+        with pytest.raises(ReproError):
+            parse_value(text)
+
+    @given(st.floats(-1e9, 1e9, allow_nan=False))
+    @settings(max_examples=50, deadline=None)
+    def test_plain_float_roundtrip(self, value):
+        assert parse_value(repr(value)) == pytest.approx(value, rel=1e-12)
+
+
+class TestFormatSi:
+    @pytest.mark.parametrize("value,expected", [
+        (4700.0, "4.7 kOhm"),
+        (1e-6, "1 uOhm"),
+        (0.0, "0 Ohm"),
+        (3.3, "3.3 Ohm"),
+    ])
+    def test_known_values(self, value, expected):
+        assert format_si(value, "Ohm") == expected
+
+    def test_no_unit(self):
+        assert format_si(2e6) == "2 M"
+
+    def test_non_finite(self):
+        assert "inf" in format_si(float("inf"), "V")
