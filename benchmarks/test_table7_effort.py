@@ -29,9 +29,9 @@ def test_table7_effort(benchmark, fc_result, miller_result):
     def build_table():
         rows = [
             ("Folded-Cascode", fc_result.total_simulations,
-             fc_result.wall_time_s),
+             fc_result.wall_time_s, fc_result.total_cache_hits),
             ("Miller", miller_result.total_simulations,
-             miller_result.wall_time_s),
+             miller_result.wall_time_s, miller_result.total_cache_hits),
         ]
         return effort_table(rows)
 
@@ -41,8 +41,12 @@ def test_table7_effort(benchmark, fc_result, miller_result):
 
     # Orders of magnitude: far below brute-force Monte-Carlo-in-the-loop
     # (which would need ~10^5-10^6 simulations), well above trivial.
+    # Cache accounting closes: every evaluator request either hit the
+    # cache or became a simulation.
     for result in (fc_result, miller_result):
         assert 100 < result.total_simulations < 100_000
+        assert result.total_requests == \
+            result.total_simulations + result.total_cache_hits
 
     # The linearized-model yield queries are free: during the coordinate
     # search the optimizer evaluates the yield thousands of times per

@@ -5,6 +5,9 @@ writing any Python:
 
 * ``optimize``  — run the Fig. 6 yield-optimization loop and print the
   paper-style trace table,
+* ``yield``     — estimate the operational yield at the initial design
+  with a pluggable estimator (plain Monte-Carlo, worst-case mean-shift
+  importance sampling, or scrambled-Sobol QMC), optionally in parallel,
 * ``analyze``   — worst-case operating corners, worst-case distances and
   the Sec. 3 mismatch-pair ranking at the initial design,
 * ``corners``   — the PVT corner report,
@@ -14,7 +17,9 @@ writing any Python:
 
 Examples::
 
-    python -m repro optimize miller --iterations 3
+    python -m repro optimize miller --iterations 3 --estimator is --jobs 4
+    python -m repro yield folded-cascode --estimator is --samples 300
+    python -m repro yield miller --estimator qmc --jobs 2 --json
     python -m repro analyze folded-cascode --local-only
     python -m repro corners ota
     python -m repro simulate my_circuit.sp --node out --ac 1e3
@@ -55,6 +60,7 @@ def _make_template(name: str, local_only: bool = False):
 def cmd_optimize(args: argparse.Namespace) -> int:
     from .core import OptimizerConfig, YieldOptimizer
     from .reporting import optimization_trace_table
+    from .yieldsim import make_estimator
 
     template = _make_template(args.circuit)
     config = OptimizerConfig(
@@ -66,15 +72,69 @@ def cmd_optimize(args: argparse.Namespace) -> int:
         linearize_at="nominal" if args.nominal_linearization
         else "worst_case",
     )
-    result = YieldOptimizer(template, config).run()
+    verifier = make_estimator(args.estimator, jobs=args.jobs)
+    result = YieldOptimizer(template, config, verifier=verifier).run()
     print(optimization_trace_table(template, result))
     print(f"converged: {result.converged}; "
           f"simulations: {result.total_simulations} "
-          f"(+{result.total_constraint_simulations} constraint checks); "
+          f"(+{result.total_constraint_simulations} constraint checks, "
+          f"{result.total_cache_hits} cache hits); "
           f"wall time {result.wall_time_s:.1f} s")
     print("final design:")
     for name in template.design_names:
         print(f"  {name} = {result.d_final[name]:.6g}")
+    return 0
+
+
+def cmd_yield(args: argparse.Namespace) -> int:
+    import json
+
+    from .evaluation import Evaluator
+    from .spec.operating import find_worst_case_operating_points
+    from .yieldsim import make_estimator
+
+    template = _make_template(args.circuit)
+    evaluator = Evaluator(template)
+    d = template.initial_design()
+    s0 = template.statistical_space.nominal()
+    theta_wc = find_worst_case_operating_points(
+        lambda theta: evaluator.evaluate(d, s0, theta),
+        template.specs, template.operating_range)
+    worst_case = None
+    if args.estimator == "is":
+        # Mean-shift IS centers its proposal on the Eq. 8 worst-case
+        # points; computing them costs O(dim) simulations per spec.
+        from .core import find_all_worst_case_points
+        worst_case = find_all_worst_case_points(evaluator, d, theta_wc,
+                                                seed=args.seed)
+    estimator = make_estimator(args.estimator, jobs=args.jobs,
+                               timeout_s=args.chunk_timeout)
+    result = estimator.estimate(evaluator, d, theta_wc,
+                                n_samples=args.samples, seed=args.seed,
+                                worst_case=worst_case)
+    if args.json:
+        print(result.to_json(indent=2))
+        return 0
+    report = result.report
+    print(f"circuit: {template.name}  (estimator: {args.estimator}, "
+          f"N = {result.n_samples}, jobs = {args.jobs})")
+    print(f"yield = {result.estimate * 100:.2f}%  "
+          f"(95% CI {result.ci_low * 100:.2f}-{result.ci_high * 100:.2f}%, "
+          f"ESS {result.ess:.1f})")
+    print("bad-sample fraction per spec:")
+    for key, fraction in result.bad_fraction.items():
+        print(f"  {key:>12}: {fraction * 100:6.2f}%")
+    print(f"simulations: {report.simulations} "
+          f"({report.cache_hits} cache hits, "
+          f"{report.theta_groups} worst-case corners, "
+          f"backend {report.backend})")
+    if report.retried_chunks:
+        print(f"warning: {report.retried_chunks}/{report.chunks} chunks "
+              f"re-run serially in the parent "
+              f"({report.timed_out_chunks} timed out)")
+    phases = ", ".join(f"{phase} {seconds:.3f}"
+                       for phase, seconds in report.phase_seconds.items())
+    print(f"wall time [s]: {phases}")
     return 0
 
 
@@ -190,7 +250,32 @@ def build_parser() -> argparse.ArgumentParser:
                    help="Table 3 ablation")
     p.add_argument("--nominal-linearization", action="store_true",
                    help="Table 4 ablation")
+    p.add_argument("--estimator", choices=("mc", "is", "qmc"),
+                   default="mc",
+                   help="Y_tilde verification estimator (default: mc)")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes for verification batches")
     p.set_defaults(func=cmd_optimize)
+
+    p = sub.add_parser(
+        "yield", help="estimate the operational yield at the initial "
+                      "design with a pluggable estimator")
+    p.add_argument("circuit", choices=sorted(CIRCUITS))
+    p.add_argument("--estimator", choices=("mc", "is", "qmc"),
+                   default="mc",
+                   help="mc = operational Monte-Carlo (Eq. 6-7), "
+                        "is = worst-case mean-shift importance sampling, "
+                        "qmc = scrambled-Sobol quasi-Monte-Carlo")
+    p.add_argument("--samples", type=int, default=300,
+                   help="statistical samples N (default: 300)")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes (1 = serial)")
+    p.add_argument("--chunk-timeout", type=float, default=None,
+                   help="per-chunk timeout [s] before the in-parent retry")
+    p.add_argument("--seed", type=int, default=2001)
+    p.add_argument("--json", action="store_true",
+                   help="emit the full result + run report as JSON")
+    p.set_defaults(func=cmd_yield)
 
     p = sub.add_parser("analyze",
                        help="worst-case distances + mismatch pairs")

@@ -1,30 +1,30 @@
 """Simulation-based operational Monte-Carlo yield (Sec. 2, Eq. 6-7).
 
-The reference yield estimate ``Y_tilde``: draw N statistical samples, and
-for each sample check every spec *at that spec's worst-case operating
-point*.  Specs sharing a worst-case corner share one simulation, which is
-the paper's remark that the true effort ``N*`` is usually well below
-``N * min(n_spec, 2^dim(Theta))``.
-
-This is the verifier the paper runs with N = 300 between optimizer
-iterations and at the end — it never drives the optimization itself.
+.. deprecated-shim::
+   The estimation logic now lives in :mod:`repro.yieldsim`
+   (:class:`~repro.yieldsim.OperationalMC` behind the pluggable
+   :class:`~repro.yieldsim.YieldEstimator` interface, with importance
+   sampling and QMC siblings plus parallel batch execution).  This module
+   remains as a thin compatibility shim: :func:`operational_monte_carlo`
+   keeps its historical signature and produces numerically identical
+   estimates (same seeded draws, same pass/fail logic).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Dict, Mapping, Optional, Tuple
 
 import numpy as np
 
 from ..evaluation.evaluator import Evaluator
-from ..spec.operating import group_by_theta, spec_key
+from ..statistics.intervals import wilson_interval
 from ..statistics.sampling import SampleSet
 
 
 @dataclass
 class MonteCarloResult:
-    """Operational Monte-Carlo outcome."""
+    """Operational Monte-Carlo outcome (legacy record)."""
 
     yield_estimate: float
     n_samples: int
@@ -40,9 +40,24 @@ class MonteCarloResult:
 
     @property
     def standard_error(self) -> float:
-        """Binomial standard error of the yield estimate."""
+        """Binomial standard error of the yield estimate.
+
+        Collapses to 0 at estimates of exactly 0 or 1; prefer
+        :meth:`confidence_interval`, which stays honest there.
+        """
         y = self.yield_estimate
         return float(np.sqrt(max(y * (1.0 - y), 0.0) / self.n_samples))
+
+    def confidence_interval(self, level: float = 0.95
+                            ) -> Tuple[float, float]:
+        """Wilson score interval for the yield estimate.
+
+        Unlike :attr:`standard_error`, the interval has nonzero width at
+        0 %/100 % estimates: a 0-of-300 run still admits a ~1.3 % yield
+        at the 95 % level, which is what small-N reports should say.
+        """
+        successes = self.yield_estimate * self.n_samples
+        return wilson_interval(successes, self.n_samples, level)
 
 
 def operational_monte_carlo(
@@ -59,49 +74,20 @@ def operational_monte_carlo(
     points (from
     :func:`repro.spec.find_worst_case_operating_points`).  Pass an explicit
     ``samples`` set to reuse draws across designs (paired comparison).
-    """
-    template = evaluator.template
-    space = template.statistical_space
-    if samples is None:
-        samples = SampleSet.draw(n_samples, space.dim, seed=seed)
-    operating_range = template.operating_range
-    groups = group_by_theta(theta_per_spec, operating_range)
-    # Representative theta per group.
-    thetas: List[Tuple[Mapping[str, float], List[str]]] = []
-    for corner, keys in groups.items():
-        theta = dict(theta_per_spec[keys[0]])
-        thetas.append((theta, keys))
 
-    specs = {spec_key(spec): spec for spec in template.specs}
-    bad_counts: Dict[str, int] = {key: 0 for key in specs}
-    values_per_spec: Dict[str, List[float]] = {key: [] for key in specs}
-    pass_count = 0
-    simulations = 0
-    for j in range(samples.n):
-        s_hat = samples[j]
-        sample_ok = True
-        for theta, keys in thetas:
-            values = evaluator.evaluate(d, s_hat, theta)
-            simulations += 1
-            for key in keys:
-                spec = specs[key]
-                value = values[spec.performance]
-                values_per_spec[key].append(value)
-                if not spec.passes(value):
-                    bad_counts[key] += 1
-                    sample_ok = False
-        if sample_ok:
-            pass_count += 1
-    means = {key: float(np.mean(vals))
-             for key, vals in values_per_spec.items()}
-    stds = {key: float(np.std(vals, ddof=1)) if len(vals) > 1 else 0.0
-            for key, vals in values_per_spec.items()}
+    Compatibility shim over :class:`repro.yieldsim.OperationalMC`; new
+    code should use the estimator interface directly (it adds confidence
+    intervals, telemetry, and parallel execution).
+    """
+    from ..yieldsim import OperationalMC
+    result = OperationalMC().estimate(
+        evaluator, d, theta_per_spec, n_samples=n_samples, seed=seed,
+        samples=samples)
     return MonteCarloResult(
-        yield_estimate=pass_count / samples.n,
-        n_samples=samples.n,
-        bad_fraction={key: count / samples.n
-                      for key, count in bad_counts.items()},
-        simulations=simulations,
-        performance_mean=means,
-        performance_std=stds,
+        yield_estimate=result.estimate,
+        n_samples=result.n_samples,
+        bad_fraction=dict(result.bad_fraction),
+        simulations=result.simulations,
+        performance_mean=dict(result.performance_mean),
+        performance_std=dict(result.performance_std),
     )

@@ -35,13 +35,13 @@ from ..evaluation.evaluator import Evaluator
 from ..evaluation.template import CircuitTemplate
 from ..spec.operating import find_worst_case_operating_points, spec_key
 from ..statistics.sampling import SampleSet
+from ..yieldsim import OperationalMC, YieldEstimator, YieldResult
 from .constraints import UnconstrainedRegion, linearize_constraints
 from .coordinate_search import coordinate_search
 from .estimator import LinearizedYieldEstimator
 from .feasible_point import find_feasible_point
 from .line_search import feasibility_line_search
 from .linear_model import SpecLinearModel, build_spec_models
-from .montecarlo import MonteCarloResult, operational_monte_carlo
 from .worst_case import WorstCaseResult, find_all_worst_case_points
 
 
@@ -86,7 +86,10 @@ class IterationRecord:
     yield_linear: float
     #: simulation-based operational yield Y_tilde (None if not verified)
     yield_mc: Optional[float]
-    mc: Optional[MonteCarloResult]
+    #: the verifying estimator's full result (a
+    #: :class:`repro.yieldsim.YieldResult`, or a legacy
+    #: :class:`MonteCarloResult` when constructed by older code)
+    mc: Optional[object]
     #: worst-case results used in this iteration (mismatch analysis input)
     worst_case: Dict[str, WorstCaseResult]
     #: cumulative simulation counts up to the end of this record
@@ -107,6 +110,10 @@ class OptimizationResult:
     wall_time_s: float
     total_simulations: int
     total_constraint_simulations: int
+    #: evaluator requests answered from cache / issued in total (Table-7
+    #: effort accounting; defaults keep older call sites working)
+    total_cache_hits: int = 0
+    total_requests: int = 0
 
     @property
     def initial(self) -> IterationRecord:
@@ -125,10 +132,15 @@ class YieldOptimizer:
 
     def __init__(self, template: CircuitTemplate,
                  config: Optional[OptimizerConfig] = None,
-                 evaluator: Optional[Evaluator] = None):
+                 evaluator: Optional[Evaluator] = None,
+                 verifier: Optional[YieldEstimator] = None):
         self.template = template
         self.config = config or OptimizerConfig()
         self.evaluator = evaluator or Evaluator(template)
+        #: pluggable Y_tilde verifier; the paper's Eq. 6-7 Monte-Carlo by
+        #: default, or e.g. :class:`repro.yieldsim.MeanShiftIS`, which
+        #: reuses the iteration's Eq. 8 worst-case points as mean shifts
+        self.verifier = verifier or OperationalMC()
 
     # -- helpers -----------------------------------------------------------------
     def _theta_wc(self, d: Mapping[str, float]) -> Dict[str, Dict[str, float]]:
@@ -147,14 +159,16 @@ class YieldOptimizer:
         return self.evaluator.margins(d, s0, theta_wc)
 
     def _verify(self, d: Mapping[str, float],
-                theta_wc: Mapping[str, Mapping[str, float]]
-                ) -> Optional[MonteCarloResult]:
+                theta_wc: Mapping[str, Mapping[str, float]],
+                worst_case: Optional[Mapping[str, WorstCaseResult]] = None
+                ) -> Optional[YieldResult]:
         if not self.config.verify:
             return None
-        return operational_monte_carlo(
+        return self.verifier.estimate(
             self.evaluator, d, theta_wc,
             n_samples=self.config.n_samples_verify,
-            seed=self.config.seed + 17)
+            seed=self.config.seed + 17,
+            worst_case=worst_case)
 
     # -- main loop ----------------------------------------------------------------
     def run(self) -> OptimizationResult:
@@ -197,7 +211,7 @@ class YieldOptimizer:
                     yield_mc=None, mc=None, worst_case=dict(wc),
                     simulations=evaluator.simulation_count,
                     constraint_simulations=evaluator.constraint_count))
-                mc0 = self._verify(d_f, theta_wc)
+                mc0 = self._verify(d_f, theta_wc, worst_case=wc)
                 records[0].mc = mc0
                 records[0].yield_mc = \
                     mc0.yield_estimate if mc0 else None
@@ -239,7 +253,7 @@ class YieldOptimizer:
                              gamma * (search.d_star[name] - d_f[name])
                              for name in template.design_names}
                     theta_wc_new = self._theta_wc(d_new)
-            mc = self._verify(d_new, theta_wc_new)
+            mc = self._verify(d_new, theta_wc_new, worst_case=wc)
             record = IterationRecord(
                 index=iteration, d=dict(d_new),
                 margins=self._margins(d_new, theta_wc_new),
@@ -267,4 +281,6 @@ class YieldOptimizer:
             converged=converged,
             wall_time_s=time.time() - start_time,
             total_simulations=evaluator.simulation_count,
-            total_constraint_simulations=evaluator.constraint_count)
+            total_constraint_simulations=evaluator.constraint_count,
+            total_cache_hits=evaluator.cache_hits,
+            total_requests=evaluator.request_count)

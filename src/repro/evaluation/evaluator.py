@@ -43,6 +43,10 @@ class Evaluator:
         self.request_count = 0
         #: number of constraint evaluations (DC-only simulations)
         self.constraint_count = 0
+        #: number of evaluate() requests answered from the cache
+        self.cache_hits = 0
+        #: number of evaluate() requests that had to simulate
+        self.cache_misses = 0
 
     # -- core ------------------------------------------------------------------
     def _key(self, d: Mapping[str, float], s_hat: np.ndarray,
@@ -58,13 +62,16 @@ class Evaluator:
         self.request_count += 1
         if not self.cache_enabled:
             self.simulation_count += 1
+            self.cache_misses += 1
             return self.template.evaluate(d, s_hat, theta)
         key = self._key(d, s_hat, theta)
         hit = self._cache.get(key)
         if hit is not None:
+            self.cache_hits += 1
             return dict(hit)
         result = self.template.evaluate(d, s_hat, theta)
         self.simulation_count += 1
+        self.cache_misses += 1
         self._cache[key] = dict(result)
         return result
 
@@ -98,6 +105,20 @@ class Evaluator:
         self.simulation_count = 0
         self.request_count = 0
         self.constraint_count = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    def absorb_counts(self, simulations: int = 0, requests: int = 0,
+                      constraint: int = 0, cache_hits: int = 0,
+                      cache_misses: int = 0) -> None:
+        """Fold counters produced elsewhere (e.g. by process-pool workers,
+        each of which simulates against its own evaluator copy) into this
+        evaluator's accounting, so Table-7 effort reports stay complete."""
+        self.simulation_count += simulations
+        self.request_count += requests
+        self.constraint_count += constraint
+        self.cache_hits += cache_hits
+        self.cache_misses += cache_misses
 
     def clear_cache(self) -> None:
         self._cache.clear()

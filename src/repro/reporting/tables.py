@@ -31,6 +31,21 @@ def _iteration_label(index: int) -> str:
     return f"{index}{suffix} Iter."
 
 
+def _confidence_interval(mc) -> Optional[Tuple[float, float]]:
+    """Extract a 95 % CI from either result flavor: a yieldsim
+    ``YieldResult`` carries explicit bounds, the legacy
+    ``MonteCarloResult`` computes a Wilson interval on demand."""
+    if mc is None:
+        return None
+    low = getattr(mc, "ci_low", None)
+    if low is not None:
+        return (low, mc.ci_high)
+    interval = getattr(mc, "confidence_interval", None)
+    if callable(interval):
+        return interval()
+    return None
+
+
 def optimization_trace_table(template: CircuitTemplate,
                              result: OptimizationResult,
                              records: Optional[Sequence[IterationRecord]]
@@ -62,7 +77,12 @@ def optimization_trace_table(template: CircuitTemplate,
         lines.append(_format_row("  bad samples [permille]", bad_cells,
                                  widths))
         if record.yield_mc is not None:
-            lines.append(f"  Y_tilde = {record.yield_mc * 100:.1f}%")
+            text = f"  Y_tilde = {record.yield_mc * 100:.1f}%"
+            ci = _confidence_interval(record.mc)
+            if ci is not None:
+                text += (f" (95% CI {ci[0] * 100:.1f}"
+                         f"-{ci[1] * 100:.1f}%)")
+            lines.append(text)
         lines.append("")
     return "\n".join(lines)
 
@@ -111,17 +131,30 @@ def mismatch_table(pairs: Sequence[PairMismatch], top: int = 3) -> str:
     return "\n".join(lines)
 
 
-def effort_table(rows: Sequence[Tuple[str, int, float]]) -> str:
-    """Render the Table 7 layout: circuit, #simulations, wall-clock time."""
-    lines = [f"{'Circuit':<16} | {'# Simulations':>14} | "
-             f"{'Wall Clock Time':>16}"]
-    lines.append("-" * len(lines[0]))
-    for name, simulations, seconds in rows:
+def effort_table(rows: Sequence[Tuple]) -> str:
+    """Render the Table 7 layout: circuit, #simulations, wall-clock time.
+
+    Each row is ``(name, simulations, seconds)`` or, with evaluator cache
+    accounting, ``(name, simulations, seconds, cache_hits)``; the cache
+    column appears only when at least one row provides it.
+    """
+    with_cache = any(len(row) > 3 for row in rows)
+    header = (f"{'Circuit':<16} | {'# Simulations':>14} | "
+              f"{'Wall Clock Time':>16}")
+    if with_cache:
+        header += f" | {'Cache Hits':>10}"
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        name, simulations, seconds = row[0], row[1], row[2]
         if seconds >= 90:
             time_text = f"{seconds / 60:.1f} min"
         else:
             time_text = f"{seconds:.1f} s"
-        lines.append(f"{name:<16} | {simulations:>14} | {time_text:>16}")
+        line = f"{name:<16} | {simulations:>14} | {time_text:>16}"
+        if with_cache:
+            hits = f"{row[3]}" if len(row) > 3 else "-"
+            line += f" | {hits:>10}"
+        lines.append(line)
     return "\n".join(lines)
 
 

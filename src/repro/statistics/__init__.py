@@ -10,9 +10,11 @@
 """
 
 from .distributions import LogNormal, Normal, Uniform
+from .intervals import normal_interval, wilson_interval, z_quantile
 from .sampling import SampleSet
 from .space import (DeviceGeometry, LocalVariation, PhysicalVariations,
                     StatisticalSpace)
 
 __all__ = ["DeviceGeometry", "LocalVariation", "LogNormal", "Normal",
-           "PhysicalVariations", "SampleSet", "StatisticalSpace", "Uniform"]
+           "PhysicalVariations", "SampleSet", "StatisticalSpace", "Uniform",
+           "normal_interval", "wilson_interval", "z_quantile"]

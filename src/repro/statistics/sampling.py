@@ -9,6 +9,8 @@ must be drawn once and reused, not regenerated per yield query.
 
 from __future__ import annotations
 
+import math
+import warnings
 from typing import Optional
 
 import numpy as np
@@ -21,7 +23,9 @@ class SampleSet:
     ``dim`` (one sample per row)."""
 
     def __init__(self, samples: np.ndarray):
-        samples = np.asarray(samples, dtype=float)
+        # Copy unconditionally: np.asarray on a float ndarray returns the
+        # *same* object, and freezing that would mutate the caller's array.
+        samples = np.array(samples, dtype=float, copy=True)
         if samples.ndim != 2:
             raise ReproError("samples must be a 2-D array (n, dim)")
         self._samples = samples
@@ -35,6 +39,37 @@ class SampleSet:
             raise ReproError(f"invalid sample-set shape ({n}, {dim})")
         rng = np.random.default_rng(seed)
         return cls(rng.standard_normal((n, dim)))
+
+    @classmethod
+    def draw_sobol(cls, n: int, dim: int, seed: Optional[int] = None,
+                   scramble: bool = True) -> "SampleSet":
+        """Draw ``n`` scrambled-Sobol points mapped to ``N(0, I_dim)``.
+
+        Low-discrepancy points cover the unit cube far more evenly than
+        i.i.d. draws, so the inverse-CDF image covers the standard normal
+        evenly too; for smooth integrands the quadrature error decays
+        close to ``O(1/n)`` instead of the Monte-Carlo ``O(1/sqrt(n))``.
+        Owen scrambling (the default) keeps the estimate unbiased and
+        seed-reproducible.  Powers of two for ``n`` preserve the digital-net
+        balance and are recommended.
+        """
+        if n <= 0 or dim <= 0:
+            raise ReproError(f"invalid sample-set shape ({n}, {dim})")
+        from scipy.stats import qmc
+        from scipy.special import ndtri
+        engine = qmc.Sobol(d=dim, scramble=scramble, seed=seed)
+        if n & (n - 1) == 0:
+            u = engine.random_base2(int(math.log2(n)))
+        else:
+            with warnings.catch_warnings():
+                # scipy warns about unbalanced (non power-of-two) sizes;
+                # that is the caller's explicit choice here.
+                warnings.simplefilter("ignore", UserWarning)
+                u = engine.random(n)
+        # Keep the inverse CDF finite (unscrambled nets contain u = 0).
+        eps = np.finfo(float).tiny
+        u = np.clip(u, eps, 1.0 - np.finfo(float).epsneg)
+        return cls(ndtri(u))
 
     @property
     def n(self) -> int:

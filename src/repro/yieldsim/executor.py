@@ -1,0 +1,240 @@
+"""Batched parallel execution engine for sample-matrix evaluation.
+
+Every yield estimator reduces to the same inner loop: evaluate each
+statistical sample at each distinct worst-case operating corner.  This
+module runs that loop either serially (sharing the caller's cached
+:class:`~repro.evaluation.evaluator.Evaluator`) or on a process pool:
+
+* the sample matrix is split into contiguous **chunks**, one pool task
+  each, so per-task overhead amortizes over many simulations;
+* each worker process builds its **own** evaluator around the (pickled)
+  circuit template — templates are pure analytic objects, so results are
+  bit-identical to serial evaluation;
+* each chunk has a **timeout and one retry**: a chunk that times out or
+  raises in the pool is re-run serially in the parent, which always
+  terminates, so a wedged worker cannot hang a verification run;
+* results are reassembled **by chunk index**, so the output ordering (and
+  therefore every downstream estimate) is independent of worker count and
+  scheduling;
+* worker-side simulation/cache counters are folded back into the parent
+  evaluator, keeping Table-7 effort accounting complete.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import sys
+from concurrent import futures
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ReproError
+from ..evaluation.evaluator import Evaluator
+
+#: Chunks submitted per worker (when no explicit chunk size is given):
+#: small enough to balance uneven chunk runtimes, large enough to
+#: amortize task submission overhead.
+_CHUNKS_PER_WORKER = 4
+
+
+@dataclass(frozen=True)
+class ExecutionConfig:
+    """How a batch of sample evaluations is executed."""
+
+    #: worker processes; 1 = serial in the calling process
+    jobs: int = 1
+    #: samples per pool task (None = automatic)
+    chunk_size: Optional[int] = None
+    #: per-chunk wait budget in seconds (None = wait forever)
+    timeout_s: Optional[float] = None
+    #: serial in-parent re-runs for a failed/timed-out chunk
+    retries: int = 1
+
+    def __post_init__(self):
+        if self.jobs < 1:
+            raise ReproError(f"jobs must be >= 1, got {self.jobs}")
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ReproError(
+                f"chunk_size must be >= 1, got {self.chunk_size}")
+        if self.retries < 0:
+            raise ReproError(f"retries must be >= 0, got {self.retries}")
+
+
+@dataclass
+class BatchOutcome:
+    """Evaluation of a full sample matrix.
+
+    ``values[j][g]`` is the performance dict of sample ``j`` at operating
+    point (theta group) ``g`` — ordering matches the input matrix exactly,
+    regardless of backend.
+    """
+
+    values: List[List[Dict[str, float]]]
+    simulations: int = 0
+    requests: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    backend: str = "serial"
+    jobs: int = 1
+    chunks: int = 0
+    retried_chunks: int = 0
+    timed_out_chunks: int = 0
+
+
+# -- worker side -------------------------------------------------------------
+_WORKER: Dict[str, object] = {}
+
+
+def _init_worker(template, cache_enabled: bool,
+                 d: Dict[str, float], thetas: List[Dict[str, float]]):
+    """Pool initializer: build a private evaluator in each worker."""
+    _WORKER["evaluator"] = Evaluator(template, cache=cache_enabled)
+    _WORKER["d"] = d
+    _WORKER["thetas"] = thetas
+
+
+def _run_chunk(start: int, rows: np.ndarray
+               ) -> Tuple[int, List[List[Dict[str, float]]], int, int, int,
+                          int]:
+    """Evaluate one chunk inside a worker; returns counter deltas."""
+    evaluator: Evaluator = _WORKER["evaluator"]  # type: ignore[assignment]
+    d = _WORKER["d"]
+    thetas = _WORKER["thetas"]
+    before = (evaluator.simulation_count, evaluator.request_count,
+              evaluator.cache_hits, evaluator.cache_misses)
+    values = [[dict(evaluator.evaluate(d, row, theta)) for theta in thetas]
+              for row in rows]
+    return (start, values,
+            evaluator.simulation_count - before[0],
+            evaluator.request_count - before[1],
+            evaluator.cache_hits - before[2],
+            evaluator.cache_misses - before[3])
+
+
+def _pool_context():
+    """Prefer fork on POSIX: workers inherit loaded modules, so templates
+    defined outside installed packages (tests, notebooks) stay usable."""
+    if sys.platform != "win32":
+        try:
+            return multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover
+            pass
+    return multiprocessing.get_context()
+
+
+# -- driver ------------------------------------------------------------------
+class BatchExecutor:
+    """Drives an :class:`Evaluator` over a sample matrix in batches."""
+
+    def __init__(self, config: Optional[ExecutionConfig] = None):
+        self.config = config or ExecutionConfig()
+
+    def run(self, evaluator: Evaluator, d: Mapping[str, float],
+            thetas: Sequence[Mapping[str, float]],
+            matrix: np.ndarray) -> BatchOutcome:
+        """Evaluate every row of ``matrix`` at every theta in ``thetas``."""
+        matrix = np.asarray(matrix, dtype=float)
+        if matrix.ndim != 2:
+            raise ReproError("sample matrix must be 2-D (n, dim)")
+        if not thetas:
+            raise ReproError("at least one operating point is required")
+        if self.config.jobs == 1 or matrix.shape[0] == 1:
+            return self._run_serial(evaluator, d, thetas, matrix)
+        return self._run_pool(evaluator, d, thetas, matrix)
+
+    # -- serial ----------------------------------------------------------------
+    def _run_serial(self, evaluator: Evaluator, d: Mapping[str, float],
+                    thetas: Sequence[Mapping[str, float]],
+                    matrix: np.ndarray) -> BatchOutcome:
+        before = (evaluator.simulation_count, evaluator.request_count,
+                  evaluator.cache_hits, evaluator.cache_misses)
+        values = [[dict(evaluator.evaluate(d, row, theta))
+                   for theta in thetas] for row in matrix]
+        return BatchOutcome(
+            values=values,
+            simulations=evaluator.simulation_count - before[0],
+            requests=evaluator.request_count - before[1],
+            cache_hits=evaluator.cache_hits - before[2],
+            cache_misses=evaluator.cache_misses - before[3],
+            backend="serial", jobs=1, chunks=1)
+
+    # -- process pool ----------------------------------------------------------
+    def _chunk_bounds(self, n: int) -> List[Tuple[int, int]]:
+        size = self.config.chunk_size
+        if size is None:
+            size = max(1, math.ceil(n / (self.config.jobs
+                                         * _CHUNKS_PER_WORKER)))
+        return [(start, min(start + size, n)) for start in range(0, n, size)]
+
+    def _retry_chunk(self, evaluator: Evaluator, d: Mapping[str, float],
+                     thetas: Sequence[Mapping[str, float]],
+                     rows: np.ndarray, error: BaseException
+                     ) -> List[List[Dict[str, float]]]:
+        """In-parent serial re-run of one failed chunk (counts on the
+        parent evaluator directly)."""
+        last: BaseException = error
+        for _ in range(self.config.retries):
+            try:
+                return [[dict(evaluator.evaluate(d, row, theta))
+                         for theta in thetas] for row in rows]
+            except Exception as exc:
+                last = exc
+        raise ReproError(
+            f"batch chunk failed after {self.config.retries} "
+            f"retr{'y' if self.config.retries == 1 else 'ies'}: {last}"
+        ) from last
+
+    def _run_pool(self, evaluator: Evaluator, d: Mapping[str, float],
+                  thetas: Sequence[Mapping[str, float]],
+                  matrix: np.ndarray) -> BatchOutcome:
+        n = matrix.shape[0]
+        bounds = self._chunk_bounds(n)
+        jobs = min(self.config.jobs, len(bounds))
+        d_plain = dict(d)
+        thetas_plain = [dict(theta) for theta in thetas]
+        outcome = BatchOutcome(values=[[] for _ in range(n)],
+                               backend="process-pool", jobs=jobs,
+                               chunks=len(bounds))
+        pool_counts = [0, 0, 0, 0]  # sims, requests, hits, misses
+        pool = futures.ProcessPoolExecutor(
+            max_workers=jobs, mp_context=_pool_context(),
+            initializer=_init_worker,
+            initargs=(evaluator.template, evaluator.cache_enabled,
+                      d_plain, thetas_plain))
+        try:
+            pending = [(start, end,
+                        pool.submit(_run_chunk, start, matrix[start:end]))
+                       for start, end in bounds]
+            for start, end, future in pending:
+                try:
+                    (_, values, sims, reqs, hits, misses) = future.result(
+                        timeout=self.config.timeout_s)
+                    for i, delta in enumerate((sims, reqs, hits, misses)):
+                        pool_counts[i] += delta
+                except Exception as exc:
+                    if isinstance(exc, futures.TimeoutError):
+                        outcome.timed_out_chunks += 1
+                        future.cancel()
+                    outcome.retried_chunks += 1
+                    # The retry runs on the parent evaluator, so its
+                    # counter deltas land there directly.
+                    values = self._retry_chunk(evaluator, d_plain,
+                                               thetas_plain,
+                                               matrix[start:end], exc)
+                for offset, per_theta in enumerate(values):
+                    outcome.values[start + offset] = per_theta
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+        # Fold worker-side effort into the parent's accounting (retried
+        # chunks already counted themselves on the parent evaluator).
+        evaluator.absorb_counts(
+            simulations=pool_counts[0], requests=pool_counts[1],
+            cache_hits=pool_counts[2], cache_misses=pool_counts[3])
+        outcome.simulations = pool_counts[0]
+        outcome.requests = pool_counts[1]
+        outcome.cache_hits = pool_counts[2]
+        outcome.cache_misses = pool_counts[3]
+        return outcome

@@ -1,0 +1,51 @@
+"""Scrambled-Sobol quasi-Monte-Carlo yield estimation.
+
+Low-discrepancy points cover the statistical space evenly, so the
+indicator average converges faster than i.i.d. sampling on the smooth
+yield integrands of weakly-nonlinear analog performances — typically the
+winner at moderate yields (10-90 %) where the pass/fail boundary cuts
+through the bulk of the distribution.  Owen scrambling keeps the
+estimate unbiased and seeded.
+
+The reported interval is the *binomial Wilson* interval, which is a
+conservative upper bound for QMC: a single scrambled replicate carries no
+internal variance estimate, and pretending its points were i.i.d. can
+only overstate the error.  The variance benchmark measures the true
+seed-to-seed spread empirically.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from ..evaluation.evaluator import Evaluator
+from ..statistics.sampling import SampleSet
+from .base import YieldEstimator
+from .result import YieldResult
+from .telemetry import PhaseTimer
+
+
+class SobolQMC(YieldEstimator):
+    """Scrambled low-discrepancy sampling via ``SampleSet.draw_sobol``."""
+
+    name = "qmc"
+
+    def __init__(self, execution=None, ci_level: float = 0.95,
+                 scramble: bool = True):
+        super().__init__(execution=execution, ci_level=ci_level)
+        self.scramble = scramble
+
+    def estimate(self, evaluator: Evaluator, d: Mapping[str, float],
+                 theta_per_spec: Mapping[str, Mapping[str, float]],
+                 n_samples: int = 300, seed: Optional[int] = 2001,
+                 worst_case: Optional[Mapping[str, object]] = None
+                 ) -> YieldResult:
+        """``worst_case`` is accepted for interface uniformity and ignored."""
+        report = self._new_report(n_samples)
+        with PhaseTimer(report, "draw"):
+            samples = SampleSet.draw_sobol(
+                n_samples, evaluator.template.statistical_space.dim,
+                seed=seed, scramble=self.scramble)
+        evaluation = self._evaluate_matrix(evaluator, d, theta_per_spec,
+                                           samples.matrix, report)
+        return self._binomial_result(evaluation, report)

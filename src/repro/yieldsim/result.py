@@ -1,0 +1,94 @@
+"""The common result record all yield estimators produce.
+
+:class:`YieldResult` is deliberately duck-compatible with the legacy
+:class:`~repro.core.montecarlo.MonteCarloResult` (``yield_estimate``,
+``n_samples``, ``bad_fraction``, ``simulations``, ``performance_mean``,
+``performance_std``, ``standard_error``), so optimizer records and the
+paper-table renderers accept either — plus it carries what the legacy
+record could not express: a confidence interval that stays honest at
+0 %/100 % estimates, the effective sample size of weighted estimators,
+and the run telemetry.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from .telemetry import RunReport
+
+
+@dataclass
+class YieldResult:
+    """Outcome of one yield estimation."""
+
+    #: estimator short name ("mc", "is", "qmc")
+    estimator: str
+    #: the yield estimate in [0, 1]
+    estimate: float
+    #: statistical samples used
+    n_samples: int
+    #: simulator calls spent by this run
+    simulations: int
+    #: confidence interval [ci_low, ci_high] at ``ci_level``
+    ci_low: float
+    ci_high: float
+    ci_level: float
+    #: effective sample size: ``n`` for unweighted estimators,
+    #: ``(sum w)^2 / sum w^2`` for importance sampling
+    ess: float
+    #: per spec key, (weighted) fraction of samples violating that spec
+    bad_fraction: Dict[str, float] = field(default_factory=dict)
+    #: per spec key, (weighted) sample mean of the performance at its
+    #: worst-case operating point (presentation units)
+    performance_mean: Dict[str, float] = field(default_factory=dict)
+    #: per spec key, (weighted) sample standard deviation
+    performance_std: Dict[str, float] = field(default_factory=dict)
+    #: run telemetry (phases, executor stats, cache accounting)
+    report: Optional[RunReport] = None
+
+    # -- legacy-compatible views -----------------------------------------------
+    @property
+    def yield_estimate(self) -> float:
+        """Alias matching :class:`MonteCarloResult`."""
+        return self.estimate
+
+    @property
+    def standard_error(self) -> float:
+        """Half the CI width mapped back to one standard error."""
+        from ..statistics.intervals import z_quantile
+        return self.ci_width / (2.0 * z_quantile(self.ci_level))
+
+    @property
+    def ci_width(self) -> float:
+        return self.ci_high - self.ci_low
+
+    def confidence_interval(self, level: Optional[float] = None):
+        """The (ci_low, ci_high) tuple; ``level`` other than the stored
+        one is not recomputable after the fact and raises."""
+        if level is not None and abs(level - self.ci_level) > 1e-12:
+            raise ValueError(
+                f"result carries a {self.ci_level:.0%} interval; "
+                f"re-run the estimator for level {level}")
+        return (self.ci_low, self.ci_high)
+
+    # -- serialization ----------------------------------------------------------
+    def to_dict(self) -> Dict:
+        return {
+            "estimator": self.estimator,
+            "estimate": self.estimate,
+            "n_samples": self.n_samples,
+            "simulations": self.simulations,
+            "ci_low": self.ci_low,
+            "ci_high": self.ci_high,
+            "ci_level": self.ci_level,
+            "ess": self.ess,
+            "bad_fraction": dict(self.bad_fraction),
+            "performance_mean": dict(self.performance_mean),
+            "performance_std": dict(self.performance_std),
+            "report": self.report.to_dict() if self.report else None,
+        }
+
+    def to_json(self, **kwargs) -> str:
+        return json.dumps(self.to_dict(), **kwargs)

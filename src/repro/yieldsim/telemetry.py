@@ -1,0 +1,86 @@
+"""Per-run telemetry for yield-estimation runs.
+
+Every estimator produces a :class:`RunReport` alongside its numeric
+result: how many simulations were spent, how many evaluator requests were
+answered from cache, how the batch executor split the work, and the wall
+time of each phase (sample drawing, simulation, statistical reduction).
+The report is a plain JSON-serializable record, so it can be logged,
+diffed across runs, or attached to Table-7 style effort accounting.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class RunReport:
+    """Telemetry of one yield-estimation run (JSON-serializable)."""
+
+    estimator: str = ""
+    n_samples: int = 0
+    #: distinct worst-case operating corners simulated per sample
+    theta_groups: int = 0
+    #: simulator calls actually spent by this run
+    simulations: int = 0
+    #: evaluator requests issued (simulations + cache hits)
+    requests: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    #: executor backend ("serial" or "process-pool")
+    backend: str = "serial"
+    jobs: int = 1
+    chunks: int = 0
+    retried_chunks: int = 0
+    timed_out_chunks: int = 0
+    #: wall time per phase, seconds
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def wall_time_s(self) -> float:
+        return float(sum(self.phase_seconds.values()))
+
+    def to_dict(self) -> Dict:
+        return {
+            "estimator": self.estimator,
+            "n_samples": self.n_samples,
+            "theta_groups": self.theta_groups,
+            "simulations": self.simulations,
+            "requests": self.requests,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "backend": self.backend,
+            "jobs": self.jobs,
+            "chunks": self.chunks,
+            "retried_chunks": self.retried_chunks,
+            "timed_out_chunks": self.timed_out_chunks,
+            "phase_seconds": dict(self.phase_seconds),
+            "wall_time_s": self.wall_time_s,
+        }
+
+    def to_json(self, **kwargs) -> str:
+        return json.dumps(self.to_dict(), **kwargs)
+
+
+class PhaseTimer:
+    """Context manager accumulating wall time into ``report.phase_seconds``.
+
+    Re-entering the same phase accumulates (the executor's retry path
+    re-opens the "simulate" phase)."""
+
+    def __init__(self, report: RunReport, phase: str):
+        self.report = report
+        self.phase = phase
+        self._start = 0.0
+
+    def __enter__(self) -> "PhaseTimer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        elapsed = time.perf_counter() - self._start
+        seconds = self.report.phase_seconds
+        seconds[self.phase] = seconds.get(self.phase, 0.0) + elapsed

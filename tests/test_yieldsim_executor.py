@@ -1,0 +1,154 @@
+"""Tests for the batched parallel execution engine: chunking,
+deterministic ordering, counter accounting, and the timeout/retry path."""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from helpers import LinearTemplate
+from repro.errors import ReproError
+from repro.evaluation import Evaluator
+from repro.yieldsim import BatchExecutor, ExecutionConfig
+
+THETAS = [{"temp": 27.0}]
+D = {"d0": 1.0, "d1": 0.0}
+
+
+class SlowTemplate(LinearTemplate):
+    """Sleeps on every evaluation — drives the per-chunk timeout path."""
+
+    def __init__(self, delay=0.2):
+        super().__init__()
+        self.delay = delay
+
+    def evaluate(self, d, s_hat, theta):
+        time.sleep(self.delay)
+        return super().evaluate(d, s_hat, theta)
+
+
+class FailInWorkerTemplate(LinearTemplate):
+    """Raises in any process other than the one that built it — drives
+    the pool-failure/in-parent-retry path deterministically."""
+
+    def __init__(self):
+        super().__init__()
+        self.home_pid = os.getpid()
+
+    def evaluate(self, d, s_hat, theta):
+        if os.getpid() != self.home_pid:
+            raise RuntimeError("worker-side failure")
+        return super().evaluate(d, s_hat, theta)
+
+
+def run(template, config, n=12):
+    evaluator = Evaluator(template)
+    matrix = np.random.default_rng(3).standard_normal((n, 2))
+    outcome = BatchExecutor(config).run(evaluator, D, THETAS, matrix)
+    return evaluator, matrix, outcome
+
+
+class TestConfigValidation:
+    def test_rejects_bad_values(self):
+        with pytest.raises(ReproError):
+            ExecutionConfig(jobs=0)
+        with pytest.raises(ReproError):
+            ExecutionConfig(chunk_size=0)
+        with pytest.raises(ReproError):
+            ExecutionConfig(retries=-1)
+
+    def test_rejects_bad_matrix(self):
+        evaluator = Evaluator(LinearTemplate())
+        with pytest.raises(ReproError):
+            BatchExecutor().run(evaluator, D, THETAS, np.zeros(3))
+        with pytest.raises(ReproError):
+            BatchExecutor().run(evaluator, D, [], np.zeros((3, 2)))
+
+
+class TestSerialBackend:
+    def test_values_ordered_and_counted(self):
+        evaluator, matrix, outcome = run(LinearTemplate(),
+                                         ExecutionConfig())
+        assert outcome.backend == "serial"
+        assert len(outcome.values) == 12
+        t = LinearTemplate()
+        for row, per_theta in zip(matrix, outcome.values):
+            assert per_theta[0]["f"] == pytest.approx(
+                t.value(D, row, THETAS[0]))
+        assert outcome.simulations == 12
+        assert evaluator.simulation_count == 12
+
+    def test_cache_hits_reported(self):
+        template = LinearTemplate()
+        evaluator = Evaluator(template)
+        matrix = np.zeros((5, 2))  # identical rows -> 1 miss + 4 hits
+        outcome = BatchExecutor().run(evaluator, D, THETAS, matrix)
+        assert outcome.simulations == 1
+        assert outcome.cache_hits == 4
+        assert evaluator.cache_hits == 4
+        assert evaluator.cache_misses == 1
+
+
+class TestProcessPoolBackend:
+    def test_matches_serial_bitwise(self):
+        _, _, serial = run(LinearTemplate(), ExecutionConfig(), n=23)
+        _, _, parallel = run(LinearTemplate(),
+                             ExecutionConfig(jobs=2, chunk_size=5), n=23)
+        assert parallel.backend == "process-pool"
+        assert parallel.chunks == 5
+        assert parallel.values == serial.values
+
+    def test_chunk_size_invariance(self):
+        outcomes = [run(LinearTemplate(),
+                        ExecutionConfig(jobs=2, chunk_size=size), n=17)[2]
+                    for size in (1, 4, 17)]
+        assert outcomes[0].values == outcomes[1].values == \
+            outcomes[2].values
+
+    def test_parent_counters_absorb_worker_effort(self):
+        evaluator, _, outcome = run(LinearTemplate(),
+                                    ExecutionConfig(jobs=2, chunk_size=4),
+                                    n=12)
+        assert outcome.simulations == 12
+        assert evaluator.simulation_count == 12
+        assert evaluator.request_count == 12
+
+    def test_timeout_retries_in_parent(self):
+        template = SlowTemplate(delay=0.2)
+        evaluator = Evaluator(template)
+        matrix = np.random.default_rng(1).standard_normal((2, 2))
+        config = ExecutionConfig(jobs=2, chunk_size=1, timeout_s=0.02)
+        outcome = BatchExecutor(config).run(evaluator, D, THETAS, matrix)
+        assert outcome.timed_out_chunks >= 1
+        assert outcome.retried_chunks >= 1
+        reference = BatchExecutor().run(Evaluator(SlowTemplate(0.0)), D,
+                                        THETAS, matrix)
+        assert outcome.values == reference.values
+
+    def test_worker_failure_retries_in_parent(self):
+        template = FailInWorkerTemplate()
+        evaluator = Evaluator(template)
+        matrix = np.random.default_rng(2).standard_normal((6, 2))
+        config = ExecutionConfig(jobs=2, chunk_size=3)
+        outcome = BatchExecutor(config).run(evaluator, D, THETAS, matrix)
+        assert outcome.retried_chunks == 2
+        assert outcome.timed_out_chunks == 0
+        reference = BatchExecutor().run(Evaluator(LinearTemplate()), D,
+                                        THETAS, matrix)
+        assert outcome.values == reference.values
+        # Retried effort landed on the parent evaluator.
+        assert evaluator.simulation_count == 6
+
+    def test_exhausted_retries_raise(self):
+        template = FailInWorkerTemplate()
+        template.home_pid = -1  # fails in the parent too
+        evaluator = Evaluator(template)
+        matrix = np.zeros((4, 2))
+        config = ExecutionConfig(jobs=2, chunk_size=2, retries=1)
+        with pytest.raises(ReproError):
+            BatchExecutor(config).run(evaluator, D, THETAS, matrix)
+
+    def test_single_sample_stays_serial(self):
+        _, _, outcome = run(LinearTemplate(), ExecutionConfig(jobs=4), n=1)
+        assert outcome.backend == "serial"
