@@ -17,6 +17,11 @@ Subpackages:
   (Fig. 6),
 * ``repro.circuits``   — the paper's benchmark circuits (folded-cascode and
   Miller opamps),
+* ``repro.yieldsim``   — pluggable yield estimators (MC / IS / QMC) and
+  the parallel batch executor,
+* ``repro.runtime``    — fault-tolerant optimization runtime: fault
+  policies, retry-with-jitter, budgets, checkpoint/resume, fault
+  injection,
 * ``repro.reporting``  — paper-style result tables.
 
 Quickstart::
@@ -32,7 +37,8 @@ Quickstart::
 __version__ = "1.0.0"
 
 from . import (circuit, circuits, core, errors, evaluation, pdk, reporting,
-               spec, statistics, units)
+               runtime, spec, statistics, units, yieldsim)
 
 __all__ = ["circuit", "circuits", "core", "errors", "evaluation", "pdk",
-           "reporting", "spec", "statistics", "units", "__version__"]
+           "reporting", "runtime", "spec", "statistics", "units",
+           "yieldsim", "__version__"]

@@ -59,7 +59,9 @@ def _make_template(name: str, local_only: bool = False):
 
 def cmd_optimize(args: argparse.Namespace) -> int:
     from .core import OptimizerConfig, YieldOptimizer
+    from .evaluation import Evaluator
     from .reporting import optimization_trace_table
+    from .runtime import FaultInjectingEvaluator, RunBudget
     from .yieldsim import make_estimator
 
     template = _make_template(args.circuit)
@@ -72,14 +74,28 @@ def cmd_optimize(args: argparse.Namespace) -> int:
         linearize_at="nominal" if args.nominal_linearization
         else "worst_case",
     )
+    evaluator = Evaluator(template)
+    if args.inject_faults > 0.0:
+        evaluator = FaultInjectingEvaluator(
+            evaluator, rate=args.inject_faults, seed=args.fault_seed)
     verifier = make_estimator(args.estimator, jobs=args.jobs)
-    result = YieldOptimizer(template, config, verifier=verifier).run()
+    result = YieldOptimizer(
+        template, config, evaluator=evaluator, verifier=verifier,
+        budget=RunBudget(deadline_s=args.deadline,
+                         max_simulations=args.max_sims),
+        checkpoint_path=args.checkpoint,
+        resume=args.resume).run()
     print(optimization_trace_table(template, result))
-    print(f"converged: {result.converged}; "
+    print(f"stop reason: {result.stop_reason}; "
+          f"converged: {result.converged}; "
           f"simulations: {result.total_simulations} "
           f"(+{result.total_constraint_simulations} constraint checks, "
           f"{result.total_cache_hits} cache hits); "
           f"wall time {result.wall_time_s:.1f} s")
+    if result.total_failed_samples or result.total_retried_evaluations:
+        print(f"fault policy: {result.total_failed_samples} failed "
+              f"evaluations counted as spec-violating, "
+              f"{result.total_retried_evaluations} retries with jitter")
     print("final design:")
     for name in template.design_names:
         print(f"  {name} = {result.d_final[name]:.6g}")
@@ -124,6 +140,9 @@ def cmd_yield(args: argparse.Namespace) -> int:
     print("bad-sample fraction per spec:")
     for key, fraction in result.bad_fraction.items():
         print(f"  {key:>12}: {fraction * 100:6.2f}%")
+    if result.failed_samples:
+        print(f"failed samples: {result.failed_samples} "
+              f"(counted as spec-violating)")
     print(f"simulations: {report.simulations} "
           f"({report.cache_hits} cache hits, "
           f"{report.theta_groups} worst-case corners, "
@@ -132,6 +151,9 @@ def cmd_yield(args: argparse.Namespace) -> int:
         print(f"warning: {report.retried_chunks}/{report.chunks} chunks "
               f"re-run serially in the parent "
               f"({report.timed_out_chunks} timed out)")
+    if report.degraded_to_serial:
+        print("warning: worker pool died mid-run; remainder of the "
+              "batch was executed serially")
     phases = ", ".join(f"{phase} {seconds:.3f}"
                        for phase, seconds in report.phase_seconds.items())
     print(f"wall time [s]: {phases}")
@@ -255,6 +277,22 @@ def build_parser() -> argparse.ArgumentParser:
                    help="Y_tilde verification estimator (default: mc)")
     p.add_argument("--jobs", type=int, default=1,
                    help="worker processes for verification batches")
+    p.add_argument("--checkpoint", metavar="PATH",
+                   help="write a JSON checkpoint after every iteration")
+    p.add_argument("--resume", action="store_true",
+                   help="continue from --checkpoint when it exists")
+    p.add_argument("--deadline", type=float, metavar="S",
+                   help="wall-clock budget [s]; exhaustion returns the "
+                        "partial trace with stop_reason=deadline")
+    p.add_argument("--max-sims", type=int, metavar="N",
+                   help="simulation budget; exhaustion returns the "
+                        "partial trace with stop_reason=sim_budget")
+    p.add_argument("--inject-faults", type=float, default=0.0,
+                   metavar="RATE",
+                   help="fault-injection testing: fail this fraction of "
+                        "simulations with a ConvergenceError")
+    p.add_argument("--fault-seed", type=int, default=0,
+                   help="seed of the injected-fault schedule")
     p.set_defaults(func=cmd_optimize)
 
     p = sub.add_parser(

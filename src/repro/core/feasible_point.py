@@ -111,7 +111,12 @@ def find_feasible_point(evaluator: Evaluator,
     if best is not None and best[0] <= 1e-6:
         # Numerically feasible (violation below solver noise).
         return best[1], best[2]
+    detail = f"best violation {best[0]:.3g}" if best else "no candidate"
+    if best is not None and best[2]:
+        offender = min(best[2], key=best[2].get)
+        detail += (f", most violated constraint {offender!r} = "
+                   f"{best[2][offender]:.3g}")
     raise FeasibilityError(
         f"no feasible starting point found for template "
         f"{template.name!r} within {max_iterations} iterations "
-        f"(best violation {best[0] if best else float('inf'):.3g})")
+        f"({detail})")

@@ -21,18 +21,33 @@ Ablation switches reproduce the paper's negative results:
   weakly-nonlinear region; true yield stays at 0 %),
 * ``linearize_at="nominal"``  — Table 4 (tangents at s = 0 misjudge the
   specs, especially quadratic CMRR; true yield stays at 0 %).
+
+The loop routes every evaluator call through the
+:mod:`repro.runtime` fault-tolerance layer: verification Monte-Carlo
+runs in lenient mode (a non-convergent sample is recorded as
+spec-violating and counted in ``failed_samples``), model building runs
+in strict mode (retry-with-jitter, then abort with the partial trace).
+Per-run :class:`~repro.runtime.RunBudget` limits and per-iteration JSON
+checkpointing make runs schedulable and resumable; see
+``OptimizationResult.stop_reason`` for how a run ended.
 """
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional
 
 import numpy as np
 
+from ..errors import ReproError
 from ..evaluation.evaluator import Evaluator
 from ..evaluation.template import CircuitTemplate
+from ..runtime import (FaultPolicy, FaultTolerantEvaluator,
+                       OptimizerCheckpoint, RunBudget, STOP_ABORTED_PREFIX,
+                       STOP_CONVERGED, STOP_MAX_ITERATIONS,
+                       load_checkpoint, save_checkpoint)
 from ..spec.operating import find_worst_case_operating_points, spec_key
 from ..statistics.sampling import SampleSet
 from ..yieldsim import OperationalMC, YieldEstimator, YieldResult
@@ -97,6 +112,10 @@ class IterationRecord:
     constraint_simulations: int
     #: line-search step fraction (None for the initial record)
     gamma: Optional[float] = None
+    #: verification samples that failed to evaluate under the fault
+    #: policy and were counted as spec-violating (Eq. 6-7 denominator
+    #: still includes them)
+    failed_samples: int = 0
 
 
 @dataclass
@@ -114,10 +133,23 @@ class OptimizationResult:
     #: effort accounting; defaults keep older call sites working)
     total_cache_hits: int = 0
     total_requests: int = 0
+    #: why the loop ended: "converged", "max_iterations", "deadline",
+    #: "sim_budget", or "aborted: <ErrorType>: <message>"
+    stop_reason: str = STOP_MAX_ITERATIONS
+    #: total evaluations counted as failed by the fault policy
+    total_failed_samples: int = 0
+    #: total retry-with-jitter attempts issued by the fault policy
+    total_retried_evaluations: int = 0
 
     @property
     def initial(self) -> IterationRecord:
         return self.records[0]
+
+    @property
+    def aborted(self) -> bool:
+        """True when the run ended on an abort-class error (the trace is
+        still valid up to the last completed iteration)."""
+        return self.stop_reason.startswith(STOP_ABORTED_PREFIX)
 
     @property
     def final(self) -> IterationRecord:
@@ -133,7 +165,11 @@ class YieldOptimizer:
     def __init__(self, template: CircuitTemplate,
                  config: Optional[OptimizerConfig] = None,
                  evaluator: Optional[Evaluator] = None,
-                 verifier: Optional[YieldEstimator] = None):
+                 verifier: Optional[YieldEstimator] = None,
+                 policy: Optional[FaultPolicy] = None,
+                 budget: Optional[RunBudget] = None,
+                 checkpoint_path: Optional[str] = None,
+                 resume: bool = False):
         self.template = template
         self.config = config or OptimizerConfig()
         self.evaluator = evaluator or Evaluator(template)
@@ -141,13 +177,22 @@ class YieldOptimizer:
         #: default, or e.g. :class:`repro.yieldsim.MeanShiftIS`, which
         #: reuses the iteration's Eq. 8 worst-case points as mean shifts
         self.verifier = verifier or OperationalMC()
+        #: fault policy every evaluator call is routed through
+        self.policy = policy or FaultPolicy()
+        #: wall-clock/simulation budget of this run
+        self.budget = budget or RunBudget()
+        #: JSON checkpoint written after every completed iteration
+        self.checkpoint_path = checkpoint_path
+        #: continue from ``checkpoint_path`` when it exists
+        self.resume = resume
+        self._guarded = FaultTolerantEvaluator(self.evaluator, self.policy)
 
     # -- helpers -----------------------------------------------------------------
     def _theta_wc(self, d: Mapping[str, float]) -> Dict[str, Dict[str, float]]:
         s0 = self.template.statistical_space.nominal()
 
         def evaluate(theta):
-            return self.evaluator.evaluate(d, s0, theta)
+            return self._guarded.evaluate(d, s0, theta)
 
         return find_worst_case_operating_points(
             evaluate, self.template.specs, self.template.operating_range)
@@ -156,7 +201,7 @@ class YieldOptimizer:
                  theta_wc: Mapping[str, Mapping[str, float]]
                  ) -> Dict[str, float]:
         s0 = self.template.statistical_space.nominal()
-        return self.evaluator.margins(d, s0, theta_wc)
+        return self._guarded.margins(d, s0, theta_wc)
 
     def _verify(self, d: Mapping[str, float],
                 theta_wc: Mapping[str, Mapping[str, float]],
@@ -164,123 +209,240 @@ class YieldOptimizer:
                 ) -> Optional[YieldResult]:
         if not self.config.verify:
             return None
-        return self.verifier.estimate(
-            self.evaluator, d, theta_wc,
-            n_samples=self.config.n_samples_verify,
-            seed=self.config.seed + 17,
-            worst_case=worst_case)
+        # Lenient mode: a sample the simulator cannot evaluate is a
+        # failed sample (counts against the yield), not a failed run.
+        with self._guarded.lenient():
+            return self.verifier.estimate(
+                self._guarded, d, theta_wc,
+                n_samples=self.config.n_samples_verify,
+                seed=self.config.seed + 17,
+                worst_case=worst_case)
+
+    def _budget_stop(self, start_time: float,
+                     wall_offset: float) -> Optional[str]:
+        if self.budget.unlimited:
+            return None
+        elapsed = wall_offset + (time.time() - start_time)
+        return self.budget.exhausted(elapsed,
+                                     self.evaluator.simulation_count)
+
+    def _write_checkpoint(self, iteration: int,
+                          records: List[IterationRecord],
+                          d_f: Mapping[str, float],
+                          previous_wc: Optional[Dict[str,
+                                                     WorstCaseResult]],
+                          samples: SampleSet, start_time: float,
+                          wall_offset: float,
+                          stop_reason: Optional[str] = None) -> None:
+        if not self.checkpoint_path:
+            return
+        evaluator = self.evaluator
+        save_checkpoint(self.checkpoint_path, OptimizerCheckpoint(
+            template_name=self.template.name,
+            seed=self.config.seed,
+            iteration=iteration,
+            d_f=dict(d_f),
+            records=records,
+            previous_wc=previous_wc,
+            sample_state={"n": samples.n, "dim": samples.dim,
+                          "seed": self.config.seed},
+            counters={
+                "simulations": evaluator.simulation_count,
+                "requests": evaluator.request_count,
+                "constraint": evaluator.constraint_count,
+                "cache_hits": evaluator.cache_hits,
+                "cache_misses": evaluator.cache_misses,
+            },
+            wall_time_s=wall_offset + (time.time() - start_time),
+            stop_reason=stop_reason))
+
+    def _load_checkpoint(self) -> Optional[OptimizerCheckpoint]:
+        if not (self.resume and self.checkpoint_path
+                and os.path.exists(self.checkpoint_path)):
+            return None
+        state = load_checkpoint(self.checkpoint_path, self.template)
+        if state.seed != self.config.seed:
+            raise ReproError(
+                f"checkpoint {self.checkpoint_path!r} was written with "
+                f"seed {state.seed}, but this run uses seed "
+                f"{self.config.seed}; resuming would not reproduce the "
+                f"original trajectory")
+        # Fold the checkpointed effort back in, so cumulative Table-7
+        # accounting spans the whole logical run across restarts.
+        self.evaluator.absorb_counts(
+            simulations=state.counters.get("simulations", 0),
+            requests=state.counters.get("requests", 0),
+            constraint=state.counters.get("constraint", 0),
+            cache_hits=state.counters.get("cache_hits", 0),
+            cache_misses=state.counters.get("cache_misses", 0))
+        return state
 
     # -- main loop ----------------------------------------------------------------
     def run(self) -> OptimizationResult:
         config = self.config
-        evaluator = self.evaluator
+        evaluator = self.evaluator  # raw counters (Table-7 accounting)
+        guarded = self._guarded     # policy-routed evaluation
         template = self.template
         start_time = time.time()
+        wall_offset = 0.0
 
-        d0 = template.initial_design()
-        if config.use_constraints:
-            d_f, _ = find_feasible_point(evaluator, d0)
-        else:
-            d_f = dict(d0)
-
+        state = self._load_checkpoint()
         samples = SampleSet.draw(config.n_samples_linear,
                                  template.statistical_space.dim,
                                  seed=config.seed)
-        records: List[IterationRecord] = []
-        previous_wc: Optional[Dict[str, WorstCaseResult]] = None
-        previous_estimate: Optional[float] = None
+        if state is not None:
+            expected = {"n": samples.n, "dim": samples.dim,
+                        "seed": config.seed}
+            if state.sample_state and state.sample_state != expected:
+                raise ReproError(
+                    f"checkpoint {self.checkpoint_path!r} sampling state "
+                    f"{state.sample_state} does not match this run's "
+                    f"{expected}; resuming would not reproduce the "
+                    f"original trajectory")
+            records = list(state.records)
+            d_f = dict(state.d_f)
+            previous_wc = state.previous_wc
+            start_iteration = state.iteration + 1
+            wall_offset = state.wall_time_s
+            if state.stop_reason == STOP_CONVERGED:
+                # The checkpointed run already converged; nothing left.
+                start_iteration = config.max_iterations + 1
+        else:
+            d0 = template.initial_design()
+            if config.use_constraints:
+                d_f, _ = find_feasible_point(guarded, d0)
+            else:
+                d_f = dict(d0)
+            records = []
+            previous_wc = None
+            start_iteration = 1
+
         converged = False
-
-        for iteration in range(1, config.max_iterations + 1):
-            theta_wc = self._theta_wc(d_f)
-            wc = find_all_worst_case_points(
-                evaluator, d_f, theta_wc, previous=previous_wc,
-                multistart=config.multistart, seed=config.seed)
-            models = build_spec_models(
-                evaluator, d_f, wc, theta_wc,
-                linearize_at=config.linearize_at,
-                detect_quadratic_specs=config.detect_quadratic)
-            estimator = LinearizedYieldEstimator(models, samples)
-
-            if iteration == 1:
-                records.append(IterationRecord(
-                    index=0, d=dict(d_f),
-                    margins=self._margins(d_f, theta_wc),
-                    bad_samples=estimator.bad_samples_per_spec(d_f),
-                    yield_linear=estimator.yield_estimate(d_f),
-                    yield_mc=None, mc=None, worst_case=dict(wc),
-                    simulations=evaluator.simulation_count,
-                    constraint_simulations=evaluator.constraint_count))
-                mc0 = self._verify(d_f, theta_wc, worst_case=wc)
-                records[0].mc = mc0
-                records[0].yield_mc = \
-                    mc0.yield_estimate if mc0 else None
-                records[0].simulations = evaluator.simulation_count
-                records[0].constraint_simulations = \
-                    evaluator.constraint_count
-
-            baseline = estimator.yield_estimate(d_f)
-            if config.use_constraints:
-                region = linearize_constraints(evaluator, d_f)
-            else:
-                region = UnconstrainedRegion()
-            search = coordinate_search(estimator, region, template, d_f,
-                                       trust_radius=config.trust_radius)
-
-            if config.use_constraints:
-                line = feasibility_line_search(evaluator, d_f,
-                                               search.d_star)
-                d_new, gamma = line.d_new, line.gamma
-            else:
-                d_new, gamma = dict(search.d_star), 1.0
-
-            # Damped acceptance (see OptimizerConfig.max_step_halvings):
-            # the spec-wise linear models cannot see a sign flip of a
-            # *systematic* margin caused by their own extrapolation error;
-            # halving the step restores the trust-region contract.
-            theta_wc_new = self._theta_wc(d_new)
-            if config.use_constraints and config.max_step_halvings > 0:
-                margins_old = self._margins(d_f, theta_wc)
-                for _ in range(config.max_step_halvings):
-                    margins_new = self._margins(d_new, theta_wc_new)
-                    regressed = any(
-                        margins_old[key] > 0.0 > margins_new[key]
-                        for key in margins_old)
-                    if not regressed:
+        stop_reason = STOP_MAX_ITERATIONS
+        if state is not None and state.stop_reason == STOP_CONVERGED:
+            converged = True
+            stop_reason = STOP_CONVERGED
+        try:
+            for iteration in range(start_iteration,
+                                   config.max_iterations + 1):
+                # Budget gate at the iteration boundary; skipped until a
+                # record exists so even a zero deadline yields a valid
+                # (initial-state) trace.
+                if records:
+                    reason = self._budget_stop(start_time, wall_offset)
+                    if reason is not None:
+                        stop_reason = reason
                         break
-                    gamma *= 0.5
-                    d_new = {name: d_f[name] +
-                             gamma * (search.d_star[name] - d_f[name])
-                             for name in template.design_names}
-                    theta_wc_new = self._theta_wc(d_new)
-            mc = self._verify(d_new, theta_wc_new, worst_case=wc)
-            record = IterationRecord(
-                index=iteration, d=dict(d_new),
-                margins=self._margins(d_new, theta_wc_new),
-                bad_samples=estimator.bad_samples_per_spec(d_new),
-                yield_linear=estimator.yield_estimate(d_new),
-                yield_mc=mc.yield_estimate if mc else None,
-                mc=mc, worst_case=dict(wc),
-                simulations=evaluator.simulation_count,
-                constraint_simulations=evaluator.constraint_count,
-                gamma=gamma)
-            records.append(record)
 
-            improvement = record.yield_linear - baseline
-            d_f = dict(d_new)
-            previous_wc = wc
-            previous_estimate = record.yield_linear
-            if improvement < config.min_improvement:
-                converged = True
-                break
+                theta_wc = self._theta_wc(d_f)
+                wc = find_all_worst_case_points(
+                    guarded, d_f, theta_wc, previous=previous_wc,
+                    multistart=config.multistart, seed=config.seed)
+                models = build_spec_models(
+                    guarded, d_f, wc, theta_wc,
+                    linearize_at=config.linearize_at,
+                    detect_quadratic_specs=config.detect_quadratic)
+                estimator = LinearizedYieldEstimator(models, samples)
+
+                if iteration == 1:
+                    records.append(IterationRecord(
+                        index=0, d=dict(d_f),
+                        margins=self._margins(d_f, theta_wc),
+                        bad_samples=estimator.bad_samples_per_spec(d_f),
+                        yield_linear=estimator.yield_estimate(d_f),
+                        yield_mc=None, mc=None, worst_case=dict(wc),
+                        simulations=evaluator.simulation_count,
+                        constraint_simulations=evaluator.constraint_count))
+                    mc0 = self._verify(d_f, theta_wc, worst_case=wc)
+                    records[0].mc = mc0
+                    records[0].yield_mc = \
+                        mc0.yield_estimate if mc0 else None
+                    records[0].failed_samples = \
+                        getattr(mc0, "failed_samples", 0) if mc0 else 0
+                    records[0].simulations = evaluator.simulation_count
+                    records[0].constraint_simulations = \
+                        evaluator.constraint_count
+
+                baseline = estimator.yield_estimate(d_f)
+                if config.use_constraints:
+                    region = linearize_constraints(guarded, d_f)
+                else:
+                    region = UnconstrainedRegion()
+                search = coordinate_search(estimator, region, template,
+                                           d_f,
+                                           trust_radius=config.trust_radius)
+
+                if config.use_constraints:
+                    line = feasibility_line_search(guarded, d_f,
+                                                   search.d_star)
+                    d_new, gamma = line.d_new, line.gamma
+                else:
+                    d_new, gamma = dict(search.d_star), 1.0
+
+                # Damped acceptance (OptimizerConfig.max_step_halvings):
+                # the spec-wise linear models cannot see a sign flip of a
+                # *systematic* margin caused by their own extrapolation
+                # error; halving the step restores the trust-region
+                # contract.
+                theta_wc_new = self._theta_wc(d_new)
+                if config.use_constraints and config.max_step_halvings > 0:
+                    margins_old = self._margins(d_f, theta_wc)
+                    for _ in range(config.max_step_halvings):
+                        margins_new = self._margins(d_new, theta_wc_new)
+                        regressed = any(
+                            margins_old[key] > 0.0 > margins_new[key]
+                            for key in margins_old)
+                        if not regressed:
+                            break
+                        gamma *= 0.5
+                        d_new = {name: d_f[name] +
+                                 gamma * (search.d_star[name] - d_f[name])
+                                 for name in template.design_names}
+                        theta_wc_new = self._theta_wc(d_new)
+                mc = self._verify(d_new, theta_wc_new, worst_case=wc)
+                record = IterationRecord(
+                    index=iteration, d=dict(d_new),
+                    margins=self._margins(d_new, theta_wc_new),
+                    bad_samples=estimator.bad_samples_per_spec(d_new),
+                    yield_linear=estimator.yield_estimate(d_new),
+                    yield_mc=mc.yield_estimate if mc else None,
+                    mc=mc, worst_case=dict(wc),
+                    simulations=evaluator.simulation_count,
+                    constraint_simulations=evaluator.constraint_count,
+                    gamma=gamma,
+                    failed_samples=getattr(mc, "failed_samples", 0)
+                    if mc else 0)
+                records.append(record)
+
+                improvement = record.yield_linear - baseline
+                d_f = dict(d_new)
+                previous_wc = wc
+                if improvement < config.min_improvement:
+                    converged = True
+                    stop_reason = STOP_CONVERGED
+                self._write_checkpoint(
+                    iteration, records, d_f, previous_wc, samples,
+                    start_time, wall_offset,
+                    stop_reason=STOP_CONVERGED if converged else None)
+                if converged:
+                    break
+        except ReproError as exc:
+            if not records:
+                # Nothing recoverable happened yet; fail loudly.
+                raise
+            stop_reason = f"{STOP_ABORTED_PREFIX}{type(exc).__name__}: " \
+                          f"{exc}"
 
         return OptimizationResult(
             template_name=template.name,
             records=records,
             d_final=dict(d_f),
             converged=converged,
-            wall_time_s=time.time() - start_time,
+            wall_time_s=wall_offset + (time.time() - start_time),
             total_simulations=evaluator.simulation_count,
             total_constraint_simulations=evaluator.constraint_count,
             total_cache_hits=evaluator.cache_hits,
-            total_requests=evaluator.request_count)
+            total_requests=evaluator.request_count,
+            stop_reason=stop_reason,
+            total_failed_samples=guarded.failed_evaluations,
+            total_retried_evaluations=guarded.retried_evaluations)

@@ -83,6 +83,12 @@ def optimization_trace_table(template: CircuitTemplate,
                 text += (f" (95% CI {ci[0] * 100:.1f}"
                          f"-{ci[1] * 100:.1f}%)")
             lines.append(text)
+            failed = getattr(record, "failed_samples", 0)
+            if failed:
+                n = getattr(record.mc, "n_samples", None)
+                total = f"/{n}" if n else ""
+                lines.append(f"  failed samples = {failed}{total} "
+                             f"(counted as spec-violating)")
         lines.append("")
     return "\n".join(lines)
 

@@ -1,0 +1,69 @@
+"""Per-run resource budgets for the Fig. 6 loop.
+
+A production run must terminate on schedule even when individual
+iterations are slower than expected; aborting with an exception would
+throw away the partial trace.  :class:`RunBudget` carries a wall-clock
+deadline and a maximum-simulation budget; the optimizer checks it at the
+iteration boundaries of the Fig. 6 loop and, when a budget is exhausted,
+returns a valid partial :class:`~repro.core.optimizer.OptimizationResult`
+whose ``stop_reason`` names the binding budget instead of raising.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import ReproError
+
+#: canonical ``stop_reason`` values of an optimization run
+STOP_CONVERGED = "converged"
+STOP_MAX_ITERATIONS = "max_iterations"
+STOP_DEADLINE = "deadline"
+STOP_SIM_BUDGET = "sim_budget"
+#: prefix of abort-class stop reasons ("aborted: <ErrorType>: <message>")
+STOP_ABORTED_PREFIX = "aborted: "
+
+
+@dataclass(frozen=True)
+class RunBudget:
+    """Wall-clock and simulation-count limits of one optimization run.
+
+    ``None`` disables a limit.  Both limits are checked against effort
+    spent *so far*; an iteration in flight when the limit trips finishes
+    naturally (simulations are not interrupted mid-call), so runs may
+    overshoot by at most one loop stage.
+    """
+
+    #: wall-clock deadline in seconds from run start (resume runs count
+    #: the checkpointed wall time of previous attempts toward it)
+    deadline_s: Optional[float] = None
+    #: maximum performance simulations (evaluator ``simulation_count``)
+    max_simulations: Optional[int] = None
+
+    def __post_init__(self):
+        if self.deadline_s is not None and self.deadline_s < 0:
+            raise ReproError(
+                f"deadline_s must be >= 0, got {self.deadline_s}")
+        if self.max_simulations is not None and self.max_simulations < 1:
+            raise ReproError(
+                f"max_simulations must be >= 1, got {self.max_simulations}")
+
+    @property
+    def unlimited(self) -> bool:
+        return self.deadline_s is None and self.max_simulations is None
+
+    def exhausted(self, elapsed_s: float,
+                  simulations: int) -> Optional[str]:
+        """The ``stop_reason`` of the binding budget, or ``None``.
+
+        The deadline binds first when both are exhausted (it is the
+        externally visible contract; the simulation count is internal
+        effort accounting).
+        """
+        if self.deadline_s is not None and elapsed_s >= self.deadline_s:
+            return STOP_DEADLINE
+        if self.max_simulations is not None and \
+                simulations >= self.max_simulations:
+            return STOP_SIM_BUDGET
+        return None

@@ -1,0 +1,240 @@
+"""JSON checkpoint/resume for the Fig. 6 optimization loop.
+
+After every completed iteration the optimizer serializes its full loop
+state — the iteration records, the current design point, the sampling
+state, and the warm-start worst-case points — to a JSON checkpoint
+(written atomically: temp file + rename).  A later run with ``resume``
+restores that state and continues from the next iteration; because every
+random draw in the loop is derived from the configured seed and fault
+injection/retry jitter are deterministic in the evaluation *point* (not
+call order), a resumed run reproduces the same trajectory — and the same
+final design — as an uninterrupted run.
+
+Floats survive bit-identically: ``json`` serializes with ``repr``
+(shortest round-trip) and parses back to the exact same double, so
+restored :class:`~repro.core.optimizer.IterationRecord` objects compare
+equal to the originals field by field.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+import numpy as np
+
+from ..errors import ReproError
+
+#: current checkpoint schema version
+CHECKPOINT_VERSION = 1
+
+
+class CheckpointError(ReproError):
+    """Raised for unreadable, incompatible, or mismatched checkpoints."""
+
+
+# -- worst-case results -------------------------------------------------------
+def _wc_to_dict(wc) -> Dict:
+    return {
+        "spec_key": f"{wc.spec.performance}{wc.spec.kind}",
+        "s_wc": [float(v) for v in np.asarray(wc.s_wc, dtype=float)],
+        "beta_wc": float(wc.beta_wc),
+        "gradient": [float(v) for v in np.asarray(wc.gradient,
+                                                  dtype=float)],
+        "g_wc": float(wc.g_wc),
+        "g_nominal": float(wc.g_nominal),
+        "on_boundary": bool(wc.on_boundary),
+        "iterations": int(wc.iterations),
+        "method": str(wc.method),
+    }
+
+
+def _wc_from_dict(data: Mapping, template) -> "object":
+    from ..core.worst_case import WorstCaseResult
+    from ..spec.operating import spec_key
+    specs = {spec_key(spec): spec for spec in template.specs}
+    try:
+        spec = specs[data["spec_key"]]
+    except KeyError:
+        raise CheckpointError(
+            f"checkpoint references spec {data['spec_key']!r} unknown to "
+            f"template {template.name!r}")
+    return WorstCaseResult(
+        spec=spec,
+        s_wc=np.asarray(data["s_wc"], dtype=float),
+        beta_wc=float(data["beta_wc"]),
+        gradient=np.asarray(data["gradient"], dtype=float),
+        g_wc=float(data["g_wc"]),
+        g_nominal=float(data["g_nominal"]),
+        on_boundary=bool(data["on_boundary"]),
+        iterations=int(data["iterations"]),
+        method=str(data["method"]))
+
+
+# -- verification results -----------------------------------------------------
+def _mc_to_dict(mc) -> Optional[Dict]:
+    """Serialize a verification result: a yieldsim ``YieldResult`` (or
+    anything else exposing a compatible ``to_dict``).  Legacy records
+    without one are dropped from the checkpoint (their scalar summary
+    lives on in the record fields)."""
+    if mc is None:
+        return None
+    to_dict = getattr(mc, "to_dict", None)
+    if callable(to_dict):
+        return {"kind": "yieldsim", "data": to_dict()}
+    return None
+
+
+def _mc_from_dict(data: Optional[Mapping]):
+    if data is None:
+        return None
+    from ..yieldsim.result import YieldResult
+    return YieldResult.from_dict(data["data"])
+
+
+# -- iteration records --------------------------------------------------------
+def record_to_dict(record) -> Dict:
+    """Serialize one :class:`~repro.core.optimizer.IterationRecord`."""
+    return {
+        "index": record.index,
+        "d": dict(record.d),
+        "margins": dict(record.margins),
+        "bad_samples": dict(record.bad_samples),
+        "yield_linear": record.yield_linear,
+        "yield_mc": record.yield_mc,
+        "mc": _mc_to_dict(record.mc),
+        "worst_case": {key: _wc_to_dict(wc)
+                       for key, wc in record.worst_case.items()},
+        "simulations": record.simulations,
+        "constraint_simulations": record.constraint_simulations,
+        "gamma": record.gamma,
+        "failed_samples": record.failed_samples,
+    }
+
+
+def record_from_dict(data: Mapping, template):
+    """Restore one :class:`~repro.core.optimizer.IterationRecord`."""
+    from ..core.optimizer import IterationRecord
+    return IterationRecord(
+        index=int(data["index"]),
+        d=dict(data["d"]),
+        margins=dict(data["margins"]),
+        bad_samples=dict(data["bad_samples"]),
+        yield_linear=float(data["yield_linear"]),
+        yield_mc=None if data["yield_mc"] is None
+        else float(data["yield_mc"]),
+        mc=_mc_from_dict(data.get("mc")),
+        worst_case={key: _wc_from_dict(wc, template)
+                    for key, wc in data["worst_case"].items()},
+        simulations=int(data["simulations"]),
+        constraint_simulations=int(data["constraint_simulations"]),
+        gamma=None if data.get("gamma") is None
+        else float(data["gamma"]),
+        failed_samples=int(data.get("failed_samples", 0)))
+
+
+# -- the checkpoint record ----------------------------------------------------
+@dataclass
+class OptimizerCheckpoint:
+    """Everything needed to continue a run after the last completed
+    iteration (in-memory form; see :func:`save_checkpoint` for the JSON
+    shape)."""
+
+    template_name: str
+    seed: int
+    #: index of the last completed iteration (records run up to here)
+    iteration: int
+    #: current design point (start of the next iteration)
+    d_f: Dict[str, float]
+    records: List = field(default_factory=list)
+    #: warm-start worst-case points of the last iteration (or None)
+    previous_wc: Optional[Dict[str, object]] = None
+    #: sampling state: the Eq. 17 sample matrix is fully determined by
+    #: these three values, so storing them *is* storing the RNG state
+    sample_state: Dict[str, int] = field(default_factory=dict)
+    #: evaluator counters at checkpoint time (folded back on resume so
+    #: Table-7 effort accounting spans the whole logical run)
+    counters: Dict[str, int] = field(default_factory=dict)
+    #: wall time consumed before this checkpoint (summed across resumes)
+    wall_time_s: float = 0.0
+    #: terminal stop reason when the run already ended at this
+    #: checkpoint (e.g. "converged"); None while the run is in progress.
+    #: Resume returns the restored trace directly instead of iterating.
+    stop_reason: Optional[str] = None
+
+
+def save_checkpoint(path: str, checkpoint: OptimizerCheckpoint) -> None:
+    """Atomically write ``checkpoint`` as JSON to ``path``."""
+    payload = {
+        "version": CHECKPOINT_VERSION,
+        "template_name": checkpoint.template_name,
+        "seed": checkpoint.seed,
+        "iteration": checkpoint.iteration,
+        "d_f": dict(checkpoint.d_f),
+        "records": [record_to_dict(record)
+                    for record in checkpoint.records],
+        "previous_wc": None if checkpoint.previous_wc is None else {
+            key: _wc_to_dict(wc)
+            for key, wc in checkpoint.previous_wc.items()},
+        "sample_state": dict(checkpoint.sample_state),
+        "counters": dict(checkpoint.counters),
+        "wall_time_s": checkpoint.wall_time_s,
+        "stop_reason": checkpoint.stop_reason,
+    }
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    handle = tempfile.NamedTemporaryFile(
+        "w", dir=directory, suffix=".tmp", delete=False)
+    try:
+        with handle:
+            json.dump(payload, handle)
+        os.replace(handle.name, path)
+    except BaseException:
+        try:
+            os.unlink(handle.name)
+        except OSError:
+            pass
+        raise
+
+
+def load_checkpoint(path: str, template) -> OptimizerCheckpoint:
+    """Load a checkpoint and rebind it to ``template``.
+
+    Raises :class:`CheckpointError` for unreadable files, incompatible
+    schema versions, or a template-name mismatch.
+    """
+    try:
+        with open(path) as handle:
+            payload = json.load(handle)
+    except OSError as exc:
+        raise CheckpointError(f"cannot read checkpoint {path!r}: {exc}")
+    except ValueError as exc:
+        raise CheckpointError(f"corrupt checkpoint {path!r}: {exc}")
+    version = payload.get("version")
+    if version != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"checkpoint {path!r} has schema version {version!r}; "
+            f"this build reads version {CHECKPOINT_VERSION}")
+    if payload["template_name"] != template.name:
+        raise CheckpointError(
+            f"checkpoint {path!r} was written for template "
+            f"{payload['template_name']!r}, not {template.name!r}")
+    previous_wc = payload.get("previous_wc")
+    return OptimizerCheckpoint(
+        template_name=payload["template_name"],
+        seed=int(payload["seed"]),
+        iteration=int(payload["iteration"]),
+        d_f=dict(payload["d_f"]),
+        records=[record_from_dict(record, template)
+                 for record in payload["records"]],
+        previous_wc=None if previous_wc is None else {
+            key: _wc_from_dict(wc, template)
+            for key, wc in previous_wc.items()},
+        sample_state=dict(payload.get("sample_state", {})),
+        counters={key: int(value)
+                  for key, value in payload.get("counters", {}).items()},
+        wall_time_s=float(payload.get("wall_time_s", 0.0)),
+        stop_reason=payload.get("stop_reason"))

@@ -1,0 +1,155 @@
+"""Fault classification and retry policy for evaluator exceptions.
+
+A yield-optimization run issues thousands of simulator calls, and in any
+realistic setting some of them fail: the DC Newton solver diverges at an
+extreme statistical sample, the MNA matrix goes singular, a gain curve
+never crosses unity.  The :class:`FaultPolicy` maps each exception from
+the :mod:`repro.errors` taxonomy to one of three actions:
+
+* :attr:`FaultAction.RETRY` — transient numerical failures
+  (:class:`~repro.errors.ConvergenceError`,
+  :class:`~repro.errors.SingularMatrixError`): re-evaluate at a slightly
+  jittered statistical point, with the perturbation magnitude growing
+  exponentially over a bounded number of attempts.  When every attempt
+  fails, the failure degrades to *count-as-fail*.
+* :attr:`FaultAction.COUNT_AS_FAIL` — the point is genuinely outside the
+  circuit's working region (:class:`~repro.errors.ExtractionError`, e.g.
+  no unity-gain crossing): the sample is recorded as violating every
+  spec, which is exactly the pessimistic reading Eq. 6-7 needs, and a
+  ``failed_samples`` counter surfaces it in results and trace tables.
+* :attr:`FaultAction.ABORT` — structural problems
+  (:class:`~repro.errors.NetlistError` and friends) that no retry can
+  fix: the error propagates, and the optimizer returns the partial trace
+  accumulated so far.
+
+Retry jitter is **deterministic in the evaluation point**, not in call
+order: the RNG is seeded from a digest of ``(d, s, theta)``.  Two runs —
+or one run resumed from a checkpoint — that evaluate the same point
+therefore retry through the identical perturbation sequence, which keeps
+checkpoint/resume bit-reproducible.
+"""
+
+from __future__ import annotations
+
+import enum
+import zlib
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Type
+
+import numpy as np
+
+from ..errors import (AnalysisError, ExtractionError, NetlistError,
+                      ReproError)
+
+
+class FaultAction(enum.Enum):
+    """What to do with a classified evaluator exception."""
+
+    RETRY = "retry"
+    COUNT_AS_FAIL = "count-as-fail"
+    ABORT = "abort"
+
+
+@dataclass(frozen=True)
+class RetryConfig:
+    """Bounds of the retry-with-jitter loop.
+
+    Attempt ``k`` (0-based) re-evaluates at ``s + jitter * backoff**k *
+    z`` with ``z ~ N(0, I)`` drawn from the point-digest RNG: the first
+    retry barely moves (absorbing pure numerical bad luck), later ones
+    step progressively further off the pathological point.
+    """
+
+    #: additional evaluation attempts after the first failure
+    attempts: int = 2
+    #: perturbation magnitude of the first retry (normalized sigma units)
+    jitter: float = 1e-6
+    #: exponential growth factor of the magnitude per attempt
+    backoff: float = 8.0
+
+    def __post_init__(self):
+        if self.attempts < 0:
+            raise ReproError(
+                f"retry attempts must be >= 0, got {self.attempts}")
+        if self.jitter < 0.0:
+            raise ReproError(f"jitter must be >= 0, got {self.jitter}")
+        if self.backoff < 1.0:
+            raise ReproError(f"backoff must be >= 1, got {self.backoff}")
+
+    def magnitude(self, attempt: int) -> float:
+        """Perturbation magnitude of 0-based retry ``attempt``."""
+        return self.jitter * self.backoff ** attempt
+
+
+#: Default classification of the :mod:`repro.errors` taxonomy.  Lookup
+#: walks the exception's MRO, so subclasses inherit their parent's action
+#: unless listed explicitly.  Anything not derived from a listed class
+#: (including non-ReproError bugs) aborts.
+DEFAULT_ACTIONS: Dict[Type[BaseException], FaultAction] = {
+    AnalysisError: FaultAction.RETRY,        # Convergence/SingularMatrix
+    ExtractionError: FaultAction.COUNT_AS_FAIL,
+    NetlistError: FaultAction.ABORT,
+    ReproError: FaultAction.ABORT,
+}
+
+
+def point_digest(d: Mapping[str, float], s_hat: np.ndarray,
+                 theta: Mapping[str, float], salt: int = 0) -> int:
+    """Stable 32-bit digest of an evaluation point.
+
+    Built from CRC32 over a canonical text encoding, so it is identical
+    across processes and interpreter runs (unlike ``hash()``, which is
+    salted per process).
+    """
+    parts = [f"{name}={d[name]!r}" for name in sorted(d)]
+    parts.append(np.ascontiguousarray(
+        np.asarray(s_hat, dtype=float)).tobytes().hex())
+    parts.extend(f"{name}={value!r}" for name, value in sorted(theta.items()))
+    parts.append(str(salt))
+    return zlib.crc32("|".join(parts).encode("ascii"))
+
+
+class FaultPolicy:
+    """Maps evaluator exceptions to :class:`FaultAction` decisions.
+
+    ``actions`` overrides/extends :data:`DEFAULT_ACTIONS`; ``retry``
+    bounds the retry-with-jitter loop executed by
+    :class:`~repro.runtime.tolerant.FaultTolerantEvaluator`.
+    """
+
+    def __init__(self,
+                 actions: Optional[Mapping[Type[BaseException],
+                                           FaultAction]] = None,
+                 retry: Optional[RetryConfig] = None):
+        self.actions: Dict[Type[BaseException], FaultAction] = \
+            dict(DEFAULT_ACTIONS)
+        if actions:
+            self.actions.update(actions)
+        self.retry = retry or RetryConfig()
+
+    def classify(self, exc: BaseException) -> FaultAction:
+        """The action for ``exc``: the most specific match in its MRO."""
+        for cls in type(exc).__mro__:
+            if cls in self.actions:
+                return self.actions[cls]
+        return FaultAction.ABORT
+
+    def jittered(self, d: Mapping[str, float], s_hat: np.ndarray,
+                 theta: Mapping[str, float], attempt: int) -> np.ndarray:
+        """The statistical point to use for 0-based retry ``attempt``.
+
+        Deterministic in the *original* point (see module docstring); the
+        perturbation is always applied to the original ``s_hat``, never
+        compounded across attempts.
+        """
+        s = np.asarray(s_hat, dtype=float)
+        rng = np.random.default_rng(
+            point_digest(d, s, theta, salt=1000 + attempt))
+        return s + self.retry.magnitude(attempt) * \
+            rng.standard_normal(s.shape)
+
+    def describe(self) -> Dict[str, str]:
+        """Error-class name -> action value (for docs and CLI output)."""
+        return {cls.__name__: action.value
+                for cls, action in sorted(self.actions.items(),
+                                          key=lambda kv: kv[0].__name__)}

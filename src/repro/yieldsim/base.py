@@ -37,6 +37,9 @@ class SampleEvaluation:
     spec_pass: Dict[str, np.ndarray]
     #: (n,) boolean all-specs-pass indicator
     indicator: np.ndarray
+    #: (n,) boolean mask of samples whose evaluation failed under the
+    #: fault policy (NaN performance records); always counted as failing
+    failed: np.ndarray
     outcome: BatchOutcome
 
 
@@ -93,6 +96,7 @@ class YieldEstimator(abc.ABC):
         spec_values: Dict[str, np.ndarray] = {}
         spec_pass: Dict[str, np.ndarray] = {}
         with PhaseTimer(report, "reduce"):
+            failed = np.zeros(n, dtype=bool)
             for g, keys in enumerate(group_keys):
                 for key in keys:
                     spec = specs[key]
@@ -100,7 +104,10 @@ class YieldEstimator(abc.ABC):
                         (outcome.values[j][g][spec.performance]
                          for j in range(n)), dtype=float, count=n)
                     spec_values[key] = values
+                    # NaN (a failed evaluation under the fault policy)
+                    # compares False, i.e. counts as violating the spec.
                     spec_pass[key] = spec.sign * (values - spec.bound) >= 0.0
+                    failed |= ~np.isfinite(values)
             indicator = np.ones(n, dtype=bool)
             for passes in spec_pass.values():
                 indicator &= passes
@@ -115,9 +122,12 @@ class YieldEstimator(abc.ABC):
         report.chunks += outcome.chunks
         report.retried_chunks += outcome.retried_chunks
         report.timed_out_chunks += outcome.timed_out_chunks
+        report.failed_samples += int(np.count_nonzero(failed))
+        report.degraded_to_serial |= outcome.degraded_to_serial
         return SampleEvaluation(spec_values=spec_values,
                                 spec_pass=spec_pass,
-                                indicator=indicator, outcome=outcome)
+                                indicator=indicator, failed=failed,
+                                outcome=outcome)
 
     def _new_report(self, n_samples: int) -> RunReport:
         return RunReport(estimator=self.name, n_samples=n_samples,
@@ -130,14 +140,23 @@ class YieldEstimator(abc.ABC):
         n = evaluation.indicator.shape[0]
         passes = int(np.count_nonzero(evaluation.indicator))
         ci_low, ci_high = wilson_interval(passes, n, self.ci_level)
-        means = {key: float(np.mean(values))
-                 for key, values in evaluation.spec_values.items()}
-        stds = {key: float(np.std(values, ddof=1)) if n > 1 else 0.0
-                for key, values in evaluation.spec_values.items()}
+        # Performance statistics cover the evaluable samples only: a
+        # failed (NaN) record counts against the yield but carries no
+        # performance value to average.
+        means: Dict[str, float] = {}
+        stds: Dict[str, float] = {}
+        for key, values in evaluation.spec_values.items():
+            finite = values[np.isfinite(values)]
+            means[key] = float(np.mean(finite)) if finite.size \
+                else float("nan")
+            stds[key] = float(np.std(finite, ddof=1)) \
+                if finite.size > 1 else 0.0
         bad = {key: float(np.count_nonzero(~ok)) / n
                for key, ok in evaluation.spec_pass.items()}
         return YieldResult(
             estimator=self.name, estimate=passes / n, n_samples=n,
             simulations=report.simulations, ci_low=ci_low, ci_high=ci_high,
             ci_level=self.ci_level, ess=float(n), bad_fraction=bad,
-            performance_mean=means, performance_std=stds, report=report)
+            performance_mean=means, performance_std=stds,
+            failed_samples=int(np.count_nonzero(evaluation.failed)),
+            report=report)

@@ -10,9 +10,14 @@ module runs that loop either serially (sharing the caller's cached
 * each worker process builds its **own** evaluator around the (pickled)
   circuit template — templates are pure analytic objects, so results are
   bit-identical to serial evaluation;
-* each chunk has a **timeout and one retry**: a chunk that times out or
-  raises in the pool is re-run serially in the parent, which always
-  terminates, so a wedged worker cannot hang a verification run;
+* each chunk has a **timeout and one retry**: a chunk that raises in the
+  pool is re-run serially in the parent, which always terminates, so a
+  wedged worker cannot hang a verification run;
+* a chunk **timeout** or a ``BrokenProcessPool`` marks the pool dead: its
+  workers are terminated (a truly hung process must not outlive the run)
+  and the remainder of the batch **degrades to serial** in-parent
+  execution — already-finished chunk results are still harvested, and
+  nothing is retried against a dead pool;
 * results are reassembled **by chunk index**, so the output ordering (and
   therefore every downstream estimate) is independent of worker count and
   scheduling;
@@ -26,6 +31,7 @@ import math
 import multiprocessing
 import sys
 from concurrent import futures
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -82,6 +88,9 @@ class BatchOutcome:
     chunks: int = 0
     retried_chunks: int = 0
     timed_out_chunks: int = 0
+    #: True when the pool died (timeout-killed or broken workers) and the
+    #: remaining chunks ran serially in the parent
+    degraded_to_serial: bool = False
 
 
 # -- worker side -------------------------------------------------------------
@@ -187,6 +196,39 @@ class BatchExecutor:
             f"retr{'y' if self.config.retries == 1 else 'ies'}: {last}"
         ) from last
 
+    @staticmethod
+    def _kill_pool(pool: futures.ProcessPoolExecutor) -> None:
+        """Tear a (possibly wedged) pool down without waiting.
+
+        ``Future.cancel`` has no effect on a *running* future, so a hung
+        worker would outlive the run if we merely shut the executor
+        down; terminate the worker processes explicitly (and escalate to
+        SIGKILL if termination does not take).  The process list must be
+        snapshotted *before* ``shutdown``, which drops the pool's
+        reference to it."""
+        processes = list((getattr(pool, "_processes", None) or {})
+                         .values())
+        pool.shutdown(wait=False, cancel_futures=True)
+        for process in processes:
+            if process.is_alive():
+                process.terminate()
+        for process in processes:
+            process.join(timeout=1.0)
+            if process.is_alive():  # pragma: no cover - last resort
+                process.kill()
+                process.join(timeout=1.0)
+
+    @staticmethod
+    def _harvest_finished(future):
+        """The payload of a future that completed *before* the pool
+        died, else None (cancelled / still running / poisoned)."""
+        if not future.done() or future.cancelled():
+            return None
+        try:
+            return future.result(timeout=0)
+        except Exception:
+            return None
+
     def _run_pool(self, evaluator: Evaluator, d: Mapping[str, float],
                   thetas: Sequence[Mapping[str, float]],
                   matrix: np.ndarray) -> BatchOutcome:
@@ -199,31 +241,61 @@ class BatchExecutor:
                                backend="process-pool", jobs=jobs,
                                chunks=len(bounds))
         pool_counts = [0, 0, 0, 0]  # sims, requests, hits, misses
+
+        def fold(counts: Tuple[int, int, int, int]) -> None:
+            for i, delta in enumerate(counts):
+                pool_counts[i] += delta
+
         pool = futures.ProcessPoolExecutor(
             max_workers=jobs, mp_context=_pool_context(),
             initializer=_init_worker,
             initargs=(evaluator.template, evaluator.cache_enabled,
                       d_plain, thetas_plain))
+        pool_dead: Optional[BaseException] = None
         try:
             pending = [(start, end,
                         pool.submit(_run_chunk, start, matrix[start:end]))
                        for start, end in bounds]
             for start, end, future in pending:
-                try:
-                    (_, values, sims, reqs, hits, misses) = future.result(
-                        timeout=self.config.timeout_s)
-                    for i, delta in enumerate((sims, reqs, hits, misses)):
-                        pool_counts[i] += delta
-                except Exception as exc:
-                    if isinstance(exc, futures.TimeoutError):
+                values = None
+                if pool_dead is None:
+                    try:
+                        (_, values, *counts) = future.result(
+                            timeout=self.config.timeout_s)
+                        fold(tuple(counts))
+                    except futures.TimeoutError as exc:
+                        # A wedged worker: kill the pool (the hung
+                        # process must not outlive the run) and degrade
+                        # the rest of the batch to serial execution.
                         outcome.timed_out_chunks += 1
-                        future.cancel()
-                    outcome.retried_chunks += 1
-                    # The retry runs on the parent evaluator, so its
-                    # counter deltas land there directly.
-                    values = self._retry_chunk(evaluator, d_plain,
-                                               thetas_plain,
-                                               matrix[start:end], exc)
+                        pool_dead = exc
+                        self._kill_pool(pool)
+                    except BrokenProcessPool as exc:
+                        # Dead pool: retrying chunk-by-chunk against it
+                        # would fail every time.  Degrade to serial.
+                        pool_dead = exc
+                        self._kill_pool(pool)
+                    except Exception as exc:
+                        outcome.retried_chunks += 1
+                        # The retry runs on the parent evaluator, so its
+                        # counter deltas land there directly.
+                        values = self._retry_chunk(evaluator, d_plain,
+                                                   thetas_plain,
+                                                   matrix[start:end], exc)
+                if values is None:
+                    # The pool died: harvest chunks that finished before
+                    # the collapse, run the rest serially in the parent.
+                    outcome.degraded_to_serial = True
+                    harvest = self._harvest_finished(future)
+                    if harvest is not None:
+                        (_, values, *counts) = harvest
+                        fold(tuple(counts))
+                    else:
+                        outcome.retried_chunks += 1
+                        values = self._retry_chunk(evaluator, d_plain,
+                                                   thetas_plain,
+                                                   matrix[start:end],
+                                                   pool_dead)
                 for offset, per_theta in enumerate(values):
                     outcome.values[start + offset] = per_theta
         finally:

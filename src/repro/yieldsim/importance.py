@@ -191,8 +191,18 @@ class MeanShiftIS(YieldEstimator):
         means = {}
         stds = {}
         for key, values in evaluation.spec_values.items():
-            mean = float(w_norm @ values)
-            var = float(w_norm @ (values - mean) ** 2)
+            # Failed (NaN) samples keep their weight in the yield and
+            # bad-fraction estimates (they fail every spec) but are
+            # excluded from the performance statistics, which describe
+            # the evaluable population only.
+            finite = np.isfinite(values)
+            w_finite = float(np.sum(w_norm[finite]))
+            if w_finite > 0.0:
+                w_cond = w_norm[finite] / w_finite
+                mean = float(w_cond @ values[finite])
+                var = float(w_cond @ (values[finite] - mean) ** 2)
+            else:
+                mean, var = float("nan"), 0.0
             means[key] = mean
             stds[key] = float(np.sqrt(max(var, 0.0)))
         bad = {key: float(w_norm @ (~ok).astype(float))
@@ -201,4 +211,6 @@ class MeanShiftIS(YieldEstimator):
             estimator=self.name, estimate=estimate, n_samples=n,
             simulations=report.simulations, ci_low=ci_low, ci_high=ci_high,
             ci_level=self.ci_level, ess=ess, bad_fraction=bad,
-            performance_mean=means, performance_std=stds, report=report)
+            performance_mean=means, performance_std=stds,
+            failed_samples=int(np.count_nonzero(evaluation.failed)),
+            report=report)

@@ -45,6 +45,10 @@ class YieldResult:
     performance_mean: Dict[str, float] = field(default_factory=dict)
     #: per spec key, (weighted) sample standard deviation
     performance_std: Dict[str, float] = field(default_factory=dict)
+    #: samples whose evaluation failed under the fault policy; each is
+    #: counted as violating every spec (already folded into ``estimate``
+    #: and ``bad_fraction``), surfaced here for the trace tables
+    failed_samples: int = 0
     #: run telemetry (phases, executor stats, cache accounting)
     report: Optional[RunReport] = None
 
@@ -87,8 +91,29 @@ class YieldResult:
             "bad_fraction": dict(self.bad_fraction),
             "performance_mean": dict(self.performance_mean),
             "performance_std": dict(self.performance_std),
+            "failed_samples": self.failed_samples,
             "report": self.report.to_dict() if self.report else None,
         }
 
     def to_json(self, **kwargs) -> str:
         return json.dumps(self.to_dict(), **kwargs)
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "YieldResult":
+        """Inverse of :meth:`to_dict`; used by checkpoint restore."""
+        report = data.get("report")
+        return cls(
+            estimator=data["estimator"],
+            estimate=float(data["estimate"]),
+            n_samples=int(data["n_samples"]),
+            simulations=int(data["simulations"]),
+            ci_low=float(data["ci_low"]),
+            ci_high=float(data["ci_high"]),
+            ci_level=float(data["ci_level"]),
+            ess=float(data["ess"]),
+            bad_fraction=dict(data.get("bad_fraction", {})),
+            performance_mean=dict(data.get("performance_mean", {})),
+            performance_std=dict(data.get("performance_std", {})),
+            failed_samples=int(data.get("failed_samples", 0)),
+            report=None if report is None
+            else RunReport.from_dict(report))

@@ -36,6 +36,12 @@ class RunReport:
     chunks: int = 0
     retried_chunks: int = 0
     timed_out_chunks: int = 0
+    #: samples whose evaluation failed under the fault policy and were
+    #: counted as violating every spec (NaN performance records)
+    failed_samples: int = 0
+    #: True when a dead/wedged process pool forced the remainder of the
+    #: batch onto the serial in-parent path
+    degraded_to_serial: bool = False
     #: wall time per phase, seconds
     phase_seconds: Dict[str, float] = field(default_factory=dict)
 
@@ -57,12 +63,36 @@ class RunReport:
             "chunks": self.chunks,
             "retried_chunks": self.retried_chunks,
             "timed_out_chunks": self.timed_out_chunks,
+            "failed_samples": self.failed_samples,
+            "degraded_to_serial": self.degraded_to_serial,
             "phase_seconds": dict(self.phase_seconds),
             "wall_time_s": self.wall_time_s,
         }
 
     def to_json(self, **kwargs) -> str:
         return json.dumps(self.to_dict(), **kwargs)
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "RunReport":
+        """Inverse of :meth:`to_dict` (``wall_time_s`` is derived and
+        ignored); used by checkpoint restore."""
+        return cls(
+            estimator=data.get("estimator", ""),
+            n_samples=int(data.get("n_samples", 0)),
+            theta_groups=int(data.get("theta_groups", 0)),
+            simulations=int(data.get("simulations", 0)),
+            requests=int(data.get("requests", 0)),
+            cache_hits=int(data.get("cache_hits", 0)),
+            cache_misses=int(data.get("cache_misses", 0)),
+            backend=data.get("backend", "serial"),
+            jobs=int(data.get("jobs", 1)),
+            chunks=int(data.get("chunks", 0)),
+            retried_chunks=int(data.get("retried_chunks", 0)),
+            timed_out_chunks=int(data.get("timed_out_chunks", 0)),
+            failed_samples=int(data.get("failed_samples", 0)),
+            degraded_to_serial=bool(data.get("degraded_to_serial",
+                                             False)),
+            phase_seconds=dict(data.get("phase_seconds", {})))
 
 
 class PhaseTimer:

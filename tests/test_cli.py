@@ -78,4 +78,23 @@ class TestAnalysisCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "Y_tilde" in out
+        assert "stop reason:" in out
+
+    def test_optimize_with_faults_and_checkpoint(self, tmp_path, capsys):
+        checkpoint = tmp_path / "run.ckpt.json"
+        args = ["optimize", "ota", "--iterations", "1",
+                "--samples", "2000", "--verify-samples", "30",
+                "--seed", "3", "--inject-faults", "0.05",
+                "--fault-seed", "1", "--checkpoint", str(checkpoint)]
+        code = main(args)
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "stop reason:" in out
+        assert checkpoint.exists()
+        # Resuming from the finished run's checkpoint replays the same
+        # trace without re-optimizing.
+        code = main(args + ["--resume"])
+        assert code == 0
+        resumed = capsys.readouterr().out
+        assert "stop reason:" in resumed
         assert "final design" in out

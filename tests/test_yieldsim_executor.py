@@ -1,6 +1,9 @@
 """Tests for the batched parallel execution engine: chunking,
-deterministic ordering, counter accounting, and the timeout/retry path."""
+deterministic ordering, counter accounting, the timeout/retry path, and
+degradation to serial execution when the pool dies (wedged worker or
+``BrokenProcessPool``)."""
 
+import multiprocessing
 import os
 import time
 
@@ -39,6 +42,34 @@ class FailInWorkerTemplate(LinearTemplate):
     def evaluate(self, d, s_hat, theta):
         if os.getpid() != self.home_pid:
             raise RuntimeError("worker-side failure")
+        return super().evaluate(d, s_hat, theta)
+
+
+class WedgeInWorkerTemplate(LinearTemplate):
+    """Sleeps (near-)forever in worker processes, evaluates instantly in
+    the parent — a wedged worker that ``Future.cancel`` cannot stop."""
+
+    def __init__(self, delay=60.0):
+        super().__init__()
+        self.home_pid = os.getpid()
+        self.delay = delay
+
+    def evaluate(self, d, s_hat, theta):
+        if os.getpid() != self.home_pid:
+            time.sleep(self.delay)
+        return super().evaluate(d, s_hat, theta)
+
+
+class DieInWorkerTemplate(LinearTemplate):
+    """Kills its worker process outright — drives ``BrokenProcessPool``."""
+
+    def __init__(self):
+        super().__init__()
+        self.home_pid = os.getpid()
+
+    def evaluate(self, d, s_hat, theta):
+        if os.getpid() != self.home_pid:
+            os._exit(17)
         return super().evaluate(d, s_hat, theta)
 
 
@@ -152,3 +183,59 @@ class TestProcessPoolBackend:
     def test_single_sample_stays_serial(self):
         _, _, outcome = run(LinearTemplate(), ExecutionConfig(jobs=4), n=1)
         assert outcome.backend == "serial"
+
+
+class TestPoolDegradation:
+    """When the pool dies the batch must still finish: workers are
+    killed, finished chunks are harvested, and the remainder runs
+    serially in the parent."""
+
+    def test_wedged_worker_is_killed_not_awaited(self):
+        # Every worker-side evaluation sleeps 60 s; the whole batch must
+        # still finish far sooner than any single hung chunk, which
+        # proves the pool was torn down rather than drained.
+        template = WedgeInWorkerTemplate(delay=60.0)
+        evaluator = Evaluator(template)
+        matrix = np.random.default_rng(4).standard_normal((6, 2))
+        config = ExecutionConfig(jobs=2, chunk_size=2, timeout_s=0.2)
+        started = time.monotonic()
+        outcome = BatchExecutor(config).run(evaluator, D, THETAS, matrix)
+        elapsed = time.monotonic() - started
+        assert elapsed < 30.0
+        assert outcome.degraded_to_serial
+        assert outcome.timed_out_chunks == 1
+        # The remaining chunks were not waited on against the dead pool.
+        assert outcome.retried_chunks >= 1
+        reference = BatchExecutor().run(Evaluator(LinearTemplate()), D,
+                                        THETAS, matrix)
+        assert outcome.values == reference.values
+
+    def test_wedged_worker_leaves_no_live_children(self):
+        template = WedgeInWorkerTemplate(delay=60.0)
+        evaluator = Evaluator(template)
+        matrix = np.random.default_rng(5).standard_normal((4, 2))
+        config = ExecutionConfig(jobs=2, chunk_size=2, timeout_s=0.2)
+        BatchExecutor(config).run(evaluator, D, THETAS, matrix)
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline and \
+                any(p.is_alive() for p in multiprocessing.active_children()):
+            time.sleep(0.05)
+        leaked = [p for p in multiprocessing.active_children()
+                  if p.is_alive()]
+        assert not leaked, f"wedged workers outlived the run: {leaked}"
+
+    def test_broken_pool_degrades_to_serial(self):
+        template = DieInWorkerTemplate()
+        evaluator = Evaluator(template)
+        matrix = np.random.default_rng(6).standard_normal((6, 2))
+        config = ExecutionConfig(jobs=2, chunk_size=2)
+        outcome = BatchExecutor(config).run(evaluator, D, THETAS, matrix)
+        assert outcome.degraded_to_serial
+        assert outcome.timed_out_chunks == 0
+        assert outcome.retried_chunks >= 1
+        reference = BatchExecutor().run(Evaluator(LinearTemplate()), D,
+                                        THETAS, matrix)
+        assert outcome.values == reference.values
+        # Serial re-runs counted on the parent evaluator; every sample
+        # is accounted for exactly once overall.
+        assert evaluator.simulation_count == 6
