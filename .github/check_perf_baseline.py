@@ -1,0 +1,49 @@
+"""Soft regression check of the perf-engine benchmark report.
+
+Compares the speedup ratios of a fresh ``BENCH_perf_engine.json`` against
+the committed ``benchmarks/BENCH_perf_engine.baseline.json``.  Ratios are
+compared (not wall clocks) so the check is meaningful across machines,
+and a regression beyond the threshold only emits a GitHub warning
+annotation: shared CI runners are far too noisy for a hard gate.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+THRESHOLD = 0.25  # warn when a speedup ratio drops by more than 25 %
+
+ROOT = Path(__file__).resolve().parent.parent
+REPORT = ROOT / "BENCH_perf_engine.json"
+BASELINE = ROOT / "benchmarks" / "BENCH_perf_engine.baseline.json"
+
+RATIOS = [
+    ("ac_kernel", "speedup"),
+    ("dc_kernel", "speedup"),
+    ("table1_optimize", "speedup"),
+]
+
+
+def main() -> int:
+    if not REPORT.exists():
+        print(f"::warning::no benchmark report at {REPORT}")
+        return 0
+    report = json.loads(REPORT.read_text())
+    baseline = json.loads(BASELINE.read_text())
+    for section, field in RATIOS:
+        new = report.get(section, {}).get(field)
+        old = baseline.get(section, {}).get(field)
+        if new is None or old is None or old <= 0:
+            continue
+        drop = (old - new) / old
+        line = f"{section}.{field}: baseline {old:.2f}x, now {new:.2f}x"
+        if drop > THRESHOLD:
+            print(f"::warning::perf regression suspected — {line} "
+                  f"({drop:.0%} drop)")
+        else:
+            print(line)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,195 @@
+"""Benchmark of the batched simulation engine.
+
+Produces ``BENCH_perf_engine.json`` at the repository root with four
+measurements:
+
+* AC kernel: stacked ``solve_many`` vs a per-frequency ``solve`` loop,
+* DC kernel: warm-started (anchor + sensitivity-predicted) evaluations
+  vs cold homotopy evaluations,
+* worst-case search: serial vs shared process pool, asserting the pooled
+  results and Table-7 counters are bit-identical,
+* the headline Table-1 comparison: a folded-cascode optimization with
+  the engine configuration vs legacy mode (``warm_dc = False``,
+  ``SECTION_POINTS = 1``, serial) — the pre-engine measurement path.
+
+``REPRO_BENCH_TINY=1`` (the CI smoke setting) shrinks the run budgets and
+relaxes the speedup assertions; the committed baseline
+``benchmarks/BENCH_perf_engine.baseline.json`` is from a full run.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+import repro.circuit.ac as ac_mod
+from repro.circuit import Circuit, solve_dc
+from repro.circuit.ac import AcSystem
+from repro.circuits import FoldedCascodeOpamp
+from repro.core import OptimizerConfig, YieldOptimizer
+from repro.evaluation import Evaluator
+
+TINY = os.environ.get("REPRO_BENCH_TINY") == "1"
+REPO_ROOT = Path(__file__).resolve().parent.parent
+REPORT_PATH = REPO_ROOT / "BENCH_perf_engine.json"
+
+#: Representative Table-1 run (full folded-cascode optimization).  The
+#: tiny variant keeps CI wall time in check while exercising every path.
+OPTIMIZE_CFG = dict(n_samples_verify=30, max_iterations=2, seed=7) if TINY \
+    else dict(n_samples_verify=100, max_iterations=4, seed=7)
+
+
+@pytest.fixture(scope="module")
+def report():
+    data = {"tiny_mode": TINY, "optimize_config": OPTIMIZE_CFG}
+    yield data
+    REPORT_PATH.write_text(json.dumps(data, indent=2, sort_keys=True)
+                           + "\n")
+
+
+def _fc_bench_system():
+    """An AC system of folded-cascode size (20x20-ish MNA matrix)."""
+    ckt = Circuit("bench")
+    ckt.vsource("V1", "in", "0", dc=0.0, ac=1.0)
+    prev = "in"
+    for i in range(9):
+        node = f"n{i}"
+        ckt.resistor(f"R{i}", prev, node, 1e3 * (i + 1))
+        ckt.capacitor(f"C{i}", node, "0", 1e-12 * (i + 1))
+        prev = node
+    return AcSystem(ckt, solve_dc(ckt))
+
+
+def test_bench_ac_stacked_solves(report):
+    system = _fc_bench_system()
+    freqs = np.logspace(0, 9, 16 if TINY else 64)
+    rounds = 20 if TINY else 100
+    t0 = time.perf_counter()
+    for _ in range(rounds):
+        loop = [system.solve(float(f)) for f in freqs]
+    loop_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    for _ in range(rounds):
+        stacked = system.solve_many(freqs)
+    stacked_s = time.perf_counter() - t0
+    for i in range(len(freqs)):
+        assert np.array_equal(stacked[i], loop[i])
+    report["ac_kernel"] = {
+        "n_freqs": len(freqs),
+        "loop_ms": loop_s / rounds * 1e3,
+        "stacked_ms": stacked_s / rounds * 1e3,
+        "speedup": loop_s / stacked_s,
+    }
+    assert stacked_s < loop_s
+
+
+def test_bench_dc_warm_vs_cold(report):
+    n = 30 if TINY else 150
+
+    def per_eval(warm):
+        template = FoldedCascodeOpamp()
+        template.warm_dc = warm
+        evaluator = Evaluator(template, cache=False)
+        d = template.initial_design()
+        theta = template.operating_range.nominal()
+        rng = np.random.default_rng(0)
+        dim = template.statistical_space.dim
+        points = [rng.standard_normal(dim) for _ in range(n)]
+        evaluator.evaluate(d, points[0], theta)  # pay the anchor cost
+        t0 = time.perf_counter()
+        for s in points:
+            evaluator.evaluate(d, s, theta)
+        return (time.perf_counter() - t0) / n * 1e3
+
+    warm_ms = per_eval(True)
+    cold_ms = per_eval(False)
+    report["dc_kernel"] = {
+        "n_evaluations": n,
+        "cold_ms_per_eval": cold_ms,
+        "warm_ms_per_eval": warm_ms,
+        "speedup": cold_ms / warm_ms,
+    }
+    if not TINY:
+        assert cold_ms / warm_ms >= 1.5
+
+
+def test_bench_worst_case_serial_vs_pooled(report):
+    from repro.core.worst_case import find_all_worst_case_points
+    from repro.spec.operating import find_worst_case_operating_points
+    from repro.yieldsim import PoolHandle
+
+    def one_pass(jobs):
+        template = FoldedCascodeOpamp()
+        evaluator = Evaluator(template)
+        d = template.initial_design()
+        s0 = template.statistical_space.nominal()
+        theta_wc = find_worst_case_operating_points(
+            lambda theta: evaluator.evaluate(d, s0, theta),
+            template.specs, template.operating_range)
+        pool = PoolHandle.for_evaluator(evaluator, jobs=jobs)
+        t0 = time.perf_counter()
+        try:
+            wc = find_all_worst_case_points(evaluator, d, theta_wc,
+                                            seed=7, pool=pool)
+        finally:
+            if pool is not None:
+                pool.close()
+        elapsed = time.perf_counter() - t0
+        counters = (evaluator.simulation_count, evaluator.request_count,
+                    evaluator.cache_hits)
+        return wc, counters, elapsed
+
+    wc_s, counters_s, serial_s = one_pass(jobs=1)
+    wc_p, counters_p, pooled_s = one_pass(jobs=2)
+    assert counters_s == counters_p
+    assert set(wc_s) == set(wc_p)
+    for key in wc_s:
+        assert wc_s[key].beta_wc == wc_p[key].beta_wc
+        assert np.array_equal(wc_s[key].s_wc, wc_p[key].s_wc)
+    report["worst_case_pool"] = {
+        "jobs": 2,
+        "serial_s": serial_s,
+        "pooled_s": pooled_s,
+        "bit_identical": True,
+        "simulations": counters_s[0],
+    }
+
+
+def test_bench_table1_optimize_engine_vs_legacy(report):
+    def engine_run():
+        template = FoldedCascodeOpamp()
+        t0 = time.perf_counter()
+        result = YieldOptimizer(template,
+                                OptimizerConfig(**OPTIMIZE_CFG)).run()
+        return time.perf_counter() - t0, result
+
+    def legacy_run():
+        template = FoldedCascodeOpamp()
+        template.warm_dc = False
+        section_points = ac_mod.SECTION_POINTS
+        ac_mod.SECTION_POINTS = 1
+        try:
+            t0 = time.perf_counter()
+            result = YieldOptimizer(template,
+                                    OptimizerConfig(**OPTIMIZE_CFG)).run()
+            return time.perf_counter() - t0, result
+        finally:
+            ac_mod.SECTION_POINTS = section_points
+
+    engine_s, engine = engine_run()
+    legacy_s, legacy = legacy_run()
+    report["table1_optimize"] = {
+        "engine_s": engine_s,
+        "legacy_s": legacy_s,
+        "speedup": legacy_s / engine_s,
+        "engine_simulations": engine.total_simulations,
+        "legacy_simulations": legacy.total_simulations,
+        "engine_final_yield": engine.records[-1].yield_mc,
+        "legacy_final_yield": legacy.records[-1].yield_mc,
+    }
+    assert engine.total_simulations > 0
+    if not TINY:
+        assert legacy_s / engine_s >= 2.0

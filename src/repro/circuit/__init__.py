@@ -14,9 +14,10 @@ modified-nodal-analysis engine with
 * a SPICE-style netlist parser (:mod:`repro.circuit.parser`).
 """
 
-from .ac import (ACResult, log_sweep, phase_margin, solve_ac, transfer_at,
+from .ac import (ACResult, AcSystem, log_sweep, phase_margin,
+                 shared_matrix_transfers, solve_ac, transfer_at,
                  unity_gain_frequency)
-from .dc import DCResult, solve_dc
+from .dc import DCResult, WarmStartCache, solve_dc
 from .devices import (Capacitor, Device, Inductor, Isource, Mosfet, Resistor,
                       Stamper, Vcvs, Vccs, Vsource)
 from .mos import MosEval, MosModel, evaluate_nmos, intrinsic_capacitances
@@ -30,7 +31,8 @@ from .transient import (TranResult, pulse_waveform, solve_transient,
 from .writer import write_netlist
 
 __all__ = [
-    "ACResult", "Capacitor", "Circuit", "DCResult", "Device", "Inductor",
+    "ACResult", "AcSystem", "Capacitor", "Circuit", "DCResult", "Device",
+    "Inductor", "WarmStartCache", "shared_matrix_transfers",
     "Isource", "MnaLayout", "MosEval", "MosModel", "Mosfet", "NetlistParser",
     "Resistor", "Stamper", "TranResult", "Vcvs", "Vccs", "Vsource",
     "evaluate_nmos", "intrinsic_capacitances", "is_ground", "log_sweep",

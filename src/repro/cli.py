@@ -60,7 +60,7 @@ def _make_template(name: str, local_only: bool = False):
 def cmd_optimize(args: argparse.Namespace) -> int:
     from .core import OptimizerConfig, YieldOptimizer
     from .evaluation import Evaluator
-    from .reporting import optimization_trace_table
+    from .reporting import health_table, optimization_trace_table
     from .runtime import FaultInjectingEvaluator, RunBudget
     from .yieldsim import make_estimator
 
@@ -73,12 +73,18 @@ def cmd_optimize(args: argparse.Namespace) -> int:
         use_constraints=not args.no_constraints,
         linearize_at="nominal" if args.nominal_linearization
         else "worst_case",
+        jobs=args.jobs,
     )
     evaluator = Evaluator(template)
     if args.inject_faults > 0.0:
         evaluator = FaultInjectingEvaluator(
             evaluator, rate=args.inject_faults, seed=args.fault_seed)
-    verifier = make_estimator(args.estimator, jobs=args.jobs)
+    # The optimizer owns a persistent shared pool when jobs >= 2 and the
+    # stack is worker-replicable; the estimator's own per-call pool is
+    # kept as a fallback for stacks the shared pool cannot serve (e.g.
+    # fault injection, which must stay serial in the parent).
+    verifier = make_estimator(
+        args.estimator, jobs=1 if args.inject_faults <= 0.0 else args.jobs)
     result = YieldOptimizer(
         template, config, evaluator=evaluator, verifier=verifier,
         budget=RunBudget(deadline_s=args.deadline,
@@ -96,6 +102,9 @@ def cmd_optimize(args: argparse.Namespace) -> int:
         print(f"fault policy: {result.total_failed_samples} failed "
               f"evaluations counted as spec-violating, "
               f"{result.total_retried_evaluations} retries with jitter")
+    health = health_table(result)
+    if health:
+        print(health)
     print("final design:")
     for name in template.design_names:
         print(f"  {name} = {result.d_final[name]:.6g}")

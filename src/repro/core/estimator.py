@@ -161,20 +161,15 @@ class LinearizedYieldEstimator:
         # (-1) because intervals are closed.
         order = np.lexsort((-events[:, 1], events[:, 0]))
         events = events[order]
-        best_count = -1
-        best_interval = (current, current)
-        count = 0
-        position = lower
-        for i in range(len(events)):
-            x, kind = events[i]
-            count += int(kind)
-            if kind > 0:
-                position = x
-            if count > best_count and kind > 0:
-                # Plateau extends from this start to the next event.
-                next_x = events[i + 1, 0] if i + 1 < len(events) else upper
-                best_count = count
-                best_interval = (position, next_x)
+        # Running interval count after each event; the maximizing plateau
+        # begins at the first start event whose running count attains the
+        # maximum over start events (ends can never open a plateau).
+        counts = np.cumsum(events[:, 1]).astype(np.int64)
+        start_counts = np.where(events[:, 1] > 0, counts, -1)
+        best_count = int(start_counts.max())
+        idx = int(np.argmax(start_counts == best_count))
+        next_x = events[idx + 1, 0] if idx + 1 < len(events) else upper
+        best_interval = (events[idx, 0], next_x)
         a, b = best_interval
         b = min(b, upper)
         a = min(max(a, lower), b)

@@ -84,9 +84,10 @@ class SpecLinearModel:
 def _grad_d_normalized(evaluator: Evaluator, spec: Spec,
                        d: Mapping[str, float], s_hat: np.ndarray,
                        theta: Mapping[str, float],
-                       base_value: Optional[float]) -> Dict[str, float]:
+                       base_value: Optional[float],
+                       pool=None) -> Dict[str, float]:
     raw = performance_gradient_d(evaluator, spec.performance, d, s_hat,
-                                 theta, base_value=base_value)
+                                 theta, base_value=base_value, pool=pool)
     return {name: spec.sign * slope for name, slope in raw.items()}
 
 
@@ -158,6 +159,7 @@ def build_spec_models(
     theta_per_spec: Mapping[str, Mapping[str, float]],
     linearize_at: str = "worst_case",
     detect_quadratic_specs: bool = True,
+    pool=None,
 ) -> List[SpecLinearModel]:
     """Build the full model set for one optimizer iteration.
 
@@ -186,16 +188,17 @@ def build_spec_models(
             grad_s = wc.gradient
             base = spec.denormalize(g_ref)
             grad_d = _grad_d_normalized(evaluator, spec, d_f, s_ref, theta,
-                                        base_value=base)
+                                        base_value=base, pool=pool)
         else:
             s_ref = np.zeros_like(wc.s_wc)
             g_ref = wc.g_nominal
             from ..evaluation.gradient import performance_gradient_s
             grad_s = performance_gradient_s(
                 evaluator, spec.performance, d_f, s_ref, theta,
-                base_value=spec.denormalize(g_ref)) * spec.sign
+                base_value=spec.denormalize(g_ref), pool=pool) * spec.sign
             grad_d = _grad_d_normalized(evaluator, spec, d_f, s_ref, theta,
-                                        base_value=spec.denormalize(g_ref))
+                                        base_value=spec.denormalize(g_ref),
+                                        pool=pool)
         primary = SpecLinearModel(
             spec=spec, key=key, theta=dict(theta), s_ref=np.array(s_ref),
             g_ref=g_ref, grad_s=np.array(grad_s), grad_d=grad_d,

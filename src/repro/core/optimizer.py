@@ -82,6 +82,14 @@ class OptimizerConfig:
     #: the models cannot see), the step is halved, up to this many times.
     #: Each check costs at most n_spec simulations.  0 disables.
     max_step_halvings: int = 2
+    #: worker processes of the persistent shared pool (1 = serial); the
+    #: pool is created once per run and shared by the worst-case
+    #: searches, the gradient probes and the verification Monte-Carlo.
+    #: Results are bit-identical to a serial run.
+    jobs: int = 1
+    #: per-task wait budget of the shared pool, seconds (None = forever);
+    #: a timed-out task kills the pool and the run degrades to serial
+    task_timeout_s: Optional[float] = None
 
 
 @dataclass
@@ -116,6 +124,13 @@ class IterationRecord:
     #: policy and were counted as spec-violating (Eq. 6-7 denominator
     #: still includes them)
     failed_samples: int = 0
+    #: verification sample count actually used (None = not verified);
+    #: smaller than ``n_samples_verify`` when the simulation budget
+    #: could no longer afford the full verification
+    verify_samples: Optional[int] = None
+    #: True when the remaining simulation budget shrank (or skipped)
+    #: this record's verification
+    verify_shrunk: bool = False
 
 
 @dataclass
@@ -140,6 +155,14 @@ class OptimizationResult:
     total_failed_samples: int = 0
     #: total retry-with-jitter attempts issued by the fault policy
     total_retried_evaluations: int = 0
+    #: aggregated failure/recovery telemetry of the verification runs
+    #: (a :class:`repro.yieldsim.SimulatorHealth`, None on legacy traces)
+    health: Optional[object] = None
+    #: shared-pool usage: worker count, tasks dispatched, and whether the
+    #: pool died mid-run (timeout/breakage -> serial degradation)
+    pool_jobs: int = 1
+    pool_tasks: int = 0
+    pool_died: bool = False
 
     @property
     def initial(self) -> IterationRecord:
@@ -203,20 +226,48 @@ class YieldOptimizer:
         s0 = self.template.statistical_space.nominal()
         return self._guarded.margins(d, s0, theta_wc)
 
+    def _verify_budget(self, theta_wc: Mapping[str, Mapping[str, float]]
+                       ) -> tuple:
+        """``(n_samples, shrunk)`` the simulation budget can afford.
+
+        A full verification costs roughly ``n_samples x theta_groups``
+        simulations.  Rather than blowing through ``max_simulations`` (or
+        skipping verification outright and returning a trace with no
+        Y_tilde at all), the sample count is shrunk to what the remaining
+        budget covers; the shrunken N is recorded in the trace.
+        """
+        n = self.config.n_samples_verify
+        if self.budget.max_simulations is None:
+            return n, False
+        from ..spec.operating import group_by_theta
+        groups = max(1, len(group_by_theta(
+            theta_wc, self.template.operating_range)))
+        remaining = self.budget.max_simulations \
+            - self.evaluator.simulation_count
+        affordable = max(0, remaining) // groups
+        if affordable >= n:
+            return n, False
+        return int(affordable), True
+
     def _verify(self, d: Mapping[str, float],
                 theta_wc: Mapping[str, Mapping[str, float]],
                 worst_case: Optional[Mapping[str, WorstCaseResult]] = None
-                ) -> Optional[YieldResult]:
+                ) -> tuple:
+        """``(result_or_None, n_used_or_None, shrunk)``."""
         if not self.config.verify:
-            return None
+            return None, None, False
+        n, shrunk = self._verify_budget(theta_wc)
+        if n < 1:
+            # Budget entirely spent: nothing affordable, record the skip.
+            return None, 0, True
         # Lenient mode: a sample the simulator cannot evaluate is a
         # failed sample (counts against the yield), not a failed run.
         with self._guarded.lenient():
-            return self.verifier.estimate(
-                self._guarded, d, theta_wc,
-                n_samples=self.config.n_samples_verify,
+            result = self.verifier.estimate(
+                self._guarded, d, theta_wc, n_samples=n,
                 seed=self.config.seed + 17,
                 worst_case=worst_case)
+        return result, n, shrunk
 
     def _budget_stop(self, start_time: float,
                      wall_offset: float) -> Optional[str]:
@@ -286,6 +337,30 @@ class YieldOptimizer:
         start_time = time.time()
         wall_offset = 0.0
 
+        # One persistent worker pool for the whole run (jobs >= 2): the
+        # worst-case searches, the gradient probes and the verification
+        # Monte-Carlo all share it, so process spawn and template
+        # pickling are paid once.  Serial when jobs == 1 (or the
+        # evaluation stack is not worker-replicable); results are
+        # bit-identical either way.
+        from ..yieldsim import PoolHandle
+        pool = PoolHandle.for_evaluator(
+            guarded, config.jobs, task_timeout_s=config.task_timeout_s)
+        self.verifier.pool = pool
+        try:
+            return self._run_loop(pool, start_time, wall_offset)
+        finally:
+            self.verifier.pool = None
+            if pool is not None:
+                pool.close()
+
+    def _run_loop(self, pool, start_time: float,
+                  wall_offset: float) -> OptimizationResult:
+        config = self.config
+        evaluator = self.evaluator  # raw counters (Table-7 accounting)
+        guarded = self._guarded     # policy-routed evaluation
+        template = self.template
+
         state = self._load_checkpoint()
         samples = SampleSet.draw(config.n_samples_linear,
                                  template.statistical_space.dim,
@@ -337,11 +412,13 @@ class YieldOptimizer:
                 theta_wc = self._theta_wc(d_f)
                 wc = find_all_worst_case_points(
                     guarded, d_f, theta_wc, previous=previous_wc,
-                    multistart=config.multistart, seed=config.seed)
+                    multistart=config.multistart, seed=config.seed,
+                    pool=pool)
                 models = build_spec_models(
                     guarded, d_f, wc, theta_wc,
                     linearize_at=config.linearize_at,
-                    detect_quadratic_specs=config.detect_quadratic)
+                    detect_quadratic_specs=config.detect_quadratic,
+                    pool=pool)
                 estimator = LinearizedYieldEstimator(models, samples)
 
                 if iteration == 1:
@@ -353,12 +430,15 @@ class YieldOptimizer:
                         yield_mc=None, mc=None, worst_case=dict(wc),
                         simulations=evaluator.simulation_count,
                         constraint_simulations=evaluator.constraint_count))
-                    mc0 = self._verify(d_f, theta_wc, worst_case=wc)
+                    mc0, n0, shrunk0 = self._verify(d_f, theta_wc,
+                                                    worst_case=wc)
                     records[0].mc = mc0
                     records[0].yield_mc = \
                         mc0.yield_estimate if mc0 else None
                     records[0].failed_samples = \
                         getattr(mc0, "failed_samples", 0) if mc0 else 0
+                    records[0].verify_samples = n0
+                    records[0].verify_shrunk = shrunk0
                     records[0].simulations = evaluator.simulation_count
                     records[0].constraint_simulations = \
                         evaluator.constraint_count
@@ -399,7 +479,8 @@ class YieldOptimizer:
                                  gamma * (search.d_star[name] - d_f[name])
                                  for name in template.design_names}
                         theta_wc_new = self._theta_wc(d_new)
-                mc = self._verify(d_new, theta_wc_new, worst_case=wc)
+                mc, n_verify, shrunk = self._verify(d_new, theta_wc_new,
+                                                    worst_case=wc)
                 record = IterationRecord(
                     index=iteration, d=dict(d_new),
                     margins=self._margins(d_new, theta_wc_new),
@@ -411,7 +492,8 @@ class YieldOptimizer:
                     constraint_simulations=evaluator.constraint_count,
                     gamma=gamma,
                     failed_samples=getattr(mc, "failed_samples", 0)
-                    if mc else 0)
+                    if mc else 0,
+                    verify_samples=n_verify, verify_shrunk=shrunk)
                 records.append(record)
 
                 improvement = record.yield_linear - baseline
@@ -433,6 +515,9 @@ class YieldOptimizer:
             stop_reason = f"{STOP_ABORTED_PREFIX}{type(exc).__name__}: " \
                           f"{exc}"
 
+        from ..yieldsim import SimulatorHealth
+        health = SimulatorHealth.from_reports(
+            getattr(record.mc, "report", None) for record in records)
         return OptimizationResult(
             template_name=template.name,
             records=records,
@@ -445,4 +530,8 @@ class YieldOptimizer:
             total_requests=evaluator.request_count,
             stop_reason=stop_reason,
             total_failed_samples=guarded.failed_evaluations,
-            total_retried_evaluations=guarded.retried_evaluations)
+            total_retried_evaluations=guarded.retried_evaluations,
+            health=health,
+            pool_jobs=pool.jobs if pool is not None else 1,
+            pool_tasks=pool.tasks_dispatched if pool is not None else 0,
+            pool_died=pool is not None and not pool.alive)

@@ -24,11 +24,17 @@ as a final fallback.
 from __future__ import annotations
 
 import math
+from concurrent import futures as _futures
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Dict, Mapping, Optional, Sequence
 
 import numpy as np
 from scipy import optimize
+
+#: Exceptions that mark the shared pool dead (vs. a single failed task,
+#: which is simply retried serially in the parent).
+_POOL_FATAL = (_futures.TimeoutError, BrokenProcessPool)
 
 from ..errors import WorstCaseError
 from ..evaluation.evaluator import Evaluator
@@ -303,15 +309,68 @@ def find_all_worst_case_points(
     previous: Optional[Mapping[str, WorstCaseResult]] = None,
     multistart: int = 2,
     seed: int = 0,
+    pool=None,
 ) -> Dict[str, WorstCaseResult]:
     """Worst-case points for every template spec, keyed by
-    :func:`repro.spec.spec_key`.  Warm-starts from ``previous`` results."""
+    :func:`repro.spec.spec_key`.  Warm-starts from ``previous`` results.
+
+    With a live :class:`~repro.yieldsim.executor.PoolHandle`, the per-spec
+    searches run concurrently (one pool task each — the Eq.-8 searches of
+    different specs are independent).  Results and Table-7 accounting are
+    identical to the serial loop: each search is a pure function of its
+    inputs, and worker effort is folded back in spec order.
+    """
     from ..spec.operating import spec_key
+    specs = list(evaluator.template.specs)
+    warm_starts = {
+        spec_key(spec): (previous[spec_key(spec)].s_wc
+                         if previous and spec_key(spec) in previous else None)
+        for spec in specs}
+
     results: Dict[str, WorstCaseResult] = {}
-    for spec in evaluator.template.specs:
+    remaining = list(specs)
+    if pool is not None and pool.alive and pool.compatible(evaluator) \
+            and len(specs) > 1:
+        from ..yieldsim.executor import fold_task, unwrap_pool_stack
+        maybe = unwrap_pool_stack(evaluator)
+        _, policy, fail_mode = maybe
+        from ..yieldsim.executor import _pool_worst_case
+        pending = []
+        for spec in specs:
+            key = spec_key(spec)
+            pending.append((spec, pool.submit(
+                _pool_worst_case, spec, dict(d),
+                dict(theta_per_spec[key]), warm_starts[key],
+                multistart, seed, policy, fail_mode)))
+        from ..yieldsim.executor import BatchExecutor
+        remaining = []
+        for spec, future in pending:
+            key = spec_key(spec)
+            if not pool.alive:
+                # Pool died mid-batch: still harvest searches that
+                # finished before the collapse (results are identical).
+                harvest = BatchExecutor._harvest_finished(future)
+                if harvest is not None:
+                    result, counts = harvest
+                    fold_task(evaluator, counts)
+                    results[key] = result
+                else:
+                    remaining.append(spec)
+                continue
+            try:
+                result, counts = future.result(timeout=pool.task_timeout_s)
+                fold_task(evaluator, counts)
+                results[key] = result
+            except _POOL_FATAL:
+                pool.kill()
+                remaining.append(spec)
+            except Exception:
+                remaining.append(spec)
+    for spec in remaining:
         key = spec_key(spec)
-        warm = previous[key].s_wc if previous and key in previous else None
         results[key] = find_worst_case_point(
-            evaluator, spec, d, theta_per_spec[key], s_start=warm,
-            multistart=multistart, seed=seed)
-    return results
+            evaluator, spec, d, theta_per_spec[key],
+            s_start=warm_starts[key], multistart=multistart, seed=seed)
+    # Re-key in template spec order so downstream iteration order never
+    # depends on which path produced each entry.
+    return {spec_key(spec): results[spec_key(spec)] for spec in specs}

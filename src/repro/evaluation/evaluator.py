@@ -14,20 +14,32 @@ template, so simulation accounting is automatic and consistent.
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional, Tuple
+import itertools
+import math
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 import numpy as np
 
 from ..spec.specification import Spec
 from .template import CircuitTemplate
 
-#: Significant digits used for cache keys.  Coarse enough to absorb float
-#: round-trip noise, fine enough never to collide for distinct FD steps.
-_KEY_DIGITS = 12
+#: Mantissa scale (2^40) used for cache-key quantization: values are keyed
+#: by ``(round(mantissa * 2^40), exponent)``, i.e. rounded at a relative
+#: resolution of 2^-40 ~ 9.1e-13 — coarse enough to absorb float
+#: round-trip noise (~2.2e-16 relative), fine enough never to collide for
+#: distinct finite-difference steps (1e-3 relative).  frexp + an integer
+#: round is several times cheaper than the ``f"{v:.12e}"`` string
+#: round-trip it replaces; this key is built on every single evaluation.
+_MANTISSA_SCALE = float(1 << 40)
 
 
-def _round_sig(value: float) -> float:
-    return float(f"{value:.{_KEY_DIGITS}e}")
+def _quantize(value: float):
+    if not math.isfinite(value):
+        # round() of NaN/inf raises; key on the raw float (inf compares
+        # equal to itself, NaN never — matching the old string behavior).
+        return value
+    mantissa, exponent = math.frexp(value)
+    return round(mantissa * _MANTISSA_SCALE), exponent
 
 
 class Evaluator:
@@ -37,6 +49,15 @@ class Evaluator:
         self.template = template
         self.cache_enabled = cache
         self._cache: Dict[Tuple, Dict[str, float]] = {}
+        # Key-building hot path: freeze the design-name order and the
+        # operating-parameter order once instead of re-deriving (and, for
+        # theta, re-sorting) them on every evaluation.
+        self._design_names: Tuple[str, ...] = tuple(template.design_names)
+        try:
+            self._theta_names: Optional[Tuple[str, ...]] = tuple(
+                p.name for p in template.operating_range.parameters)
+        except AttributeError:
+            self._theta_names = None
         #: number of performance simulations actually run (cache misses)
         self.simulation_count = 0
         #: number of evaluate() requests (including cache hits)
@@ -51,9 +72,22 @@ class Evaluator:
     # -- core ------------------------------------------------------------------
     def _key(self, d: Mapping[str, float], s_hat: np.ndarray,
              theta: Mapping[str, float]) -> Tuple:
-        dk = tuple(_round_sig(d[name]) for name in self.template.design_names)
-        sk = tuple(_round_sig(v) for v in np.asarray(s_hat, dtype=float))
-        tk = tuple(sorted((k, _round_sig(v)) for k, v in theta.items()))
+        dk = tuple(_quantize(d[name]) for name in self._design_names)
+        sk = tuple(_quantize(float(v))
+                   for v in np.asarray(s_hat, dtype=float))
+        names = self._theta_names
+        if names is not None and len(names) == len(theta):
+            # Template-declared parameter order: no per-call sort, and the
+            # names themselves need not be part of the key.
+            try:
+                tk = tuple(_quantize(theta[name]) for name in names)
+            except KeyError:
+                tk = tuple(sorted((k, _quantize(v))
+                                  for k, v in theta.items()))
+        else:
+            # Theta carries extra/unknown entries: fall back to the
+            # order-independent named form.
+            tk = tuple(sorted((k, _quantize(v)) for k, v in theta.items()))
         return dk, sk, tk
 
     def evaluate(self, d: Mapping[str, float], s_hat: np.ndarray,
@@ -126,3 +160,32 @@ class Evaluator:
     @property
     def cache_size(self) -> int:
         return len(self._cache)
+
+    # -- worker-cache folding ----------------------------------------------------
+    def cache_items_since(self, start: int
+                          ) -> List[Tuple[Tuple, Dict[str, float]]]:
+        """Cache entries inserted at position ``start`` or later, in
+        insertion order (dicts preserve it).  Pool workers snapshot
+        ``cache_size`` before a task and ship only the entries the task
+        added."""
+        return list(itertools.islice(self._cache.items(), start, None))
+
+    def absorb_cache(self, entries: Iterable[Tuple[Tuple, Dict[str, float]]]
+                     ) -> Tuple[int, int]:
+        """Merge worker-produced cache entries into this cache, in order.
+
+        Returns ``(new, duplicate)`` counts.  A *new* key is a simulation
+        the parent would also have had to run serially; a *duplicate* is
+        one the parent cache (or an earlier-folded worker) already holds —
+        serially it would have been a cache hit.  Folding tasks in a
+        deterministic order therefore reproduces the serial run's cache
+        contents and its exact Table-7 counters.
+        """
+        new = duplicate = 0
+        for key, values in entries:
+            if key in self._cache:
+                duplicate += 1
+            else:
+                self._cache[key] = dict(values)
+                new += 1
+        return new, duplicate

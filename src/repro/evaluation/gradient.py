@@ -10,6 +10,14 @@ industrial flow).
 Normalized statistical coordinates are all O(1) (unit variance), so one
 absolute step works for ``s``.  Design parameters span decades of physical
 magnitude, so their step is relative.
+
+The probes of one gradient are mutually independent, so every gradient
+function accepts an optional ``pool``
+(:class:`~repro.yieldsim.executor.PoolHandle`) and then evaluates its
+probes concurrently via
+:func:`~repro.yieldsim.executor.dispatch_points`; the arithmetic on the
+returned values is unchanged, so pooled gradients are bit-identical to
+serial ones.
 """
 
 from __future__ import annotations
@@ -37,6 +45,14 @@ def _design_step(parameter, value: float, rel_step: float) -> float:
     return max(abs(value) * rel_step, span * rel_step * 1e-2, 1e-15)
 
 
+def _pooled_values(pool, evaluator, points):
+    """Probe values via the shared pool, or None (caller loops serially)."""
+    if pool is None:
+        return None
+    from ..yieldsim.executor import dispatch_points
+    return dispatch_points(pool, evaluator, points)
+
+
 def performance_gradient_s(
     evaluator: Evaluator,
     performance: str,
@@ -45,6 +61,7 @@ def performance_gradient_s(
     theta: Mapping[str, float],
     base_value: Optional[float] = None,
     step: float = STEP_S,
+    pool=None,
 ) -> np.ndarray:
     """``grad_s_hat f`` by forward differences (dim(s) extra simulations).
 
@@ -53,12 +70,18 @@ def performance_gradient_s(
     s_hat = np.asarray(s_hat, dtype=float)
     if base_value is None:
         base_value = evaluator.performance(performance, d, s_hat, theta)
-    gradient = np.empty(len(s_hat))
+    probes = []
     for k in range(len(s_hat)):
         probe = s_hat.copy()
         probe[k] += step
-        value = evaluator.performance(performance, d, probe, theta)
-        gradient[k] = (value - base_value) / step
+        probes.append(probe)
+    values = _pooled_values(pool, evaluator,
+                            [(d, probe, theta) for probe in probes])
+    if values is None:
+        values = [evaluator.evaluate(d, probe, theta) for probe in probes]
+    gradient = np.empty(len(s_hat))
+    for k, probe_values in enumerate(values):
+        gradient[k] = (probe_values[performance] - base_value) / step
     return gradient
 
 
@@ -68,6 +91,7 @@ def all_gradients_s(
     s_hat: np.ndarray,
     theta: Mapping[str, float],
     step: float = STEP_S,
+    pool=None,
 ) -> Dict[str, np.ndarray]:
     """Gradients of *all* template performances w.r.t. ``s_hat`` from one
     shared set of probes (dim(s)+1 simulations total).
@@ -79,13 +103,19 @@ def all_gradients_s(
     s_hat = np.asarray(s_hat, dtype=float)
     base = evaluator.evaluate(d, s_hat, theta)
     names = list(base.keys())
-    gradients = {name: np.empty(len(s_hat)) for name in names}
+    probes = []
     for k in range(len(s_hat)):
         probe = s_hat.copy()
         probe[k] += step
-        values = evaluator.evaluate(d, probe, theta)
+        probes.append(probe)
+    values = _pooled_values(pool, evaluator,
+                            [(d, probe, theta) for probe in probes])
+    if values is None:
+        values = [evaluator.evaluate(d, probe, theta) for probe in probes]
+    gradients = {name: np.empty(len(s_hat)) for name in names}
+    for k, probe_values in enumerate(values):
         for name in names:
-            gradients[name][k] = (values[name] - base[name]) / step
+            gradients[name][k] = (probe_values[name] - base[name]) / step
     return gradients
 
 
@@ -97,6 +127,7 @@ def performance_gradient_d(
     theta: Mapping[str, float],
     base_value: Optional[float] = None,
     rel_step: float = STEP_D_REL,
+    pool=None,
 ) -> Dict[str, float]:
     """``grad_d f`` by forward differences (dim(d) extra simulations).
 
@@ -105,7 +136,7 @@ def performance_gradient_d(
     """
     if base_value is None:
         base_value = evaluator.performance(performance, d, s_hat, theta)
-    gradient: Dict[str, float] = {}
+    probes = []
     for parameter in evaluator.template.design_parameters:
         name = parameter.name
         step = _design_step(parameter, d[name], rel_step)
@@ -113,8 +144,16 @@ def performance_gradient_d(
             step = -step
         probe = dict(d)
         probe[name] = d[name] + step
-        value = evaluator.performance(performance, probe, s_hat, theta)
-        gradient[name] = (value - base_value) / step
+        probes.append((name, step, probe))
+    values = _pooled_values(pool, evaluator,
+                            [(probe, s_hat, theta)
+                             for _, _, probe in probes])
+    if values is None:
+        values = [evaluator.evaluate(probe, s_hat, theta)
+                  for _, _, probe in probes]
+    gradient: Dict[str, float] = {}
+    for (name, step, _), probe_values in zip(probes, values):
+        gradient[name] = (probe_values[performance] - base_value) / step
     return gradient
 
 
@@ -124,12 +163,13 @@ def all_gradients_d(
     s_hat: np.ndarray,
     theta: Mapping[str, float],
     rel_step: float = STEP_D_REL,
+    pool=None,
 ) -> Dict[str, Dict[str, float]]:
     """Gradients of all performances w.r.t. all design parameters from one
     shared set of probes (dim(d)+1 simulations)."""
     base = evaluator.evaluate(d, s_hat, theta)
     names = list(base.keys())
-    gradients: Dict[str, Dict[str, float]] = {name: {} for name in names}
+    probes = []
     for parameter in evaluator.template.design_parameters:
         pname = parameter.name
         step = _design_step(parameter, d[pname], rel_step)
@@ -137,9 +177,17 @@ def all_gradients_d(
             step = -step
         probe = dict(d)
         probe[pname] = d[pname] + step
-        values = evaluator.evaluate(probe, s_hat, theta)
+        probes.append((pname, step, probe))
+    values = _pooled_values(pool, evaluator,
+                            [(probe, s_hat, theta)
+                             for _, _, probe in probes])
+    if values is None:
+        values = [evaluator.evaluate(probe, s_hat, theta)
+                  for _, _, probe in probes]
+    gradients: Dict[str, Dict[str, float]] = {name: {} for name in names}
+    for (pname, step, _), probe_values in zip(probes, values):
         for name in names:
-            gradients[name][pname] = (values[name] - base[name]) / step
+            gradients[name][pname] = (probe_values[name] - base[name]) / step
     return gradients
 
 

@@ -22,7 +22,8 @@ import math
 from dataclasses import dataclass
 from typing import Dict, Optional
 
-from ..circuit.ac import AcSystem, phase_margin, unity_gain_frequency
+from ..circuit.ac import (AcSystem, phase_margin, shared_matrix_transfers,
+                          unity_gain_frequency)
 from ..circuit.dc import DCResult, solve_dc
 from ..circuit.devices import Vsource
 from ..circuit.netlist import Circuit
@@ -37,6 +38,18 @@ COUPLING_CAPACITANCE = 1.0
 #: gain plateau of any opamp in this package, high enough that the bench
 #: reactances are ideal.
 GAIN_MEASURE_HZ = 1.0
+
+#: Log10 tolerance of the transit-frequency search at the measurement
+#: layer: f_t to 0.001 % relative — orders of magnitude below both the
+#: spec granularity and the f_t shift of any mismatch sample, at roughly
+#: two-thirds the solve count of the solver default.
+UGF_TOL = 1e-5
+
+#: Half-width (as a frequency ratio) of the warm-started unity-gain
+#: bracket around an anchor's transit frequency.  2x each side covers
+#: many sigma of mismatch-induced f_t shift; a miss falls back to the
+#: full sweep, so the hint can only cost solves, never correctness.
+WARM_FT_SPAN = 2.0
 
 
 def add_openloop_bench(circuit: Circuit, inp: str, inn: str, out: str,
@@ -71,11 +84,20 @@ class OpenLoopOpampBench:
     :func:`add_openloop_bench`."""
 
     def __init__(self, circuit: Circuit, out: str = "out",
-                 supply_source: str = "VDD", temp_c: float = 27.0):
+                 supply_source: str = "VDD", temp_c: float = 27.0,
+                 x0=None, ft_hint: Optional[float] = None):
         self.circuit = circuit
         self.out = out
         self.supply_source = supply_source
         self.temp_c = temp_c
+        #: optional Newton warm start for the DC solve (a nearby operating
+        #: point, e.g. a cached anchor solution); the solver falls back to
+        #: the full homotopy chain when it does not converge from here
+        self.x0 = x0
+        #: optional transit-frequency estimate (e.g. the anchor cell's
+        #: f_t) used to bracket the unity-gain search tightly; a bracket
+        #: miss falls back to the full sweep
+        self.ft_hint = ft_hint
         self._op: Optional[DCResult] = None
         self._systems: dict = {}
 
@@ -83,7 +105,8 @@ class OpenLoopOpampBench:
     def op(self) -> DCResult:
         """The (lazily solved) DC operating point."""
         if self._op is None:
-            self._op = solve_dc(self.circuit, temp_c=self.temp_c)
+            self._op = solve_dc(self.circuit, temp_c=self.temp_c,
+                                x0=self.x0)
         return self._op
 
     def _system(self, ac_p: complex, ac_n: complex) -> AcSystem:
@@ -96,7 +119,12 @@ class OpenLoopOpampBench:
             assert isinstance(vip, Vsource) and isinstance(vin, Vsource)
             vip.ac = ac_p
             vin.ac = ac_n
-            system = AcSystem(self.circuit, self.op)
+            if self._systems:
+                # (G, B) are drive-independent: re-stamp only the rhs.
+                base = next(iter(self._systems.values()))
+                system = base.with_drives()
+            else:
+                system = AcSystem(self.circuit, self.op)
             self._systems[key] = system
         return system
 
@@ -110,7 +138,15 @@ class OpenLoopOpampBench:
 
     def transit_frequency(self) -> float:
         """Unity-gain frequency of the differential path [Hz]."""
-        return unity_gain_frequency(self._system(0.5, -0.5), self.out)
+        system = self._system(0.5, -0.5)
+        if self.ft_hint is not None and self.ft_hint > 0.0:
+            try:
+                return unity_gain_frequency(
+                    system, self.out, f_lo=self.ft_hint / WARM_FT_SPAN,
+                    f_hi=self.ft_hint * WARM_FT_SPAN, tol=UGF_TOL)
+            except ExtractionError:
+                pass  # the crossing moved outside the warm bracket
+        return unity_gain_frequency(system, self.out, tol=UGF_TOL)
 
     def phase_margin(self, ft_hz: Optional[float] = None) -> float:
         """Phase margin of the differential path [degrees]."""
@@ -129,8 +165,14 @@ class OpenLoopOpampBench:
         ``cmrr_floor_db`` guards the pathological case of a dead circuit
         whose differential gain is below its common-mode gain.
         """
-        adm = abs(self.differential_gain())
-        acm = abs(self.common_mode_gain())
+        # The differential and common-mode benches share (G, B) — only the
+        # source drives (rhs) differ — so both gains come from one
+        # factorization (bitwise identical to two separate solves).
+        h_dm, h_cm = shared_matrix_transfers(
+            [self._system(0.5, -0.5), self._system(1.0, 1.0)],
+            self.out, GAIN_MEASURE_HZ)
+        adm = abs(h_dm)
+        acm = abs(h_cm)
         if adm <= 0.0:
             raise ExtractionError("differential gain is zero; dead circuit?")
         a0_db = db(adm)

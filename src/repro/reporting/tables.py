@@ -83,12 +83,18 @@ def optimization_trace_table(template: CircuitTemplate,
                 text += (f" (95% CI {ci[0] * 100:.1f}"
                          f"-{ci[1] * 100:.1f}%)")
             lines.append(text)
+            if getattr(record, "verify_shrunk", False):
+                n = getattr(record, "verify_samples", None)
+                lines.append(f"  verification shrunk to N = {n} "
+                             f"(remaining simulation budget)")
             failed = getattr(record, "failed_samples", 0)
             if failed:
                 n = getattr(record.mc, "n_samples", None)
                 total = f"/{n}" if n else ""
                 lines.append(f"  failed samples = {failed}{total} "
                              f"(counted as spec-violating)")
+        elif getattr(record, "verify_shrunk", False):
+            lines.append("  Y_tilde skipped (simulation budget spent)")
         lines.append("")
     return "\n".join(lines)
 
@@ -161,6 +167,42 @@ def effort_table(rows: Sequence[Tuple]) -> str:
             hits = f"{row[3]}" if len(row) > 3 else "-"
             line += f" | {hits:>10}"
         lines.append(line)
+    return "\n".join(lines)
+
+
+def health_table(result: OptimizationResult) -> str:
+    """Render the failure/recovery telemetry of one optimization run:
+    fault-policy activity, executor retries/timeouts, and shared-pool
+    usage.  Empty string when the run was entirely clean and serial
+    (nothing worth reporting)."""
+    health = getattr(result, "health", None)
+    pool_tasks = getattr(result, "pool_tasks", 0)
+    rows: List[Tuple[str, str]] = []
+    if pool_tasks:
+        rows.append(("pool workers", str(result.pool_jobs)))
+        rows.append(("pool tasks", str(pool_tasks)))
+        if result.pool_died:
+            rows.append(("pool died", "yes (degraded to serial)"))
+    if result.total_failed_samples:
+        rows.append(("failed evaluations",
+                     str(result.total_failed_samples)))
+    if result.total_retried_evaluations:
+        rows.append(("retried evaluations",
+                     str(result.total_retried_evaluations)))
+    if health is not None and not health.clean:
+        if health.retried_chunks:
+            rows.append(("retried chunks", str(health.retried_chunks)))
+        if health.timed_out_chunks:
+            rows.append(("timed-out chunks",
+                         str(health.timed_out_chunks)))
+        if health.degraded_runs:
+            rows.append(("degraded verifications",
+                         str(health.degraded_runs)))
+    if not rows:
+        return ""
+    width = max(len(label) for label, _ in rows)
+    lines = ["Simulator health", "-" * 32]
+    lines.extend(f"{label:<{width}} : {value}" for label, value in rows)
     return "\n".join(lines)
 
 

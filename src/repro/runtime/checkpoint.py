@@ -112,6 +112,8 @@ def record_to_dict(record) -> Dict:
         "constraint_simulations": record.constraint_simulations,
         "gamma": record.gamma,
         "failed_samples": record.failed_samples,
+        "verify_samples": record.verify_samples,
+        "verify_shrunk": record.verify_shrunk,
     }
 
 
@@ -133,7 +135,10 @@ def record_from_dict(data: Mapping, template):
         constraint_simulations=int(data["constraint_simulations"]),
         gamma=None if data.get("gamma") is None
         else float(data["gamma"]),
-        failed_samples=int(data.get("failed_samples", 0)))
+        failed_samples=int(data.get("failed_samples", 0)),
+        verify_samples=None if data.get("verify_samples") is None
+        else int(data["verify_samples"]),
+        verify_shrunk=bool(data.get("verify_shrunk", False)))
 
 
 # -- the checkpoint record ----------------------------------------------------

@@ -26,12 +26,13 @@ from typing import Optional
 
 from ..errors import ReproError
 from .base import SampleEvaluation, YieldEstimator
-from .executor import BatchExecutor, BatchOutcome, ExecutionConfig
+from .executor import (BatchExecutor, BatchOutcome, ExecutionConfig,
+                       PoolHandle, dispatch_points)
 from .importance import MeanShiftIS, shifts_from_worst_case
 from .operational import OperationalMC
 from .qmc import SobolQMC
 from .result import YieldResult
-from .telemetry import PhaseTimer, RunReport
+from .telemetry import PhaseTimer, RunReport, SimulatorHealth
 
 #: Registered estimators by CLI short name.
 ESTIMATORS = {
@@ -63,7 +64,8 @@ def make_estimator(name: str, jobs: int = 1,
 
 __all__ = [
     "BatchExecutor", "BatchOutcome", "ESTIMATORS", "ExecutionConfig",
-    "MeanShiftIS", "OperationalMC", "PhaseTimer", "RunReport",
-    "SampleEvaluation", "SobolQMC", "YieldEstimator", "YieldResult",
-    "make_estimator", "shifts_from_worst_case",
+    "MeanShiftIS", "OperationalMC", "PhaseTimer", "PoolHandle",
+    "RunReport", "SampleEvaluation", "SimulatorHealth", "SobolQMC",
+    "YieldEstimator", "YieldResult", "dispatch_points", "make_estimator",
+    "shifts_from_worst_case",
 ]

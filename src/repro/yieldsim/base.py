@@ -60,6 +60,10 @@ class YieldEstimator(abc.ABC):
                  ci_level: float = 0.95):
         self.execution = execution or ExecutionConfig()
         self.ci_level = ci_level
+        #: optional persistent :class:`~repro.yieldsim.executor.PoolHandle`
+        #: shared with the rest of the run (the optimizer attaches its
+        #: pool here so verification reuses the same warm workers)
+        self.pool = None
 
     @abc.abstractmethod
     def estimate(self, evaluator: Evaluator, d: Mapping[str, float],
@@ -87,8 +91,9 @@ class YieldEstimator(abc.ABC):
 
         before = (evaluator.simulation_count, evaluator.request_count,
                   evaluator.cache_hits, evaluator.cache_misses)
+        retried0 = getattr(evaluator, "retried_evaluations", 0)
         with PhaseTimer(report, "simulate"):
-            outcome = BatchExecutor(self.execution).run(
+            outcome = BatchExecutor(self.execution, pool=self.pool).run(
                 evaluator, d, thetas, matrix)
 
         specs = {spec_key(spec): spec for spec in template.specs}
@@ -123,6 +128,8 @@ class YieldEstimator(abc.ABC):
         report.retried_chunks += outcome.retried_chunks
         report.timed_out_chunks += outcome.timed_out_chunks
         report.failed_samples += int(np.count_nonzero(failed))
+        report.retried_evaluations += \
+            getattr(evaluator, "retried_evaluations", 0) - retried0
         report.degraded_to_serial |= outcome.degraded_to_serial
         return SampleEvaluation(spec_values=spec_values,
                                 spec_pass=spec_pass,

@@ -23,6 +23,17 @@ module runs that loop either serially (sharing the caller's cached
   scheduling;
 * worker-side simulation/cache counters are folded back into the parent
   evaluator, keeping Table-7 effort accounting complete.
+
+:class:`PoolHandle` is the persistent variant: one process pool created
+per optimizer run and shared by the worst-case searches, the
+finite-difference gradient probes and the verification Monte-Carlo, so
+worker spawn and template pickling are paid once instead of per batch.
+Workers ship back the **cache entries** each task added (not just the
+counter deltas); the parent folds them in a deterministic task order via
+:meth:`repro.evaluation.evaluator.Evaluator.absorb_cache`, which makes
+the parent cache — and therefore every Table-7 counter — identical to a
+serial run's, and keeps the evaluations themselves bit-identical (values
+never depend on which process computed them).
 """
 
 from __future__ import annotations
@@ -32,7 +43,7 @@ import multiprocessing
 import sys
 from concurrent import futures
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
@@ -134,12 +145,288 @@ def _pool_context():
     return multiprocessing.get_context()
 
 
+# -- persistent shared pool ---------------------------------------------------
+@dataclass
+class TaskCounts:
+    """Evaluator-side effort of one pool task, in parent-foldable form.
+
+    ``entries`` are the cache entries the task *added* to its worker's
+    evaluator (insertion order); ``hits`` are the task's local cache hits.
+    ``failed``/``retried``/``recovered`` mirror the per-task
+    :class:`~repro.runtime.tolerant.FaultTolerantEvaluator` counters.
+    """
+
+    requests: int = 0
+    hits: int = 0
+    simulations: int = 0
+    entries: List[Tuple[Tuple, Dict[str, float]]] = field(
+        default_factory=list)
+    failed: int = 0
+    retried: int = 0
+    recovered: int = 0
+
+
+def _init_pool_worker(template, cache_enabled: bool) -> None:
+    """Pool initializer: one private evaluator per worker, reused across
+    tasks (its cache persists, so repeated nominal/gradient points hit)."""
+    _WORKER["evaluator"] = Evaluator(template, cache=cache_enabled)
+
+
+def _task_target(policy, fail_mode):
+    """The evaluation target of one pool task: the worker evaluator,
+    wrapped in a fresh fault-tolerant facade when the parent runs one
+    (fresh => its counters are exactly this task's deltas)."""
+    evaluator: Evaluator = _WORKER["evaluator"]  # type: ignore[assignment]
+    if policy is None:
+        return evaluator, None
+    from ..runtime.tolerant import FaultTolerantEvaluator
+    guarded = FaultTolerantEvaluator(evaluator, policy, fail_mode)
+    return guarded, guarded
+
+
+def _task_snapshot(evaluator: Evaluator) -> Tuple[int, int, int, int]:
+    return (evaluator.request_count, evaluator.cache_hits,
+            evaluator.simulation_count, evaluator.cache_size)
+
+
+def _task_counts(evaluator: Evaluator, before: Tuple[int, int, int, int],
+                 guarded) -> TaskCounts:
+    requests0, hits0, simulations0, cache_len0 = before
+    return TaskCounts(
+        requests=evaluator.request_count - requests0,
+        hits=evaluator.cache_hits - hits0,
+        simulations=evaluator.simulation_count - simulations0,
+        entries=evaluator.cache_items_since(cache_len0),
+        failed=guarded.failed_evaluations if guarded else 0,
+        retried=guarded.retried_evaluations if guarded else 0,
+        recovered=guarded.recovered_evaluations if guarded else 0)
+
+
+def _pool_worst_case(spec, d: Dict[str, float], theta: Dict[str, float],
+                     s_start, multistart: int, seed: int,
+                     policy, fail_mode) -> Tuple[object, TaskCounts]:
+    """One Eq.-8 worst-case search inside a worker."""
+    from ..core.worst_case import find_worst_case_point
+    target, guarded = _task_target(policy, fail_mode)
+    evaluator: Evaluator = _WORKER["evaluator"]  # type: ignore[assignment]
+    before = _task_snapshot(evaluator)
+    result = find_worst_case_point(target, spec, d, theta, s_start=s_start,
+                                   multistart=multistart, seed=seed)
+    return result, _task_counts(evaluator, before, guarded)
+
+
+def _pool_points(points: List[Tuple[Dict[str, float], np.ndarray,
+                                    Dict[str, float]]],
+                 policy, fail_mode
+                 ) -> Tuple[List[Dict[str, float]], TaskCounts]:
+    """Evaluate a list of ``(d, s_hat, theta)`` points inside a worker
+    (finite-difference gradient probes)."""
+    target, guarded = _task_target(policy, fail_mode)
+    evaluator: Evaluator = _WORKER["evaluator"]  # type: ignore[assignment]
+    before = _task_snapshot(evaluator)
+    values = [dict(target.evaluate(d, s_hat, theta))
+              for d, s_hat, theta in points]
+    return values, _task_counts(evaluator, before, guarded)
+
+
+def _pool_chunk_shared(d: Dict[str, float],
+                       thetas: List[Dict[str, float]], rows: np.ndarray,
+                       policy, fail_mode
+                       ) -> Tuple[List[List[Dict[str, float]]], TaskCounts]:
+    """Evaluate one Monte-Carlo chunk on the persistent pool."""
+    target, guarded = _task_target(policy, fail_mode)
+    evaluator: Evaluator = _WORKER["evaluator"]  # type: ignore[assignment]
+    before = _task_snapshot(evaluator)
+    values = [[dict(target.evaluate(d, row, theta)) for theta in thetas]
+              for row in rows]
+    return values, _task_counts(evaluator, before, guarded)
+
+
+def unwrap_pool_stack(evaluator):
+    """``(inner, policy, fail_mode)`` when ``evaluator`` is an evaluation
+    stack that pool workers can replicate exactly — a plain
+    :class:`Evaluator`, or a
+    :class:`~repro.runtime.tolerant.FaultTolerantEvaluator` around one —
+    else ``None`` (e.g. a fault-injecting wrapper, whose call-order state
+    lives in the parent; such stacks must stay serial)."""
+    from ..runtime.tolerant import FaultTolerantEvaluator
+    if type(evaluator) is Evaluator:
+        return evaluator, None, None
+    if isinstance(evaluator, FaultTolerantEvaluator) \
+            and type(evaluator.inner) is Evaluator:
+        return evaluator.inner, evaluator.policy, evaluator.fail_mode
+    return None
+
+
+def fold_task(evaluator, counts: TaskCounts) -> None:
+    """Fold one task's effort into the parent evaluation stack.
+
+    With caching on, the fold reconstructs exactly what a serial run
+    would have counted: every entry new to the parent cache is one
+    simulation + one miss; every entry the parent already holds would
+    have been a hit.  Tasks must be folded in a deterministic order (the
+    dispatch order), never completion order.
+    """
+    inner = evaluator
+    maybe = unwrap_pool_stack(evaluator)
+    if maybe is not None:
+        inner = maybe[0]
+    if inner.cache_enabled:
+        new, duplicate = inner.absorb_cache(counts.entries)
+        inner.absorb_counts(simulations=new, requests=counts.requests,
+                            cache_hits=counts.hits + duplicate,
+                            cache_misses=new)
+    else:
+        inner.absorb_counts(simulations=counts.simulations,
+                            requests=counts.requests,
+                            cache_misses=counts.simulations)
+    if counts.failed or counts.retried or counts.recovered:
+        if hasattr(evaluator, "failed_evaluations"):
+            evaluator.failed_evaluations += counts.failed
+            evaluator.retried_evaluations += counts.retried
+            evaluator.recovered_evaluations += counts.recovered
+
+
+class PoolHandle:
+    """A persistent process pool shared across the phases of one run.
+
+    Created once (e.g. per optimizer run) from the run's evaluation
+    stack; the worst-case search, the gradient probes and the
+    verification Monte-Carlo all submit tasks to the same workers, so
+    process spawn and template pickling are paid once.  Each worker owns
+    one cached :class:`Evaluator` that persists across tasks.
+
+    A timeout or broken pool marks the handle **dead** (workers are
+    terminated); every dispatcher checks :attr:`alive` and falls back to
+    its serial path, which by construction produces the same results.
+    """
+
+    def __init__(self, template, jobs: int, cache_enabled: bool = True,
+                 task_timeout_s: Optional[float] = None):
+        if jobs < 2:
+            raise ReproError(f"a pool needs jobs >= 2, got {jobs}")
+        self.template = template
+        self.jobs = jobs
+        self.cache_enabled = cache_enabled
+        #: per-task wait budget for non-MC tasks (None = wait forever)
+        self.task_timeout_s = task_timeout_s
+        self.tasks_dispatched = 0
+        self._dead = False
+        self._pool = futures.ProcessPoolExecutor(
+            max_workers=jobs, mp_context=_pool_context(),
+            initializer=_init_pool_worker,
+            initargs=(template, cache_enabled))
+
+    @classmethod
+    def for_evaluator(cls, evaluator, jobs: int,
+                      task_timeout_s: Optional[float] = None
+                      ) -> Optional["PoolHandle"]:
+        """A handle for ``evaluator``'s stack, or None when the stack
+        cannot be replicated in workers (or ``jobs`` < 2)."""
+        if jobs < 2:
+            return None
+        maybe = unwrap_pool_stack(evaluator)
+        if maybe is None:
+            return None
+        inner = maybe[0]
+        return cls(inner.template, jobs, cache_enabled=inner.cache_enabled,
+                   task_timeout_s=task_timeout_s)
+
+    @property
+    def alive(self) -> bool:
+        return not self._dead
+
+    def compatible(self, evaluator) -> bool:
+        """True when ``evaluator`` evaluates against this pool's template
+        with a worker-replicable stack."""
+        maybe = unwrap_pool_stack(evaluator)
+        return maybe is not None and maybe[0].template is self.template
+
+    def submit(self, fn, *args) -> futures.Future:
+        self.tasks_dispatched += 1
+        return self._pool.submit(fn, *args)
+
+    def kill(self) -> None:
+        """Terminate the workers and mark the handle dead (used on
+        timeout/breakage; all later dispatches degrade to serial)."""
+        if not self._dead:
+            self._dead = True
+            BatchExecutor._kill_pool(self._pool)
+
+    def close(self) -> None:
+        """Orderly shutdown at end of run.  Waits for teardown: an
+        executor still dismantling itself at interpreter exit races
+        CPython's own atexit hook (unlocked ``thread_wakeup.wakeup()``
+        against the management thread closing the same pipe), spraying
+        "Exception ignored ... Bad file descriptor" on stderr."""
+        if not self._dead:
+            self._dead = True
+            self._pool.shutdown(wait=True, cancel_futures=True)
+
+    def __enter__(self) -> "PoolHandle":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def dispatch_points(pool: Optional[PoolHandle], evaluator,
+                    points: Sequence[Tuple[Mapping[str, float], np.ndarray,
+                                           Mapping[str, float]]]
+                    ) -> Optional[List[Dict[str, float]]]:
+    """Evaluate ``points`` on the pool, folding effort back in dispatch
+    order; returns the value dicts in input order, or None when the pool
+    path is unavailable (caller then runs its serial loop).
+
+    A failed or timed-out task is re-evaluated serially on the parent —
+    the values and parent-side accounting come out identical either way.
+    """
+    if pool is None or not pool.alive or not pool.compatible(evaluator) \
+            or len(points) < 2:
+        return None
+    maybe = unwrap_pool_stack(evaluator)
+    assert maybe is not None
+    _, policy, fail_mode = maybe
+    plain = [(dict(d), np.asarray(s_hat, dtype=float), dict(theta))
+             for d, s_hat, theta in points]
+    size = max(1, math.ceil(len(plain) / pool.jobs))
+    chunks = [plain[start:start + size]
+              for start in range(0, len(plain), size)]
+    pending = [pool.submit(_pool_points, chunk, policy, fail_mode)
+               for chunk in chunks]
+    values: List[Dict[str, float]] = []
+    for chunk, future in zip(chunks, pending):
+        chunk_values = None
+        if pool.alive:
+            try:
+                chunk_values, counts = future.result(
+                    timeout=pool.task_timeout_s)
+                fold_task(evaluator, counts)
+            except (futures.TimeoutError, BrokenProcessPool):
+                pool.kill()
+            except Exception:
+                chunk_values = None  # re-run serially below
+        if chunk_values is None:
+            chunk_values = [dict(evaluator.evaluate(d, s_hat, theta))
+                            for d, s_hat, theta in chunk]
+        values.extend(chunk_values)
+    return values
+
+
 # -- driver ------------------------------------------------------------------
 class BatchExecutor:
-    """Drives an :class:`Evaluator` over a sample matrix in batches."""
+    """Drives an :class:`Evaluator` over a sample matrix in batches.
 
-    def __init__(self, config: Optional[ExecutionConfig] = None):
+    With a :class:`PoolHandle` attached, batches run on the persistent
+    shared pool (when the evaluator stack is worker-replicable); a dead
+    handle degrades to the serial path.  Without one, ``config.jobs > 1``
+    spawns a throwaway per-call pool (the legacy path).
+    """
+
+    def __init__(self, config: Optional[ExecutionConfig] = None,
+                 pool: Optional[PoolHandle] = None):
         self.config = config or ExecutionConfig()
+        self.pool = pool
 
     def run(self, evaluator: Evaluator, d: Mapping[str, float],
             thetas: Sequence[Mapping[str, float]],
@@ -150,6 +437,13 @@ class BatchExecutor:
             raise ReproError("sample matrix must be 2-D (n, dim)")
         if not thetas:
             raise ReproError("at least one operating point is required")
+        if self.pool is not None:
+            if self.pool.alive and self.pool.compatible(evaluator) \
+                    and matrix.shape[0] > 1:
+                return self._run_shared_pool(evaluator, d, thetas, matrix)
+            outcome = self._run_serial(evaluator, d, thetas, matrix)
+            outcome.degraded_to_serial = not self.pool.alive
+            return outcome
         if self.config.jobs == 1 or matrix.shape[0] == 1:
             return self._run_serial(evaluator, d, thetas, matrix)
         return self._run_pool(evaluator, d, thetas, matrix)
@@ -229,6 +523,70 @@ class BatchExecutor:
         except Exception:
             return None
 
+    # -- persistent shared pool ------------------------------------------------
+    def _run_shared_pool(self, evaluator, d: Mapping[str, float],
+                         thetas: Sequence[Mapping[str, float]],
+                         matrix: np.ndarray) -> BatchOutcome:
+        pool = self.pool
+        assert pool is not None
+        maybe = unwrap_pool_stack(evaluator)
+        assert maybe is not None
+        inner, policy, fail_mode = maybe
+        n = matrix.shape[0]
+        size = self.config.chunk_size
+        if size is None:
+            size = max(1, math.ceil(n / (pool.jobs * _CHUNKS_PER_WORKER)))
+        bounds = [(start, min(start + size, n))
+                  for start in range(0, n, size)]
+        d_plain = dict(d)
+        thetas_plain = [dict(theta) for theta in thetas]
+        outcome = BatchOutcome(values=[[] for _ in range(n)],
+                               backend="process-pool", jobs=pool.jobs,
+                               chunks=len(bounds))
+        before = (inner.simulation_count, inner.request_count,
+                  inner.cache_hits, inner.cache_misses)
+        pending = [pool.submit(_pool_chunk_shared, d_plain, thetas_plain,
+                               matrix[start:end], policy, fail_mode)
+                   for start, end in bounds]
+        for (start, end), future in zip(bounds, pending):
+            values = None
+            if pool.alive:
+                try:
+                    values, counts = future.result(
+                        timeout=self.config.timeout_s)
+                    fold_task(evaluator, counts)
+                except futures.TimeoutError:
+                    outcome.timed_out_chunks += 1
+                    pool.kill()
+                except BrokenProcessPool:
+                    pool.kill()
+                except Exception as exc:
+                    outcome.retried_chunks += 1
+                    values = self._retry_chunk(evaluator, d_plain,
+                                               thetas_plain,
+                                               matrix[start:end], exc)
+            if values is None:
+                # The shared pool died: harvest what finished, run the
+                # rest serially in the parent (results are identical).
+                outcome.degraded_to_serial = True
+                harvest = self._harvest_finished(future)
+                if harvest is not None:
+                    values, counts = harvest
+                    fold_task(evaluator, counts)
+                else:
+                    outcome.retried_chunks += 1
+                    values = self._retry_chunk(
+                        evaluator, d_plain, thetas_plain,
+                        matrix[start:end],
+                        ReproError("shared worker pool died"))
+            for offset, per_theta in enumerate(values):
+                outcome.values[start + offset] = per_theta
+        outcome.simulations = inner.simulation_count - before[0]
+        outcome.requests = inner.request_count - before[1]
+        outcome.cache_hits = inner.cache_hits - before[2]
+        outcome.cache_misses = inner.cache_misses - before[3]
+        return outcome
+
     def _run_pool(self, evaluator: Evaluator, d: Mapping[str, float],
                   thetas: Sequence[Mapping[str, float]],
                   matrix: np.ndarray) -> BatchOutcome:
@@ -299,7 +657,11 @@ class BatchExecutor:
                 for offset, per_theta in enumerate(values):
                     outcome.values[start + offset] = per_theta
         finally:
-            pool.shutdown(wait=False, cancel_futures=True)
+            # Wait: every future is already resolved here (or its worker
+            # terminated by _kill_pool), and a shutdown still in flight at
+            # interpreter exit races CPython's atexit wakeup of the same
+            # executor (stderr "Bad file descriptor" noise).
+            pool.shutdown(wait=True, cancel_futures=True)
         # Fold worker-side effort into the parent's accounting (retried
         # chunks already counted themselves on the parent evaluator).
         evaluator.absorb_counts(

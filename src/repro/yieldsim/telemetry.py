@@ -39,6 +39,8 @@ class RunReport:
     #: samples whose evaluation failed under the fault policy and were
     #: counted as violating every spec (NaN performance records)
     failed_samples: int = 0
+    #: retry-with-jitter attempts the fault policy issued during this run
+    retried_evaluations: int = 0
     #: True when a dead/wedged process pool forced the remainder of the
     #: batch onto the serial in-parent path
     degraded_to_serial: bool = False
@@ -64,6 +66,7 @@ class RunReport:
             "retried_chunks": self.retried_chunks,
             "timed_out_chunks": self.timed_out_chunks,
             "failed_samples": self.failed_samples,
+            "retried_evaluations": self.retried_evaluations,
             "degraded_to_serial": self.degraded_to_serial,
             "phase_seconds": dict(self.phase_seconds),
             "wall_time_s": self.wall_time_s,
@@ -90,9 +93,57 @@ class RunReport:
             retried_chunks=int(data.get("retried_chunks", 0)),
             timed_out_chunks=int(data.get("timed_out_chunks", 0)),
             failed_samples=int(data.get("failed_samples", 0)),
+            retried_evaluations=int(data.get("retried_evaluations", 0)),
             degraded_to_serial=bool(data.get("degraded_to_serial",
                                              False)),
             phase_seconds=dict(data.get("phase_seconds", {})))
+
+
+@dataclass
+class SimulatorHealth:
+    """Run-level aggregation of the failure telemetry of many
+    :class:`RunReport` instances (one per verification call of an
+    optimization run): how often the simulator misbehaved and how the
+    runtime absorbed it.  Attached to Table-7 style effort summaries so
+    a run's health is visible next to its cost."""
+
+    runs: int = 0
+    failed_samples: int = 0
+    retried_evaluations: int = 0
+    retried_chunks: int = 0
+    timed_out_chunks: int = 0
+    degraded_runs: int = 0
+
+    @classmethod
+    def from_reports(cls, reports) -> "SimulatorHealth":
+        health = cls()
+        for report in reports:
+            if report is None:
+                continue
+            health.runs += 1
+            health.failed_samples += report.failed_samples
+            health.retried_evaluations += report.retried_evaluations
+            health.retried_chunks += report.retried_chunks
+            health.timed_out_chunks += report.timed_out_chunks
+            health.degraded_runs += int(report.degraded_to_serial)
+        return health
+
+    @property
+    def clean(self) -> bool:
+        """True when no failure-handling machinery ever fired."""
+        return not (self.failed_samples or self.retried_evaluations
+                    or self.retried_chunks or self.timed_out_chunks
+                    or self.degraded_runs)
+
+    def to_dict(self) -> Dict:
+        return {
+            "runs": self.runs,
+            "failed_samples": self.failed_samples,
+            "retried_evaluations": self.retried_evaluations,
+            "retried_chunks": self.retried_chunks,
+            "timed_out_chunks": self.timed_out_chunks,
+            "degraded_runs": self.degraded_runs,
+        }
 
 
 class PhaseTimer:
