@@ -7,7 +7,11 @@ writing any Python:
   paper-style trace table,
 * ``yield``     — estimate the operational yield at the initial design
   with a pluggable estimator (plain Monte-Carlo, worst-case mean-shift
-  importance sampling, or scrambled-Sobol QMC), optionally in parallel,
+  importance sampling, or scrambled-Sobol QMC), optionally in parallel
+  or as one shard of a multi-machine split (``--shard i/N --out ...``),
+* ``merge-verify`` — combine per-shard yield results exactly (pooled
+  sufficient statistics) and optionally splice the merged verification
+  into an optimizer checkpoint for ``optimize --resume``,
 * ``analyze``   — worst-case operating corners, worst-case distances and
   the Sec. 3 mismatch-pair ranking at the initial design,
 * ``corners``   — the PVT corner report,
@@ -20,6 +24,8 @@ Examples::
     python -m repro optimize miller --iterations 3 --estimator is --jobs 4
     python -m repro yield folded-cascode --estimator is --samples 300
     python -m repro yield miller --estimator qmc --jobs 2 --json
+    python -m repro yield miller --shard 1/4 --out shard1.json
+    python -m repro merge-verify shard*.json --checkpoint ckpt.json
     python -m repro analyze folded-cascode --local-only
     python -m repro corners ota
     python -m repro simulate my_circuit.sp --node out --ac 1e3
@@ -65,6 +71,10 @@ def cmd_optimize(args: argparse.Namespace) -> int:
     from .yieldsim import make_estimator
 
     template = _make_template(args.circuit)
+    verify_shard = None
+    if args.verify_shard:
+        from .yieldsim import ShardPlan
+        verify_shard = ShardPlan.parse(args.verify_shard)
     config = OptimizerConfig(
         n_samples_linear=args.samples,
         n_samples_verify=args.verify_samples,
@@ -74,6 +84,7 @@ def cmd_optimize(args: argparse.Namespace) -> int:
         linearize_at="nominal" if args.nominal_linearization
         else "worst_case",
         jobs=args.jobs,
+        verify_shard=verify_shard,
     )
     evaluator = Evaluator(template)
     if args.inject_faults > 0.0:
@@ -125,10 +136,16 @@ def cmd_yield(args: argparse.Namespace) -> int:
     theta_wc = find_worst_case_operating_points(
         lambda theta: evaluator.evaluate(d, s0, theta),
         template.specs, template.operating_range)
+    shard = None
+    if args.shard:
+        from .yieldsim import ShardPlan
+        shard = ShardPlan.parse(args.shard)
     worst_case = None
     if args.estimator == "is":
         # Mean-shift IS centers its proposal on the Eq. 8 worst-case
         # points; computing them costs O(dim) simulations per spec.
+        # The search is seed-deterministic, so every shard of a fleet
+        # reconstructs the same mixture components.
         from .core import find_all_worst_case_points
         worst_case = find_all_worst_case_points(evaluator, d, theta_wc,
                                                 seed=args.seed)
@@ -136,13 +153,17 @@ def cmd_yield(args: argparse.Namespace) -> int:
                                timeout_s=args.chunk_timeout)
     result = estimator.estimate(evaluator, d, theta_wc,
                                 n_samples=args.samples, seed=args.seed,
-                                worst_case=worst_case)
+                                worst_case=worst_case, shard=shard)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(result.to_json(indent=2))
     if args.json:
         print(result.to_json(indent=2))
         return 0
     report = result.report
+    shard_note = f", shard {shard.label}" if shard is not None else ""
     print(f"circuit: {template.name}  (estimator: {args.estimator}, "
-          f"N = {result.n_samples}, jobs = {args.jobs})")
+          f"N = {result.n_samples}, jobs = {args.jobs}{shard_note})")
     print(f"yield = {result.estimate * 100:.2f}%  "
           f"(95% CI {result.ci_low * 100:.2f}-{result.ci_high * 100:.2f}%, "
           f"ESS {result.ess:.1f})")
@@ -166,6 +187,43 @@ def cmd_yield(args: argparse.Namespace) -> int:
     phases = ", ".join(f"{phase} {seconds:.3f}"
                        for phase, seconds in report.phase_seconds.items())
     print(f"wall time [s]: {phases}")
+    if args.out:
+        print(f"shard result written to {args.out}")
+    return 0
+
+
+def cmd_merge_verify(args: argparse.Namespace) -> int:
+    import json
+
+    from .reporting import merged_provenance_table
+    from .yieldsim import YieldResult, merge_results
+
+    results = []
+    for path in args.shards:
+        try:
+            with open(path) as handle:
+                results.append(YieldResult.from_dict(json.load(handle)))
+        except OSError as exc:
+            raise SystemExit(f"cannot read shard result {path!r}: {exc}")
+        except (ValueError, KeyError) as exc:
+            raise SystemExit(f"corrupt shard result {path!r}: {exc}")
+    merged = merge_results(results)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(merged.to_json(indent=2))
+    if args.checkpoint:
+        from .runtime import splice_merged_result
+        splice_merged_result(args.checkpoint, merged)
+    if args.json:
+        print(merged.to_json(indent=2))
+        return 0
+    print(merged_provenance_table(merged))
+    if args.checkpoint:
+        print(f"merged verification spliced into {args.checkpoint} "
+              f"(continue with: repro optimize ... --checkpoint "
+              f"{args.checkpoint} --resume)")
+    if args.out:
+        print(f"merged result written to {args.out}")
     return 0
 
 
@@ -286,6 +344,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="Y_tilde verification estimator (default: mc)")
     p.add_argument("--jobs", type=int, default=1,
                    help="worker processes for verification batches")
+    p.add_argument("--verify-shard", metavar="i/N",
+                   help="run only shard i of an N-way split of every "
+                        "verification Monte-Carlo (merge the shards' "
+                        "results with merge-verify)")
     p.add_argument("--checkpoint", metavar="PATH",
                    help="write a JSON checkpoint after every iteration")
     p.add_argument("--resume", action="store_true",
@@ -320,9 +382,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--chunk-timeout", type=float, default=None,
                    help="per-chunk timeout [s] before the in-parent retry")
     p.add_argument("--seed", type=int, default=2001)
+    p.add_argument("--shard", metavar="i/N",
+                   help="run only shard i of an N-way split of the "
+                        "logical sample budget (1-based); results merge "
+                        "exactly via merge-verify")
+    p.add_argument("--out", metavar="PATH",
+                   help="also write the result JSON to PATH (the "
+                        "merge-verify input format)")
     p.add_argument("--json", action="store_true",
                    help="emit the full result + run report as JSON")
     p.set_defaults(func=cmd_yield)
+
+    p = sub.add_parser(
+        "merge-verify",
+        help="combine per-shard yield results (from yield --shard i/N "
+             "--out ...) into one exact pooled estimate")
+    p.add_argument("shards", nargs="+", metavar="SHARD_JSON",
+                   help="per-shard result files written by yield --out")
+    p.add_argument("--checkpoint", metavar="PATH",
+                   help="splice the merged verification into the last "
+                        "record of this optimizer checkpoint")
+    p.add_argument("--out", metavar="PATH",
+                   help="write the merged result JSON to PATH")
+    p.add_argument("--json", action="store_true",
+                   help="emit the merged result as JSON")
+    p.set_defaults(func=cmd_merge_verify)
 
     p = sub.add_parser("analyze",
                        help="worst-case distances + mismatch pairs")

@@ -50,7 +50,8 @@ from ..runtime import (FaultPolicy, FaultTolerantEvaluator,
                        load_checkpoint, save_checkpoint)
 from ..spec.operating import find_worst_case_operating_points, spec_key
 from ..statistics.sampling import SampleSet
-from ..yieldsim import OperationalMC, YieldEstimator, YieldResult
+from ..yieldsim import (OperationalMC, ShardPlan, YieldEstimator,
+                        YieldResult)
 from .constraints import UnconstrainedRegion, linearize_constraints
 from .coordinate_search import coordinate_search
 from .estimator import LinearizedYieldEstimator
@@ -90,6 +91,12 @@ class OptimizerConfig:
     #: per-task wait budget of the shared pool, seconds (None = forever);
     #: a timed-out task kills the pool and the run degrades to serial
     task_timeout_s: Optional[float] = None
+    #: run only this shard of every verification Monte-Carlo (one
+    #: machine of a ``ShardPlan(i, k)`` fleet); the per-iteration
+    #: results carry shard provenance and merge exactly with the other
+    #: shards' via :func:`repro.yieldsim.merge_results`.  ``None`` (and
+    #: the 1-shard plan) reproduce the unsharded run bit for bit.
+    verify_shard: Optional[ShardPlan] = None
 
 
 @dataclass
@@ -262,11 +269,17 @@ class YieldOptimizer:
             return None, 0, True
         # Lenient mode: a sample the simulator cannot evaluate is a
         # failed sample (counts against the yield), not a failed run.
+        # The shard plan travels by keyword only when set, so
+        # duck-typed verifiers without a ``shard`` parameter keep
+        # working for unsharded runs.
+        kwargs = {}
+        if self.config.verify_shard is not None:
+            kwargs["shard"] = self.config.verify_shard
         with self._guarded.lenient():
             result = self.verifier.estimate(
                 self._guarded, d, theta_wc, n_samples=n,
                 seed=self.config.seed + 17,
-                worst_case=worst_case)
+                worst_case=worst_case, **kwargs)
         return result, n, shrunk
 
     def _budget_stop(self, start_time: float,

@@ -1,8 +1,9 @@
 """Presentation helpers: paper-style result tables."""
 
 from .tables import (effort_table, health_table, improvement_table,
-                     mismatch_table, optimization_trace_table,
-                     side_by_side)
+                     merged_provenance_table, mismatch_table,
+                     optimization_trace_table, side_by_side)
 
 __all__ = ["effort_table", "health_table", "improvement_table",
-           "mismatch_table", "optimization_trace_table", "side_by_side"]
+           "merged_provenance_table", "mismatch_table",
+           "optimization_trace_table", "side_by_side"]

@@ -190,6 +190,10 @@ def health_table(result: OptimizationResult) -> str:
         rows.append(("retried evaluations",
                      str(result.total_retried_evaluations)))
     if health is not None and not health.clean:
+        if getattr(health, "no_data", False):
+            # runs == 0 is *unobserved*, not healthy: say so explicitly
+            # instead of printing an empty (clean-looking) section.
+            rows.append(("verification telemetry", "none recorded"))
         if health.retried_chunks:
             rows.append(("retried chunks", str(health.retried_chunks)))
         if health.timed_out_chunks:
@@ -198,11 +202,58 @@ def health_table(result: OptimizationResult) -> str:
         if health.degraded_runs:
             rows.append(("degraded verifications",
                          str(health.degraded_runs)))
+        if getattr(health, "incompatible_runs", 0):
+            rows.append(("pool-incompatible verifications",
+                         str(health.incompatible_runs)))
     if not rows:
         return ""
     width = max(len(label) for label, _ in rows)
     lines = ["Simulator health", "-" * 32]
     lines.extend(f"{label:<{width}} : {value}" for label, value in rows)
+    return "\n".join(lines)
+
+
+def _report_flags(report) -> str:
+    """One-line status summary of a shard's :class:`RunReport`."""
+    flags: List[str] = []
+    if getattr(report, "failed_samples", 0):
+        flags.append(f"{report.failed_samples} failed samples")
+    if getattr(report, "retried_chunks", 0):
+        flags.append(f"{report.retried_chunks} retried chunks")
+    if getattr(report, "timed_out_chunks", 0):
+        flags.append(f"{report.timed_out_chunks} timed out")
+    if getattr(report, "degraded_to_serial", False):
+        flags.append("degraded to serial")
+    if getattr(report, "pool_incompatible", False):
+        flags.append("pool incompatible")
+    return ", ".join(flags) if flags else "clean"
+
+
+def merged_provenance_table(result) -> str:
+    """Render the provenance of a merged sharded verification: the
+    pooled estimate, how many shards contributed, and one telemetry
+    line per shard (a :class:`repro.yieldsim.YieldResult` produced by
+    :func:`repro.yieldsim.merge_results`)."""
+    total = result.shard_total or result.merged_from or 1
+    lines = [f"Merged verification ({result.merged_from} of "
+             f"{total} shard(s), estimator {result.estimator})"]
+    lines.append("-" * len(lines[0]))
+    lines.append(
+        f"yield = {result.estimate * 100:.2f}%  "
+        f"({result.ci_level * 100:.0f}% CI "
+        f"{result.ci_low * 100:.2f}-{result.ci_high * 100:.2f}%, "
+        f"ESS {result.ess:.1f})")
+    lines.append(f"samples = {result.n_samples}, "
+                 f"simulations = {result.simulations}, "
+                 f"failed = {result.failed_samples}")
+    reports = list(getattr(result, "shard_reports", []) or [])
+    for index, report in enumerate(reports, start=1):
+        lines.append(
+            f"  shard {index}/{len(reports)}: "
+            f"n = {report.n_samples}, sims = {report.simulations}, "
+            f"backend = {report.backend}, {_report_flags(report)}")
+    if not reports:
+        lines.append("  (no per-shard telemetry recorded)")
     return "\n".join(lines)
 
 

@@ -25,7 +25,8 @@ from .budget import (RunBudget, STOP_ABORTED_PREFIX, STOP_CONVERGED,
                      STOP_DEADLINE, STOP_MAX_ITERATIONS, STOP_SIM_BUDGET)
 from .checkpoint import (CHECKPOINT_VERSION, CheckpointError,
                          OptimizerCheckpoint, load_checkpoint,
-                         record_from_dict, record_to_dict, save_checkpoint)
+                         record_from_dict, record_to_dict, save_checkpoint,
+                         splice_merged_result)
 from .faults import FaultInjectingEvaluator
 from .policy import (DEFAULT_ACTIONS, FaultAction, FaultPolicy,
                      RetryConfig, point_digest)
@@ -38,5 +39,5 @@ __all__ = [
     "RunBudget", "STOP_ABORTED_PREFIX", "STOP_CONVERGED", "STOP_DEADLINE",
     "STOP_MAX_ITERATIONS", "STOP_SIM_BUDGET", "load_checkpoint",
     "point_digest", "record_from_dict", "record_to_dict",
-    "save_checkpoint",
+    "save_checkpoint", "splice_merged_result",
 ]

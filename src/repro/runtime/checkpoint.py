@@ -78,19 +78,46 @@ def _wc_from_dict(data: Mapping, template) -> "object":
 def _mc_to_dict(mc) -> Optional[Dict]:
     """Serialize a verification result: a yieldsim ``YieldResult`` (or
     anything else exposing a compatible ``to_dict``).  Legacy records
-    without one are dropped from the checkpoint (their scalar summary
-    lives on in the record fields)."""
+    without one (:class:`repro.core.montecarlo.MonteCarloResult`) keep
+    their scalar summary in a ``legacy-summary`` stub, so ``--resume``
+    round-trips a checkpointed trace instead of silently dropping the
+    verification result."""
     if mc is None:
         return None
     to_dict = getattr(mc, "to_dict", None)
     if callable(to_dict):
         return {"kind": "yieldsim", "data": to_dict()}
-    return None
+    return {"kind": "legacy-summary", "data": {
+        "yield_estimate": float(mc.yield_estimate),
+        "n_samples": int(mc.n_samples),
+        "simulations": int(mc.simulations),
+        "bad_fraction": {key: float(value)
+                         for key, value in mc.bad_fraction.items()},
+        "performance_mean": {
+            key: float(value)
+            for key, value in getattr(mc, "performance_mean",
+                                      {}).items()},
+        "performance_std": {
+            key: float(value)
+            for key, value in getattr(mc, "performance_std",
+                                      {}).items()},
+    }}
 
 
 def _mc_from_dict(data: Optional[Mapping]):
     if data is None:
         return None
+    kind = data.get("kind", "yieldsim")
+    if kind == "legacy-summary":
+        from ..core.montecarlo import MonteCarloResult
+        summary = data["data"]
+        return MonteCarloResult(
+            yield_estimate=float(summary["yield_estimate"]),
+            n_samples=int(summary["n_samples"]),
+            bad_fraction=dict(summary["bad_fraction"]),
+            simulations=int(summary["simulations"]),
+            performance_mean=dict(summary.get("performance_mean", {})),
+            performance_std=dict(summary.get("performance_std", {})))
     from ..yieldsim.result import YieldResult
     return YieldResult.from_dict(data["data"])
 
@@ -191,6 +218,54 @@ def save_checkpoint(path: str, checkpoint: OptimizerCheckpoint) -> None:
     }
     directory = os.path.dirname(os.path.abspath(path))
     os.makedirs(directory, exist_ok=True)
+    handle = tempfile.NamedTemporaryFile(
+        "w", dir=directory, suffix=".tmp", delete=False)
+    try:
+        with handle:
+            json.dump(payload, handle)
+        os.replace(handle.name, path)
+    except BaseException:
+        try:
+            os.unlink(handle.name)
+        except OSError:
+            pass
+        raise
+
+
+def splice_merged_result(path: str, result) -> None:
+    """Replace the last record's verification result in the checkpoint
+    at ``path`` with a merged sharded ``YieldResult``.
+
+    Operates on the raw checkpoint JSON (no template rebinding), so any
+    circuit's checkpoint can be spliced.  The record's scalar summary
+    fields (``yield_mc``, ``failed_samples``, ``verify_samples``) are
+    updated alongside, and the file is rewritten atomically — a
+    subsequent ``--resume`` continues the trajectory with the merged
+    verification in place.
+    """
+    try:
+        with open(path) as handle:
+            payload = json.load(handle)
+    except OSError as exc:
+        raise CheckpointError(f"cannot read checkpoint {path!r}: {exc}")
+    except ValueError as exc:
+        raise CheckpointError(f"corrupt checkpoint {path!r}: {exc}")
+    version = payload.get("version")
+    if version != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"checkpoint {path!r} has schema version {version!r}; "
+            f"this build reads version {CHECKPOINT_VERSION}")
+    records = payload.get("records") or []
+    if not records:
+        raise CheckpointError(
+            f"checkpoint {path!r} has no iteration records to splice a "
+            f"merged verification into")
+    record = records[-1]
+    record["mc"] = {"kind": "yieldsim", "data": result.to_dict()}
+    record["yield_mc"] = float(result.estimate)
+    record["failed_samples"] = int(result.failed_samples)
+    record["verify_samples"] = int(result.n_samples)
+    directory = os.path.dirname(os.path.abspath(path))
     handle = tempfile.NamedTemporaryFile(
         "w", dir=directory, suffix=".tmp", delete=False)
     try:

@@ -42,7 +42,7 @@ class SampleSet:
 
     @classmethod
     def draw_sobol(cls, n: int, dim: int, seed: Optional[int] = None,
-                   scramble: bool = True) -> "SampleSet":
+                   scramble: bool = True, skip: int = 0) -> "SampleSet":
         """Draw ``n`` scrambled-Sobol points mapped to ``N(0, I_dim)``.
 
         Low-discrepancy points cover the unit cube far more evenly than
@@ -52,19 +52,28 @@ class SampleSet:
         Owen scrambling (the default) keeps the estimate unbiased and
         seed-reproducible.  Powers of two for ``n`` preserve the digital-net
         balance and are recommended.
+
+        ``skip`` fast-forwards past the first ``skip`` points of the
+        (seed-determined) sequence before taking ``n``: the sharded
+        verification draws consecutive disjoint blocks of one sequence,
+        so the shards concatenate to exactly the unsharded point set.
         """
         if n <= 0 or dim <= 0:
             raise ReproError(f"invalid sample-set shape ({n}, {dim})")
+        if skip < 0:
+            raise ReproError(f"skip must be >= 0, got {skip}")
         from scipy.stats import qmc
         from scipy.special import ndtri
         engine = qmc.Sobol(d=dim, scramble=scramble, seed=seed)
-        if n & (n - 1) == 0:
+        if skip == 0 and n & (n - 1) == 0:
             u = engine.random_base2(int(math.log2(n)))
         else:
             with warnings.catch_warnings():
                 # scipy warns about unbalanced (non power-of-two) sizes;
                 # that is the caller's explicit choice here.
                 warnings.simplefilter("ignore", UserWarning)
+                if skip:
+                    engine.fast_forward(skip)
                 u = engine.random(n)
         # Keep the inverse CDF finite (unscrambled nets contain u = 0).
         eps = np.finfo(float).tiny

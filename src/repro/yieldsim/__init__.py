@@ -17,7 +17,11 @@ estimators, one parallel batch engine underneath:
   process-pool execution with chunking, per-chunk timeout + retry, and
   deterministic result ordering regardless of worker count,
 * :class:`RunReport` — JSON-serializable per-run telemetry (simulations,
-  cache hits, wall time per phase).
+  cache hits, wall time per phase),
+* :class:`ShardPlan` / :func:`merge_results` — deterministic sub-stream
+  partitioning of one verification run across machines and the exact
+  merge of the per-shard results (pooled sufficient statistics, folded
+  telemetry); see :mod:`repro.yieldsim.shard`.
 """
 
 from __future__ import annotations
@@ -31,7 +35,8 @@ from .executor import (BatchExecutor, BatchOutcome, ExecutionConfig,
 from .importance import MeanShiftIS, shifts_from_worst_case
 from .operational import OperationalMC
 from .qmc import SobolQMC
-from .result import YieldResult
+from .result import SpecMoments, SufficientStats, YieldResult
+from .shard import ShardPlan, merge_reports, merge_results, merge_stats
 from .telemetry import PhaseTimer, RunReport, SimulatorHealth
 
 #: Registered estimators by CLI short name.
@@ -65,7 +70,8 @@ def make_estimator(name: str, jobs: int = 1,
 __all__ = [
     "BatchExecutor", "BatchOutcome", "ESTIMATORS", "ExecutionConfig",
     "MeanShiftIS", "OperationalMC", "PhaseTimer", "PoolHandle",
-    "RunReport", "SampleEvaluation", "SimulatorHealth", "SobolQMC",
-    "YieldEstimator", "YieldResult", "dispatch_points", "make_estimator",
-    "shifts_from_worst_case",
+    "RunReport", "SampleEvaluation", "ShardPlan", "SimulatorHealth",
+    "SobolQMC", "SpecMoments", "SufficientStats", "YieldEstimator",
+    "YieldResult", "dispatch_points", "make_estimator", "merge_reports",
+    "merge_results", "merge_stats", "shifts_from_worst_case",
 ]

@@ -23,7 +23,9 @@ from ..evaluation.evaluator import Evaluator
 from ..spec.operating import group_by_theta, spec_key
 from ..statistics.intervals import wilson_interval
 from .executor import BatchExecutor, BatchOutcome, ExecutionConfig
-from .result import YieldResult
+from .result import (KIND_BINOMIAL, SpecMoments, SufficientStats,
+                     YieldResult)
+from .shard import ShardPlan
 from .telemetry import PhaseTimer, RunReport
 
 
@@ -69,9 +71,16 @@ class YieldEstimator(abc.ABC):
     def estimate(self, evaluator: Evaluator, d: Mapping[str, float],
                  theta_per_spec: Mapping[str, Mapping[str, float]],
                  n_samples: int = 300, seed: Optional[int] = 2001,
-                 worst_case: Optional[Mapping[str, object]] = None
-                 ) -> YieldResult:
-        """Estimate the yield at ``d``; see class docstring."""
+                 worst_case: Optional[Mapping[str, object]] = None,
+                 shard: Optional[ShardPlan] = None) -> YieldResult:
+        """Estimate the yield at ``d``; see class docstring.
+
+        ``shard`` restricts the run to one deterministic sub-stream of
+        the ``n_samples``-sized logical stream (see
+        :mod:`repro.yieldsim.shard`); the result then covers
+        ``shard.count(n_samples)`` samples and is mergeable with its
+        sibling shards via :func:`~repro.yieldsim.shard.merge_results`.
+        """
 
     # -- shared pipeline --------------------------------------------------------
     def _evaluate_matrix(self, evaluator: Evaluator,
@@ -131,6 +140,7 @@ class YieldEstimator(abc.ABC):
         report.retried_evaluations += \
             getattr(evaluator, "retried_evaluations", 0) - retried0
         report.degraded_to_serial |= outcome.degraded_to_serial
+        report.pool_incompatible |= outcome.pool_incompatible
         return SampleEvaluation(spec_values=spec_values,
                                 spec_pass=spec_pass,
                                 indicator=indicator, failed=failed,
@@ -141,7 +151,8 @@ class YieldEstimator(abc.ABC):
                          jobs=self.execution.jobs)
 
     def _binomial_result(self, evaluation: SampleEvaluation,
-                         report: RunReport) -> YieldResult:
+                         report: RunReport,
+                         shard: Optional[ShardPlan] = None) -> YieldResult:
         """Unweighted reduction shared by OperationalMC and SobolQMC:
         mean indicator with a Wilson interval."""
         n = evaluation.indicator.shape[0]
@@ -152,18 +163,34 @@ class YieldEstimator(abc.ABC):
         # performance value to average.
         means: Dict[str, float] = {}
         stds: Dict[str, float] = {}
+        moments: Dict[str, SpecMoments] = {}
         for key, values in evaluation.spec_values.items():
             finite = values[np.isfinite(values)]
             means[key] = float(np.mean(finite)) if finite.size \
                 else float("nan")
             stds[key] = float(np.std(finite, ddof=1)) \
                 if finite.size > 1 else 0.0
+            bad_count = float(
+                np.count_nonzero(~evaluation.spec_pass[key]))
+            moments[key] = SpecMoments(
+                weight=float(finite.size),
+                mean=means[key] if finite.size else 0.0,
+                m2=float(np.sum((finite - means[key]) ** 2))
+                if finite.size else 0.0,
+                bad_weight=bad_count)
         bad = {key: float(np.count_nonzero(~ok)) / n
                for key, ok in evaluation.spec_pass.items()}
+        failed = int(np.count_nonzero(evaluation.failed))
+        stats = SufficientStats(
+            kind=KIND_BINOMIAL, n=n, successes=passes, failed=failed,
+            log_shift=0.0, w_sum=float(n), w_sq_sum=float(n),
+            w_pass_sum=float(passes), w_sq_pass_sum=float(passes),
+            spec=moments)
         return YieldResult(
             estimator=self.name, estimate=passes / n, n_samples=n,
             simulations=report.simulations, ci_low=ci_low, ci_high=ci_high,
             ci_level=self.ci_level, ess=float(n), bad_fraction=bad,
             performance_mean=means, performance_std=stds,
-            failed_samples=int(np.count_nonzero(evaluation.failed)),
-            report=report)
+            failed_samples=failed, report=report, stats=stats,
+            shard_index=None if shard is None else shard.index,
+            shard_total=None if shard is None else shard.total)

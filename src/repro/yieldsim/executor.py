@@ -102,6 +102,10 @@ class BatchOutcome:
     #: True when the pool died (timeout-killed or broken workers) and the
     #: remaining chunks ran serially in the parent
     degraded_to_serial: bool = False
+    #: True when an alive pool was attached but could not serve this
+    #: evaluation stack (template mismatch / non-replicable wrapper), so
+    #: the batch ran serially despite a healthy pool
+    pool_incompatible: bool = False
 
 
 # -- worker side -------------------------------------------------------------
@@ -438,11 +442,19 @@ class BatchExecutor:
         if not thetas:
             raise ReproError("at least one operating point is required")
         if self.pool is not None:
-            if self.pool.alive and self.pool.compatible(evaluator) \
-                    and matrix.shape[0] > 1:
+            compatible = self.pool.compatible(evaluator)
+            if self.pool.alive and compatible and matrix.shape[0] > 1:
                 return self._run_shared_pool(evaluator, d, thetas, matrix)
             outcome = self._run_serial(evaluator, d, thetas, matrix)
-            outcome.degraded_to_serial = not self.pool.alive
+            # Telemetry must name the *reason* the pool went unused: an
+            # incompatible stack is flagged even while the pool is
+            # healthy, whereas a dead pool only counts as degradation
+            # when serial was not the natural path anyway (n == 1 runs
+            # serially by design, dead pool or not).
+            if not compatible:
+                outcome.pool_incompatible = True
+            elif not self.pool.alive and matrix.shape[0] > 1:
+                outcome.degraded_to_serial = True
             return outcome
         if self.config.jobs == 1 or matrix.shape[0] == 1:
             return self._run_serial(evaluator, d, thetas, matrix)

@@ -34,8 +34,11 @@ from scipy.special import logsumexp
 from ..errors import ReproError
 from ..evaluation.evaluator import Evaluator
 from ..statistics.intervals import normal_interval
+from ..statistics.sampling import SampleSet
 from .base import SampleEvaluation, YieldEstimator
-from .result import YieldResult
+from .result import (KIND_WEIGHTED, SpecMoments, SufficientStats,
+                     YieldResult)
+from .shard import ShardPlan
 from .telemetry import PhaseTimer, RunReport
 
 #: Worst-case points beyond this many sigmas are not worth a mixture
@@ -142,25 +145,42 @@ class MeanShiftIS(YieldEstimator):
     def estimate(self, evaluator: Evaluator, d: Mapping[str, float],
                  theta_per_spec: Mapping[str, Mapping[str, float]],
                  n_samples: int = 300, seed: Optional[int] = 2001,
-                 worst_case: Optional[Mapping[str, object]] = None
-                 ) -> YieldResult:
+                 worst_case: Optional[Mapping[str, object]] = None,
+                 samples: Optional[SampleSet] = None,
+                 shard: Optional[ShardPlan] = None) -> YieldResult:
+        """With a ``shard``, this run draws its ``SeedSequence.spawn``
+        sub-stream and performs the balanced component allocation over
+        its own samples only; the likelihood-ratio weights are
+        per-sample functions of the (shared, deterministic) mixture, so
+        shard results pool exactly.  Pass explicit ``samples`` to reuse
+        a matrix (weights are still computed from the mixture)."""
         dim = evaluator.template.statistical_space.dim
         report = self._new_report(n_samples)
         with PhaseTimer(report, "draw"):
             components = self._components(dim, worst_case)
-            matrix = self._draw(components, n_samples, dim, seed)
+            if samples is not None:
+                matrix = np.asarray(samples.matrix, dtype=float)
+            elif shard is None:
+                matrix = self._draw(components, n_samples, dim, seed)
+            else:
+                matrix = self._draw(components, shard.count(n_samples),
+                                    dim, shard.seed_for(seed))
             log_w = self._log_weights(matrix, components)
+        report.n_samples = matrix.shape[0]
         evaluation = self._evaluate_matrix(evaluator, d, theta_per_spec,
                                            matrix, report)
         with PhaseTimer(report, "reduce"):
-            result = self._weighted_result(evaluation, log_w, report)
+            result = self._weighted_result(evaluation, log_w, report,
+                                           shard=shard)
         return result
 
     def _weighted_result(self, evaluation: SampleEvaluation,
-                         log_w: np.ndarray, report: RunReport
+                         log_w: np.ndarray, report: RunReport,
+                         shard: Optional[ShardPlan] = None
                          ) -> YieldResult:
         n = log_w.shape[0]
-        w = np.exp(log_w - np.max(log_w))
+        log_shift = float(np.max(log_w))
+        w = np.exp(log_w - log_shift)
         w_sum = float(np.sum(w))
         w_norm = w / w_sum
         ess = 1.0 / float(np.sum(w_norm ** 2))
@@ -190,6 +210,7 @@ class MeanShiftIS(YieldEstimator):
 
         means = {}
         stds = {}
+        moments = {}
         for key, values in evaluation.spec_values.items():
             # Failed (NaN) samples keep their weight in the yield and
             # bad-fraction estimates (they fail every spec) but are
@@ -205,12 +226,33 @@ class MeanShiftIS(YieldEstimator):
                 mean, var = float("nan"), 0.0
             means[key] = mean
             stds[key] = float(np.sqrt(max(var, 0.0)))
+            # Shard-scale accumulators: weights exp(log_w - log_shift);
+            # merge rescales shards onto a common shift before pooling.
+            finite_weight = float(np.sum(w[finite]))
+            moments[key] = SpecMoments(
+                weight=finite_weight,
+                mean=mean if w_finite > 0.0 else 0.0,
+                m2=max(var, 0.0) * finite_weight,
+                bad_weight=float(
+                    np.sum(w[~evaluation.spec_pass[key]])))
         bad = {key: float(w_norm @ (~ok).astype(float))
                for key, ok in evaluation.spec_pass.items()}
+        passing = evaluation.indicator
+        stats = SufficientStats(
+            kind=KIND_WEIGHTED, n=n,
+            successes=int(np.count_nonzero(passing)),
+            failed=int(np.count_nonzero(evaluation.failed)),
+            log_shift=log_shift,
+            w_sum=w_sum,
+            w_sq_sum=float(np.sum(w * w)),
+            w_pass_sum=float(np.sum(w[passing])),
+            w_sq_pass_sum=float(np.sum(w[passing] ** 2)))
+        stats.spec = moments
         return YieldResult(
             estimator=self.name, estimate=estimate, n_samples=n,
             simulations=report.simulations, ci_low=ci_low, ci_high=ci_high,
             ci_level=self.ci_level, ess=ess, bad_fraction=bad,
             performance_mean=means, performance_std=stds,
-            failed_samples=int(np.count_nonzero(evaluation.failed)),
-            report=report)
+            failed_samples=stats.failed, report=report, stats=stats,
+            shard_index=None if shard is None else shard.index,
+            shard_total=None if shard is None else shard.total)

@@ -22,6 +22,7 @@ from ..evaluation.evaluator import Evaluator
 from ..statistics.sampling import SampleSet
 from .base import YieldEstimator
 from .result import YieldResult
+from .shard import ShardPlan
 from .telemetry import PhaseTimer
 
 
@@ -38,14 +39,26 @@ class SobolQMC(YieldEstimator):
     def estimate(self, evaluator: Evaluator, d: Mapping[str, float],
                  theta_per_spec: Mapping[str, Mapping[str, float]],
                  n_samples: int = 300, seed: Optional[int] = 2001,
-                 worst_case: Optional[Mapping[str, object]] = None
-                 ) -> YieldResult:
-        """``worst_case`` is accepted for interface uniformity and ignored."""
+                 worst_case: Optional[Mapping[str, object]] = None,
+                 shard: Optional[ShardPlan] = None) -> YieldResult:
+        """``worst_case`` is accepted for interface uniformity and ignored.
+
+        With a ``shard``, this run *skip-aheads* into the one scrambled
+        sequence (``fast_forward``) and takes only its own consecutive
+        block, so the shards together are exactly the unsharded point
+        set — a k-shard merge reproduces the single run's counts."""
         report = self._new_report(n_samples)
         with PhaseTimer(report, "draw"):
-            samples = SampleSet.draw_sobol(
-                n_samples, evaluator.template.statistical_space.dim,
-                seed=seed, scramble=self.scramble)
+            dim = evaluator.template.statistical_space.dim
+            if shard is None:
+                samples = SampleSet.draw_sobol(n_samples, dim, seed=seed,
+                                               scramble=self.scramble)
+            else:
+                shard.check_seed(seed if self.scramble else 0)
+                samples = SampleSet.draw_sobol(
+                    shard.count(n_samples), dim, seed=seed,
+                    scramble=self.scramble, skip=shard.offset(n_samples))
+        report.n_samples = samples.n
         evaluation = self._evaluate_matrix(evaluator, d, theta_per_spec,
                                            samples.matrix, report)
-        return self._binomial_result(evaluation, report)
+        return self._binomial_result(evaluation, report, shard=shard)

@@ -8,15 +8,127 @@ paper-table renderers accept either — plus it carries what the legacy
 record could not express: a confidence interval that stays honest at
 0 %/100 % estimates, the effective sample size of weighted estimators,
 and the run telemetry.
+
+Since the sharded-verification work the record also carries its
+**sufficient statistics** (:class:`SufficientStats`): the pooled success
+count for binomial estimators, the weight sums ``sum w`` / ``sum w^2``
+for self-normalized importance sampling, and per-spec weighted moment
+accumulators.  All three estimators are linear in their sample streams,
+so two results over disjoint streams combine *exactly* by pooling these
+statistics (:func:`repro.yieldsim.shard.merge_results`) — the frozen
+``ci_low/ci_high`` numbers are a rendering of the statistics, not the
+record of truth.
 """
 
 from __future__ import annotations
 
 import json
+import math
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
 
 from .telemetry import RunReport
+
+#: ``SufficientStats.kind`` for unweighted (binomial) estimators (MC/QMC)
+KIND_BINOMIAL = "binomial"
+#: ``SufficientStats.kind`` for self-normalized weighted estimators (IS)
+KIND_WEIGHTED = "weighted"
+
+
+@dataclass
+class SpecMoments:
+    """Per-spec weighted moment accumulators over one sample stream.
+
+    For unweighted estimators the "weights" are unit counts; for
+    importance sampling they are the likelihood ratios at the shard's
+    log scale (see :attr:`SufficientStats.log_shift`).  ``mean``/``m2``
+    cover the *finite* (evaluable) samples only; ``bad_weight`` covers
+    every sample, failed ones included (they violate every spec).
+    """
+
+    #: total weight of finite samples (count for binomial estimators)
+    weight: float = 0.0
+    #: weighted mean of the performance over the finite samples
+    mean: float = 0.0
+    #: weighted sum of squared deviations ``sum w (x - mean)^2``
+    m2: float = 0.0
+    #: total weight of spec-violating samples (count for binomial)
+    bad_weight: float = 0.0
+
+    def to_dict(self) -> Dict:
+        return {"weight": self.weight, "mean": self.mean, "m2": self.m2,
+                "bad_weight": self.bad_weight}
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "SpecMoments":
+        return cls(weight=float(data["weight"]), mean=float(data["mean"]),
+                   m2=float(data["m2"]),
+                   bad_weight=float(data["bad_weight"]))
+
+
+@dataclass
+class SufficientStats:
+    """Everything needed to pool yield estimates across sample streams.
+
+    The weighted sums are stored at the shard's own log scale: the raw
+    likelihood-ratio weights are ``exp(log w)``, the sums below use
+    ``w = exp(log w - log_shift)`` with ``log_shift = max(log w)`` to
+    stay finite.  Merging rescales each stream's sums by
+    ``exp(log_shift_j - max_j log_shift_j)`` before adding, which keeps
+    the pooled self-normalized ratio exact.  Binomial streams use unit
+    weights (``log_shift = 0``, ``w_sum = n``).
+    """
+
+    #: :data:`KIND_BINOMIAL` or :data:`KIND_WEIGHTED`
+    kind: str
+    #: statistical samples in this stream
+    n: int
+    #: samples whose all-specs-pass indicator was True
+    successes: int
+    #: samples whose evaluation failed (counted as violating every spec)
+    failed: int = 0
+    #: log scale of the weight sums below (0 for binomial streams)
+    log_shift: float = 0.0
+    #: ``sum w`` over all samples
+    w_sum: float = 0.0
+    #: ``sum w^2`` over all samples
+    w_sq_sum: float = 0.0
+    #: ``sum w`` over passing samples
+    w_pass_sum: float = 0.0
+    #: ``sum w^2`` over passing samples
+    w_sq_pass_sum: float = 0.0
+    #: per spec key, the weighted moment accumulators
+    spec: Dict[str, SpecMoments] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict:
+        return {
+            "kind": self.kind,
+            "n": self.n,
+            "successes": self.successes,
+            "failed": self.failed,
+            "log_shift": self.log_shift,
+            "w_sum": self.w_sum,
+            "w_sq_sum": self.w_sq_sum,
+            "w_pass_sum": self.w_pass_sum,
+            "w_sq_pass_sum": self.w_sq_pass_sum,
+            "spec": {key: moments.to_dict()
+                     for key, moments in self.spec.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "SufficientStats":
+        return cls(
+            kind=data["kind"],
+            n=int(data["n"]),
+            successes=int(data["successes"]),
+            failed=int(data.get("failed", 0)),
+            log_shift=float(data.get("log_shift", 0.0)),
+            w_sum=float(data.get("w_sum", 0.0)),
+            w_sq_sum=float(data.get("w_sq_sum", 0.0)),
+            w_pass_sum=float(data.get("w_pass_sum", 0.0)),
+            w_sq_pass_sum=float(data.get("w_sq_pass_sum", 0.0)),
+            spec={key: SpecMoments.from_dict(moments)
+                  for key, moments in data.get("spec", {}).items()})
 
 
 @dataclass
@@ -51,6 +163,20 @@ class YieldResult:
     failed_samples: int = 0
     #: run telemetry (phases, executor stats, cache accounting)
     report: Optional[RunReport] = None
+    #: sufficient statistics for exact merging (None only on records
+    #: deserialized from pre-shard checkpoints)
+    stats: Optional[SufficientStats] = None
+    #: 0-based shard index when this result covers one shard of a
+    #: partitioned sample stream (None = unsharded / merged)
+    shard_index: Optional[int] = None
+    #: total shard count of the partition this result belongs to
+    shard_total: Optional[int] = None
+    #: number of shard results pooled into this record (0 = a direct
+    #: estimator run, 1+ = produced by ``merge_results``)
+    merged_from: int = 0
+    #: the per-shard run reports of a merged record (provenance for the
+    #: health tables; ``report`` is their fold)
+    shard_reports: List[RunReport] = field(default_factory=list)
 
     # -- legacy-compatible views -----------------------------------------------
     @property
@@ -60,7 +186,19 @@ class YieldResult:
 
     @property
     def standard_error(self) -> float:
-        """Half the CI width mapped back to one standard error."""
+        """Standard error of the yield estimate.
+
+        With sufficient statistics (any record produced since the shard
+        work) this is computed directly: the binomial
+        ``sqrt(p (1-p) / n)`` for MC/QMC, the delta-method SE of the
+        self-normalized ratio for IS.  Mapping the Wilson width back
+        through ``ci_width / (2 z)`` — the only option on legacy records
+        without statistics — is wrong for the asymmetric intervals near
+        0/1 (at ``k = 0`` it reports half the upper edge as an "SE"), so
+        it remains only as the legacy fallback.
+        """
+        if self.stats is not None:
+            return _stats_standard_error(self.stats)
         from ..statistics.intervals import z_quantile
         return self.ci_width / (2.0 * z_quantile(self.ci_level))
 
@@ -68,14 +206,23 @@ class YieldResult:
     def ci_width(self) -> float:
         return self.ci_high - self.ci_low
 
-    def confidence_interval(self, level: Optional[float] = None):
-        """The (ci_low, ci_high) tuple; ``level`` other than the stored
-        one is not recomputable after the fact and raises."""
-        if level is not None and abs(level - self.ci_level) > 1e-12:
-            raise ValueError(
-                f"result carries a {self.ci_level:.0%} interval; "
-                f"re-run the estimator for level {level}")
-        return (self.ci_low, self.ci_high)
+    def confidence_interval(self, level: Optional[float] = None
+                            ) -> Tuple[float, float]:
+        """The confidence interval at ``level``.
+
+        With sufficient statistics any level is recomputable (Wilson
+        from the pooled ``k, N`` for binomial estimators, delta-method
+        normal for IS).  Legacy records without statistics carry only
+        the frozen interval and raise for any other level.
+        """
+        if level is None or abs(level - self.ci_level) <= 1e-12:
+            return (self.ci_low, self.ci_high)
+        if self.stats is not None:
+            return _stats_interval(self.stats, self.estimate, level)
+        raise ValueError(
+            f"result carries a {self.ci_level:.0%} interval and no "
+            f"sufficient statistics; re-run the estimator for level "
+            f"{level}")
 
     # -- serialization ----------------------------------------------------------
     def to_dict(self) -> Dict:
@@ -93,6 +240,12 @@ class YieldResult:
             "performance_std": dict(self.performance_std),
             "failed_samples": self.failed_samples,
             "report": self.report.to_dict() if self.report else None,
+            "stats": self.stats.to_dict() if self.stats else None,
+            "shard_index": self.shard_index,
+            "shard_total": self.shard_total,
+            "merged_from": self.merged_from,
+            "shard_reports": [report.to_dict()
+                              for report in self.shard_reports],
         }
 
     def to_json(self, **kwargs) -> str:
@@ -102,6 +255,7 @@ class YieldResult:
     def from_dict(cls, data: Dict) -> "YieldResult":
         """Inverse of :meth:`to_dict`; used by checkpoint restore."""
         report = data.get("report")
+        stats = data.get("stats")
         return cls(
             estimator=data["estimator"],
             estimate=float(data["estimate"]),
@@ -116,4 +270,74 @@ class YieldResult:
             performance_std=dict(data.get("performance_std", {})),
             failed_samples=int(data.get("failed_samples", 0)),
             report=None if report is None
-            else RunReport.from_dict(report))
+            else RunReport.from_dict(report),
+            stats=None if stats is None
+            else SufficientStats.from_dict(stats),
+            shard_index=data.get("shard_index"),
+            shard_total=data.get("shard_total"),
+            merged_from=int(data.get("merged_from", 0)),
+            shard_reports=[RunReport.from_dict(entry)
+                           for entry in data.get("shard_reports", [])])
+
+
+# -- deriving presentation numbers from sufficient statistics ----------------
+def _stats_standard_error(stats: SufficientStats) -> float:
+    """The direct SE of the estimate ``stats`` describes."""
+    if stats.kind == KIND_BINOMIAL:
+        if stats.n <= 0:
+            return 0.0
+        p = stats.successes / stats.n
+        return math.sqrt(max(p * (1.0 - p), 0.0) / stats.n)
+    return _weighted_standard_error(stats, _stats_estimate(stats))
+
+
+def _stats_estimate(stats: SufficientStats) -> float:
+    """The yield estimate pooled statistics imply (degenerate streams
+    snap to the exact edge, matching the single-run estimators)."""
+    if stats.kind == KIND_BINOMIAL:
+        return stats.successes / stats.n if stats.n else 0.0
+    if stats.successes == 0:
+        return 0.0
+    if stats.successes == stats.n:
+        return 1.0
+    return stats.w_pass_sum / stats.w_sum if stats.w_sum else 0.0
+
+
+def _weighted_standard_error(stats: SufficientStats,
+                             estimate: float) -> float:
+    """Delta-method SE of the self-normalized ratio from pooled sums.
+
+    ``sum (w_norm (I - e))^2`` expands (``I^2 = I``) to
+    ``((1 - 2e) sum_pass w^2 + e^2 sum w^2) / (sum w)^2``.
+    """
+    if stats.w_sum <= 0.0:
+        return 0.0
+    variance = ((1.0 - 2.0 * estimate) * stats.w_sq_pass_sum
+                + estimate * estimate * stats.w_sq_sum)
+    return math.sqrt(max(variance, 0.0)) / stats.w_sum
+
+
+def _stats_ess(stats: SufficientStats) -> float:
+    if stats.kind == KIND_BINOMIAL:
+        return float(stats.n)
+    if stats.w_sq_sum <= 0.0:
+        return 0.0
+    return (stats.w_sum * stats.w_sum) / stats.w_sq_sum
+
+
+def _stats_interval(stats: SufficientStats, estimate: float,
+                    level: float) -> Tuple[float, float]:
+    """Recompute the confidence interval at ``level``: Wilson from the
+    pooled ``k, N`` for binomial streams, delta-method normal with the
+    rule-of-three degenerate fallback for weighted streams."""
+    from ..statistics.intervals import normal_interval, wilson_interval
+    if stats.kind == KIND_BINOMIAL:
+        return wilson_interval(stats.successes, stats.n, level)
+    se = _weighted_standard_error(stats, estimate)
+    ci_low, ci_high = normal_interval(estimate, se, level)
+    three = min(1.0, 3.0 / max(_stats_ess(stats), 1.0))
+    if stats.successes == 0:
+        ci_high = max(ci_high, three)
+    elif stats.successes == stats.n:
+        ci_low = min(ci_low, 1.0 - three)
+    return (ci_low, ci_high)

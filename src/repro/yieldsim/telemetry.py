@@ -44,6 +44,10 @@ class RunReport:
     #: True when a dead/wedged process pool forced the remainder of the
     #: batch onto the serial in-parent path
     degraded_to_serial: bool = False
+    #: True when an *alive* shared pool could not serve the run's
+    #: evaluation stack (template mismatch / non-replicable wrapper) and
+    #: the batch silently ran serially instead
+    pool_incompatible: bool = False
     #: wall time per phase, seconds
     phase_seconds: Dict[str, float] = field(default_factory=dict)
 
@@ -68,6 +72,7 @@ class RunReport:
             "failed_samples": self.failed_samples,
             "retried_evaluations": self.retried_evaluations,
             "degraded_to_serial": self.degraded_to_serial,
+            "pool_incompatible": self.pool_incompatible,
             "phase_seconds": dict(self.phase_seconds),
             "wall_time_s": self.wall_time_s,
         }
@@ -96,6 +101,7 @@ class RunReport:
             retried_evaluations=int(data.get("retried_evaluations", 0)),
             degraded_to_serial=bool(data.get("degraded_to_serial",
                                              False)),
+            pool_incompatible=bool(data.get("pool_incompatible", False)),
             phase_seconds=dict(data.get("phase_seconds", {})))
 
 
@@ -113,6 +119,7 @@ class SimulatorHealth:
     retried_chunks: int = 0
     timed_out_chunks: int = 0
     degraded_runs: int = 0
+    incompatible_runs: int = 0
 
     @classmethod
     def from_reports(cls, reports) -> "SimulatorHealth":
@@ -126,14 +133,26 @@ class SimulatorHealth:
             health.retried_chunks += report.retried_chunks
             health.timed_out_chunks += report.timed_out_chunks
             health.degraded_runs += int(report.degraded_to_serial)
+            health.incompatible_runs += int(
+                getattr(report, "pool_incompatible", False))
         return health
 
     @property
+    def no_data(self) -> bool:
+        """True when no telemetry was ever collected (every report was
+        ``None``) — a run with nothing to aggregate is *unknown*, not
+        healthy."""
+        return self.runs == 0
+
+    @property
     def clean(self) -> bool:
-        """True when no failure-handling machinery ever fired."""
-        return not (self.failed_samples or self.retried_evaluations
-                    or self.retried_chunks or self.timed_out_chunks
-                    or self.degraded_runs)
+        """True when telemetry was collected and no failure-handling
+        machinery ever fired.  A run with no telemetry at all
+        (:attr:`no_data`) is not clean — it is unobserved."""
+        return not self.no_data and not (
+            self.failed_samples or self.retried_evaluations
+            or self.retried_chunks or self.timed_out_chunks
+            or self.degraded_runs or self.incompatible_runs)
 
     def to_dict(self) -> Dict:
         return {
@@ -143,6 +162,7 @@ class SimulatorHealth:
             "retried_chunks": self.retried_chunks,
             "timed_out_chunks": self.timed_out_chunks,
             "degraded_runs": self.degraded_runs,
+            "incompatible_runs": self.incompatible_runs,
         }
 
 

@@ -352,6 +352,40 @@ class TestSharedPool:
         other = Evaluator(LinearTemplate(offset=9.0))
         assert not pool.compatible(other)
 
+    def test_dead_pool_single_sample_is_not_flagged_degraded(self,
+                                                             linear_pool):
+        """n == 1 runs serially by design; a dead pool must not make
+        that look like a degradation."""
+        template, _, _ = linear_pool
+        evaluator = Evaluator(template)
+        pool = PoolHandle.for_evaluator(evaluator, jobs=2)
+        pool.kill()
+        estimator = OperationalMC()
+        estimator.pool = pool
+        result = estimator.estimate(evaluator, template.initial_design(),
+                                    {"f>=": {"temp": 27.0}},
+                                    n_samples=1, seed=3)
+        assert result.report.backend == "serial"
+        assert not result.report.degraded_to_serial
+        assert not result.report.pool_incompatible
+
+    def test_alive_pool_incompatible_stack_is_flagged(self, linear_pool):
+        """An alive pool that cannot serve the evaluation stack runs
+        the batch serially and must say so (pool_incompatible), not
+        pass silently as a clean serial run."""
+        _, _, pool = linear_pool
+        other = Evaluator(LinearTemplate(offset=9.0))
+        assert pool.alive and not pool.compatible(other)
+        estimator = OperationalMC()
+        estimator.pool = pool
+        result = estimator.estimate(other,
+                                    other.template.initial_design(),
+                                    {"f>=": {"temp": 27.0}},
+                                    n_samples=8, seed=3)
+        assert result.report.backend == "serial"
+        assert result.report.pool_incompatible
+        assert not result.report.degraded_to_serial
+
 
 @pytest.mark.parametrize("circuit", ["folded_cascode", "miller"])
 def test_worst_case_and_gradients_parallel_bit_identity(circuit):
