@@ -20,6 +20,9 @@ BASELINE = ROOT / "benchmarks" / "BENCH_perf_engine.baseline.json"
 RATIOS = [
     ("ac_kernel", "speedup"),
     ("dc_kernel", "speedup"),
+    ("sparse_kernel", "dc_speedup"),
+    ("sparse_kernel", "ac_speedup"),
+    ("large_template", "speedup"),
     ("table1_optimize", "speedup"),
 ]
 

@@ -1,11 +1,16 @@
 """Benchmark of the batched simulation engine.
 
-Produces ``BENCH_perf_engine.json`` at the repository root with four
+Produces ``BENCH_perf_engine.json`` at the repository root with six
 measurements:
 
 * AC kernel: stacked ``solve_many`` vs a per-frequency ``solve`` loop,
 * DC kernel: warm-started (anchor + sensitivity-predicted) evaluations
   vs cold homotopy evaluations,
+* sparse kernel: the factorization-reusing sparse backend vs the dense
+  LAPACK backend on the large two-stage-array template — the DC Newton
+  loop (cold homotopy solve) and the AC frequency sweep,
+* large template: end-to-end dense-vs-sparse ``evaluate()`` on the same
+  template (DC + warm start + every AC measurement),
 * worst-case search: serial vs shared process pool, asserting the pooled
   results and Table-7 counters are bit-identical,
 * the headline Table-1 comparison: a folded-cascode optimization with
@@ -114,6 +119,92 @@ def test_bench_dc_warm_vs_cold(report):
     }
     if not TINY:
         assert cold_ms / warm_ms >= 1.5
+
+
+def test_bench_sparse_kernel(report):
+    """Dense vs sparse backend on the large template's raw solver
+    kernels: the cold DC Newton loop and the AC frequency sweep."""
+    from repro.circuits import TwoStageArrayOpamp
+
+    template = TwoStageArrayOpamp()
+    space = template.statistical_space
+    d = template.initial_design()
+    theta = template.operating_range.nominal()
+    pv = space.to_physical(d, space.nominal())
+
+    dc_rounds = 2 if TINY else 5
+    freqs = np.logspace(1, 9, 12 if TINY else 40)
+    ac_rounds = 2 if TINY else 5
+    results = {}
+    for backend in ("dense", "sparse"):
+        circuit = template.build(d, pv, theta)
+        op = solve_dc(circuit, backend=backend)  # warm the pattern cache
+        t0 = time.perf_counter()
+        for _ in range(dc_rounds):
+            op = solve_dc(circuit, temp_c=theta["temp"], backend=backend)
+        dc_s = (time.perf_counter() - t0) / dc_rounds
+        system = AcSystem(circuit, op, backend=backend)
+        sweep = system.solve_many(freqs)
+        t0 = time.perf_counter()
+        for _ in range(ac_rounds):
+            sweep = system.solve_many(freqs)
+        ac_s = (time.perf_counter() - t0) / ac_rounds
+        results[backend] = (op.x, sweep, dc_s, ac_s)
+    x_d, sweep_d, dc_dense, ac_dense = results["dense"]
+    x_s, sweep_s, dc_sparse, ac_sparse = results["sparse"]
+    assert np.allclose(x_s, x_d, rtol=1e-6, atol=1e-9)
+    assert np.allclose(sweep_s, sweep_d, rtol=1e-8, atol=1e-12)
+    report["sparse_kernel"] = {
+        "mna_size": template.nominal_mna_size(),
+        "dc_dense_ms": dc_dense * 1e3,
+        "dc_sparse_ms": dc_sparse * 1e3,
+        "dc_speedup": dc_dense / dc_sparse,
+        "ac_n_freqs": len(freqs),
+        "ac_dense_ms": ac_dense * 1e3,
+        "ac_sparse_ms": ac_sparse * 1e3,
+        "ac_speedup": ac_dense / ac_sparse,
+    }
+    assert dc_sparse < dc_dense
+    assert ac_sparse < ac_dense
+    if not TINY:
+        # The ISSUE's acceptance target on the >= 120-node template.
+        assert dc_dense / dc_sparse >= 3.0
+        assert ac_dense / ac_sparse >= 3.0
+
+
+def test_bench_large_template(report):
+    """End-to-end dense-vs-sparse ``evaluate()`` on the large template:
+    the full per-sample pipeline a yield run pays."""
+    from repro.circuits import TwoStageArrayOpamp
+
+    n = 3 if TINY else 10
+    results = {}
+    for backend in ("dense", "sparse"):
+        template = TwoStageArrayOpamp()
+        template.linsolve = backend
+        evaluator = Evaluator(template, cache=False)
+        d = template.initial_design()
+        theta = template.operating_range.nominal()
+        rng = np.random.default_rng(3)
+        dim = template.statistical_space.dim
+        points = [rng.standard_normal(dim) for _ in range(n)]
+        evaluator.evaluate(d, points[0], theta)  # pay the anchor cost
+        t0 = time.perf_counter()
+        values = [evaluator.evaluate(d, s, theta) for s in points]
+        results[backend] = ((time.perf_counter() - t0) / n, values)
+    dense_s, dense_values = results["dense"]
+    sparse_s, sparse_values = results["sparse"]
+    for vd, vs in zip(dense_values, sparse_values):
+        for key in vd:
+            assert vs[key] == pytest.approx(vd[key], rel=1e-6), key
+    report["large_template"] = {
+        "n_evaluations": n,
+        "dense_ms_per_eval": dense_s * 1e3,
+        "sparse_ms_per_eval": sparse_s * 1e3,
+        "speedup": dense_s / sparse_s,
+    }
+    if not TINY:
+        assert dense_s / sparse_s >= 1.5
 
 
 def test_bench_worst_case_serial_vs_pooled(report):

@@ -28,9 +28,10 @@ from typing import Dict, Optional, Sequence
 
 import numpy as np
 
-from ..errors import ExtractionError, SingularMatrixError
+from ..errors import ExtractionError
 from .dc import DCResult
 from .devices import Stamper
+from .linsolve import resolve_backend
 from .netlist import Circuit, is_ground
 
 
@@ -39,25 +40,38 @@ class AcSystem:
 
     Rebuild (cheap) after changing any source's ``ac`` value — the sources
     are baked into ``rhs``.
+
+    The linear algebra is delegated to a backend engine
+    (:mod:`repro.circuit.linsolve`): dense LAPACK below the auto node
+    threshold (bit-identical to the historic code), pattern-cached
+    ``splu`` above it.  ``freq = 0`` is solved as the real-valued ``G``
+    system on both engines — at ``omega = 0`` the ``B`` stack drops out
+    exactly, so a complex solve would only add a structurally-zero
+    imaginary half.
     """
 
-    def __init__(self, circuit: Circuit, op: DCResult):
+    def __init__(self, circuit: Circuit, op: DCResult, backend=None):
         self._circuit = circuit
         layout = circuit.layout()
         self._layout = layout
-        ops = op.operating_points()
-        st_g = Stamper(layout.size, dtype=complex)
-        st_b = Stamper(layout.size, dtype=complex)
-        for dev, nodes, branches in zip(circuit.devices,
-                                        layout.device_nodes,
-                                        layout.device_branches):
-            dev.stamp_ac_parts(st_g, st_b, nodes, branches,
-                               ops.get(dev.name))
-        diag = np.arange(layout.n_nodes)
-        st_g.matrix[diag, diag] += 1e-12
-        self._g = st_g.matrix
-        self._b = st_b.matrix
-        self._rhs = st_g.rhs + st_b.rhs
+        self._backend = resolve_backend(backend, layout.n_nodes)
+        self._engine = self._backend.ac_engine(circuit, layout,
+                                               op.operating_points())
+        self._rhs = self._engine.rhs
+
+    @property
+    def backend_name(self) -> str:
+        return self._backend.name
+
+    # Dense matrix views for consumers that need raw ``(G, B)`` (e.g.
+    # the noise solver's adjoint transpose solve).
+    @property
+    def _g(self) -> np.ndarray:
+        return self._engine.dense_g()
+
+    @property
+    def _b(self) -> np.ndarray:
+        return self._engine.dense_b()
 
     def with_drives(self) -> "AcSystem":
         """Cheap rebuild after changing source ``ac`` drives.
@@ -66,7 +80,9 @@ class AcSystem:
         ``ac`` value, so a re-drive shares them and restamps only the rhs
         (sources are the only rhs contributors).  The result is bitwise
         identical to a full ``AcSystem(circuit, op)`` rebuild at a
-        fraction of the stamping cost.
+        fraction of the stamping cost — and on the sparse engine shares
+        factorizations with its parent, so solving a re-driven system at
+        an already-factored frequency is pure back-substitution.
         """
         from .devices import Isource, Vsource
         layout = self._layout
@@ -80,39 +96,27 @@ class AcSystem:
         clone = object.__new__(AcSystem)
         clone._circuit = self._circuit
         clone._layout = layout
-        clone._g = self._g
-        clone._b = self._b
-        clone._rhs = st.rhs + zeros
+        clone._backend = self._backend
+        clone._engine = self._engine.with_rhs(st.rhs + zeros)
+        clone._rhs = clone._engine.rhs
         return clone
 
     def solve(self, freq: float) -> np.ndarray:
         """Solve for the full phasor vector at ``freq`` [Hz]."""
-        omega = 2.0 * math.pi * freq
-        try:
-            return np.linalg.solve(self._g + 1j * omega * self._b,
-                                   self._rhs)
-        except np.linalg.LinAlgError as exc:
-            raise SingularMatrixError(
-                f"singular AC matrix at f={freq:g} Hz in circuit "
-                f"{self._circuit.title!r}: {exc}") from exc
+        return self._engine.solve(2.0 * math.pi * freq)
 
     def solve_many(self, freqs: Sequence[float]) -> np.ndarray:
         """Phasor vectors at every frequency in ``freqs``, shape
         ``(F, size)``.
 
-        Stacks the per-frequency systems into one ``(F, n, n)`` array and
-        runs a single broadcast :func:`np.linalg.solve`; each slice is
-        bitwise identical to :meth:`solve` at that frequency.
+        The dense engine stacks the per-frequency systems into one
+        ``(F, n, n)`` array and runs a single broadcast
+        :func:`np.linalg.solve` (each slice bitwise identical to
+        :meth:`solve` at that frequency); the sparse engine re-factors
+        per frequency on the shared symbolic pattern.
         """
         omega = 2.0 * np.pi * np.asarray(freqs, dtype=float)
-        a = self._g[None, :, :] \
-            + 1j * omega[:, None, None] * self._b[None, :, :]
-        try:
-            return np.linalg.solve(a, self._rhs)
-        except np.linalg.LinAlgError as exc:
-            raise SingularMatrixError(
-                f"singular AC matrix in {len(omega)}-frequency batch in "
-                f"circuit {self._circuit.title!r}: {exc}") from exc
+        return self._engine.solve_many(omega)
 
     def node_index(self, node: str) -> int:
         index = self._layout.node_index.get(node)
@@ -162,9 +166,9 @@ class ACResult:
 
 
 def solve_ac(circuit: Circuit, op: DCResult,
-             freqs: Sequence[float]) -> ACResult:
+             freqs: Sequence[float], backend=None) -> ACResult:
     """Run an AC analysis at the given frequencies (Hz)."""
-    system = AcSystem(circuit, op)
+    system = AcSystem(circuit, op, backend=backend)
     freqs = np.asarray(list(freqs), dtype=float)
     solutions = system.solve_many(freqs)
     return ACResult(system, freqs, solutions)
@@ -182,10 +186,10 @@ def log_sweep(f_start: float, f_stop: float, points_per_decade: int = 10
 
 
 def transfer_at(circuit: Circuit, op: DCResult, node: str,
-                freq: float) -> complex:
+                freq: float, backend=None) -> complex:
     """Single-frequency transfer-function evaluation (one-shot API; build
     an :class:`AcSystem` directly when evaluating many frequencies)."""
-    return AcSystem(circuit, op).transfer(node, freq)
+    return AcSystem(circuit, op, backend=backend).transfer(node, freq)
 
 
 def shared_matrix_transfers(systems: Sequence[AcSystem], node: str,
@@ -200,21 +204,14 @@ def shared_matrix_transfers(systems: Sequence[AcSystem], node: str,
     """
     first = systems[0]
     if len(systems) == 1 or not all(
-            (s._g is first._g or np.array_equal(s._g, first._g))
-            and (s._b is first._b or np.array_equal(s._b, first._b))
-            for s in systems[1:]):
+            first._engine.same_matrix(s._engine) for s in systems[1:]):
         return [s.transfer(node, freq) for s in systems]
     index = first.node_index(node)
     if index < 0:
         return [0.0 + 0.0j] * len(systems)
     omega = 2.0 * math.pi * freq
     rhs = np.stack([s._rhs for s in systems], axis=1)
-    try:
-        x = np.linalg.solve(first._g + 1j * omega * first._b, rhs)
-    except np.linalg.LinAlgError as exc:
-        raise SingularMatrixError(
-            f"singular AC matrix at f={freq:g} Hz in circuit "
-            f"{first._circuit.title!r}: {exc}") from exc
+    x = first._engine.multi_rhs(omega, rhs, f"at f={freq:g} Hz")
     return [complex(x[index, k]) for k in range(len(systems))]
 
 

@@ -30,8 +30,9 @@ from typing import Dict, Optional, Sequence
 
 import numpy as np
 
-from ..errors import ConvergenceError, SingularMatrixError
-from .devices import Device, Isource, Stamper, Vsource, _voltage
+from ..errors import ConvergenceError
+from .devices import Isource, Vsource, _voltage
+from .linsolve import resolve_backend
 from .netlist import Circuit, MnaLayout
 
 #: Final shunt conductance left on every node, as in SPICE.
@@ -113,46 +114,20 @@ class DCResult:
         raise KeyError(f"no device named {source_name!r}")
 
 
-def _linear_base(circuit: Circuit, layout: MnaLayout,
-                 gmin: float) -> Stamper:
-    """Stamp all linear devices (and the gmin diagonal) once; the Newton
-    loop only re-stamps the nonlinear devices on top of a copy."""
-    st = Stamper(layout.size)
-    for dev, nodes, branches in zip(circuit.devices, layout.device_nodes,
-                                    layout.device_branches):
-        if dev.linear:
-            dev.stamp_dc(st, np.zeros(0), nodes, branches)
-    if gmin > 0.0:
-        diag = np.arange(layout.n_nodes)
-        st.matrix[diag, diag] += gmin
-    return st
-
-
-def _assemble(circuit: Circuit, layout: MnaLayout, x: np.ndarray,
-              base: Stamper) -> Stamper:
-    st = Stamper(layout.size)
-    st.matrix[...] = base.matrix
-    st.rhs[...] = base.rhs
-    for dev, nodes, branches in zip(circuit.devices, layout.device_nodes,
-                                    layout.device_branches):
-        if not dev.linear:
-            dev.stamp_dc(st, x, nodes, branches)
-    return st
-
-
 def _newton(circuit: Circuit, layout: MnaLayout, x0: np.ndarray,
-            gmin: float) -> tuple[np.ndarray, int]:
-    """Damped Newton iteration; raises ConvergenceError on failure."""
+            gmin: float, backend) -> tuple[np.ndarray, int]:
+    """Damped Newton iteration; raises ConvergenceError on failure.
+
+    The linear-solve kernel comes from ``backend``
+    (:mod:`repro.circuit.linsolve`): the backend's DC system stamps the
+    linear devices and the gmin diagonal once, then each iteration
+    re-stamps only the nonlinear devices and solves — densely via LAPACK
+    or sparsely via a pattern-cached ``splu`` factorization.
+    """
     x = x0.copy()
-    base = _linear_base(circuit, layout, gmin)
+    system = backend.dc_system(circuit, layout, gmin)
     for iteration in range(1, MAX_ITERATIONS + 1):
-        st = _assemble(circuit, layout, x, base)
-        try:
-            x_new = np.linalg.solve(st.matrix, st.rhs)
-        except np.linalg.LinAlgError as exc:
-            raise SingularMatrixError(
-                f"singular MNA matrix in circuit {circuit.title!r} "
-                f"(floating node or source loop?): {exc}") from exc
+        x_new = system.solve_at(x)
         if not np.all(np.isfinite(x_new)):
             raise ConvergenceError(
                 f"non-finite Newton update in circuit {circuit.title!r}")
@@ -173,20 +148,20 @@ def _newton(circuit: Circuit, layout: MnaLayout, x0: np.ndarray,
 
 
 def _gmin_stepping(circuit: Circuit, layout: MnaLayout,
-                   x0: np.ndarray) -> tuple[np.ndarray, int]:
+                   x0: np.ndarray, backend) -> tuple[np.ndarray, int]:
     x = x0.copy()
     total = 0
     gmin = 1e-2
     while gmin >= GMIN_FINAL:
-        x, iters = _newton(circuit, layout, x, gmin)
+        x, iters = _newton(circuit, layout, x, gmin, backend)
         total += iters
         gmin *= 1e-2
-    x, iters = _newton(circuit, layout, x, GMIN_FINAL)
+    x, iters = _newton(circuit, layout, x, GMIN_FINAL, backend)
     return x, total + iters
 
 
 def _source_stepping(circuit: Circuit, layout: MnaLayout,
-                     x0: np.ndarray) -> tuple[np.ndarray, int]:
+                     x0: np.ndarray, backend) -> tuple[np.ndarray, int]:
     sources = [d for d in circuit.devices if isinstance(d, (Vsource, Isource))]
     x = x0.copy()
     total = 0
@@ -194,7 +169,7 @@ def _source_stepping(circuit: Circuit, layout: MnaLayout,
         for scale in (0.1, 0.3, 0.5, 0.7, 0.85, 0.95, 1.0):
             for src in sources:
                 src.scale = scale
-            x, iters = _newton(circuit, layout, x, GMIN_FINAL)
+            x, iters = _newton(circuit, layout, x, GMIN_FINAL, backend)
             total += iters
     finally:
         for src in sources:
@@ -203,7 +178,8 @@ def _source_stepping(circuit: Circuit, layout: MnaLayout,
 
 
 def solve_dc(circuit: Circuit, temp_c: float = 27.0,
-             x0: Optional[np.ndarray] = None) -> DCResult:
+             x0: Optional[np.ndarray] = None,
+             backend=None) -> DCResult:
     """Find the DC operating point of ``circuit`` at ``temp_c`` Celsius.
 
     ``x0`` seeds a leading "newton-warm" stage (e.g. with the solution of
@@ -211,9 +187,15 @@ def solve_dc(circuit: Circuit, temp_c: float = 27.0,
     Monte-Carlo loops; the cold strategy chain below it is unchanged, so
     a bad guess costs iterations but never the solution.
 
+    ``backend`` selects the linear-solver backend (``None``/``"auto"``/
+    ``"dense"``/``"sparse"`` or a :mod:`repro.circuit.linsolve` instance);
+    the default picks by node count and keeps small circuits on the
+    dense path bit-identically.
+
     Raises :class:`ConvergenceError` if all homotopy strategies fail.
     """
     layout = circuit.layout()
+    backend = resolve_backend(backend, layout.n_nodes)
     for dev in circuit.devices:
         dev.prepare(temp_c)
 
@@ -223,14 +205,17 @@ def solve_dc(circuit: Circuit, temp_c: float = 27.0,
         warm = np.asarray(x0, dtype=float).copy()
         strategies.append(
             ("newton-warm", lambda: _newton(circuit, layout, warm,
-                                            GMIN_FINAL)))
+                                            GMIN_FINAL, backend)))
     strategies += [
         ("newton", lambda: _newton(circuit, layout,
-                                   np.zeros(layout.size), GMIN_FINAL)),
+                                   np.zeros(layout.size), GMIN_FINAL,
+                                   backend)),
         ("gmin-stepping", lambda: _gmin_stepping(circuit, layout,
-                                                 np.zeros(layout.size))),
+                                                 np.zeros(layout.size),
+                                                 backend)),
         ("source-stepping", lambda: _source_stepping(circuit, layout,
-                                                     np.zeros(layout.size))),
+                                                     np.zeros(layout.size),
+                                                     backend)),
     ]
     last_error: Optional[Exception] = None
     for label, run in strategies:
@@ -253,17 +238,38 @@ class WarmStartCache:
     dead cell is not re-attempted on every sample).  Entries are evicted
     oldest-first once ``maxsize`` is reached; anchors are cheap to
     recompute, so no LRU bookkeeping is justified on this hot path.
+
+    A second, smaller store holds *chain* anchors: cold-solved
+    representatives of **coarser** quantization cells, used to seed a new
+    fine cell's representative solve instead of cold-starting it (the
+    ROADMAP "anchor-of-anchor" chain).  Chain anchors are keyed by a
+    deterministic function of the fine key alone — never by solve
+    history — so every anchor remains a pure function of its key and
+    pooled/serial evaluation stay bit-identical.  Counters
+    (``hits``/``misses``/``chain_seeds``/``chain_solves``/``evictions``)
+    feed the run telemetry (:meth:`stats`).
     """
 
     _MISSING = object()
 
-    def __init__(self, maxsize: int = 256):
+    def __init__(self, maxsize: int = 256, chain_maxsize: int = 64):
         if maxsize < 1:
             raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        if chain_maxsize < 1:
+            raise ValueError(
+                f"chain_maxsize must be >= 1, got {chain_maxsize}")
         self.maxsize = maxsize
+        self.chain_maxsize = chain_maxsize
         self.hits = 0
         self.misses = 0
+        #: fine-cell representative solves seeded from a chain anchor
+        self.chain_seeds = 0
+        #: coarse-cell (chain) representatives cold-solved
+        self.chain_solves = 0
+        #: entries dropped from either store by the FIFO bound
+        self.evictions = 0
         self._data: Dict[tuple, Optional[np.ndarray]] = {}
+        self._chain: Dict[tuple, Optional[np.ndarray]] = {}
 
     def lookup(self, key: tuple):
         """The cached anchor (may be None for a failed cell), or the
@@ -281,6 +287,7 @@ class WarmStartCache:
         Arrays are copied so callers cannot mutate cached state."""
         if key not in self._data and len(self._data) >= self.maxsize:
             self._data.pop(next(iter(self._data)))
+            self.evictions += 1
         if x is None:
             value = None
         elif isinstance(x, tuple):
@@ -291,8 +298,52 @@ class WarmStartCache:
             value = np.asarray(x, dtype=float).copy()
         self._data[key] = value
 
+    def lookup_chain(self, key: tuple):
+        """The cached chain anchor ``x`` (``None`` for a failed coarse
+        cell), or :data:`WarmStartCache._MISSING` when unknown.  Chain
+        lookups do not touch the hit/miss counters — their effectiveness
+        is measured by ``chain_seeds`` vs ``chain_solves``."""
+        return self._chain.get(key, self._MISSING)
+
+    def store_chain(self, key: tuple, x) -> None:
+        """Cache a coarse-cell chain anchor (``x`` vector or ``None``)."""
+        if key not in self._chain and len(self._chain) >= self.chain_maxsize:
+            self._chain.pop(next(iter(self._chain)))
+            self.evictions += 1
+        self._chain[key] = None if x is None \
+            else np.asarray(x, dtype=float).copy()
+
+    #: monotone counters (deltas of these fold additively across pool
+    #: workers; the ``entries``/``chain_entries`` gauges do not)
+    COUNTER_KEYS = ("hits", "misses", "chain_seeds", "chain_solves",
+                    "evictions")
+
+    def stats(self) -> Dict[str, int]:
+        """Counter snapshot for telemetry (additive across workers)."""
+        return {"hits": self.hits, "misses": self.misses,
+                "chain_seeds": self.chain_seeds,
+                "chain_solves": self.chain_solves,
+                "evictions": self.evictions,
+                "entries": len(self._data),
+                "chain_entries": len(self._chain)}
+
+    def absorb(self, counters: Dict[str, int]) -> None:
+        """Fold counter deltas from another cache (a pool worker's) into
+        this one; gauges in ``counters`` are ignored."""
+        for key in self.COUNTER_KEYS:
+            setattr(self, key, getattr(self, key)
+                    + int(counters.get(key, 0)))
+
+    @classmethod
+    def counter_delta(cls, after: Dict[str, int],
+                      before: Dict[str, int]) -> Dict[str, int]:
+        """Monotone-counter difference of two :meth:`stats` snapshots."""
+        return {key: int(after.get(key, 0)) - int(before.get(key, 0))
+                for key in cls.COUNTER_KEYS}
+
     def clear(self) -> None:
         self._data.clear()
+        self._chain.clear()
 
     def __len__(self) -> int:
         return len(self._data)

@@ -1,0 +1,546 @@
+"""Pluggable linear-solver backends for the MNA engines.
+
+Every analysis in this package reduces to repeated solves of MNA systems
+that share one sparsity pattern: the DC Newton loop re-stamps only
+nonlinear devices into a fixed structure, every AC frequency point
+re-scales the same ``(G, B)`` pair, and multi-rhs measurements reuse one
+matrix outright.  Two backends exploit this to different degrees:
+
+``DenseBackend``
+    Wraps today's dense code paths bit-identically: NumPy ``Stamper``
+    assembly and LAPACK ``np.linalg.solve`` (including the broadcast
+    ``(F, n, n)`` batch form for AC sweeps).  Right at opamp size
+    (~10-30 unknowns) where sparse bookkeeping costs more than it saves.
+
+``SparseBackend``
+    Assembles device stamps directly into COO triplets
+    (:class:`TripletStamper`), computes the CSC sparsity pattern **once
+    per circuit topology** (cached on :class:`~repro.circuit.netlist.MnaLayout`,
+    keyed by analysis kind), and re-fills only the numeric values on
+    every solve.  Factorizations come from ``scipy.sparse.linalg.splu``;
+    multi-rhs solves are triangular back-substitutions on one
+    factorization, and AC sweeps re-factor per frequency while reusing
+    the symbolic structure and the pre-merged ``(G, B)`` value arrays.
+
+    One subtlety keeps the pattern cache honest: a MOSFET swaps its
+    drain/source stamp indices when ``vds`` changes sign, so the DC
+    triplet pattern is *not* strictly fixed across Newton iterations.
+    The cached pattern therefore stores its fingerprint (the raw
+    row/column sequence of the stamp calls) and transparently rebuilds
+    when a stamp sequence with a different fingerprint shows up.
+
+Backend selection is automatic by node count (:func:`resolve_backend`):
+circuits below :data:`AUTO_SPARSE_MIN_NODES` unknowns stay on the dense
+path — which keeps every pre-existing template bit-identical — while
+large templates (e.g. ``two_stage_array``) switch to sparse.  An explicit
+``"dense"``/``"sparse"`` override is threaded from the CLI through
+``OptimizerConfig``/``Evaluator`` down to here.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+import numpy as np
+import scipy.sparse as sp
+from scipy.sparse.linalg import splu
+
+from ..errors import ReproError, SingularMatrixError
+from .devices import Stamper
+from .netlist import Circuit, MnaLayout
+
+#: Node count at or above which ``"auto"`` selects the sparse backend.
+#: Calibrated in-container: on ladder/hub-structured MNA matrices the
+#: splu path breaks even with dense LAPACK near ~120 unknowns and wins
+#: 4-20x by ~260; every shipped opamp template (~10-30 nodes) stays
+#: dense — and therefore bit-identical to the pre-backend code.
+AUTO_SPARSE_MIN_NODES = 120
+
+
+class TripletStamper:
+    """COO-triplet MNA accumulator, duck-typed to :class:`Stamper`.
+
+    Devices stamp into it exactly as into the dense ``Stamper`` (ground
+    index ``-1`` silently discarded); instead of scattering into an
+    ``(n, n)`` array it records ``(row, col, value)`` triplets whose
+    *sequence* — for a fixed circuit topology and operating region — is
+    identical call after call, which is what makes the cached-pattern
+    fill (:class:`SparsePattern`) a single ``np.bincount``.
+    """
+
+    def __init__(self, size: int, dtype=float):
+        self.size = size
+        self.rows: List[int] = []
+        self.cols: List[int] = []
+        self.vals: List[complex] = []
+        self.rhs = np.zeros(size, dtype=dtype)
+
+    def add(self, row: int, col: int, value) -> None:
+        if row >= 0 and col >= 0:
+            self.rows.append(row)
+            self.cols.append(col)
+            self.vals.append(value)
+
+    def add_rhs(self, row: int, value) -> None:
+        if row >= 0:
+            self.rhs[row] += value
+
+    def add_conductance(self, a: int, b: int, g) -> None:
+        self.add(a, a, g)
+        self.add(b, b, g)
+        self.add(a, b, -g)
+        self.add(b, a, -g)
+
+    def add_diagonal(self, n: int, value: float) -> None:
+        """Stamp ``value`` onto the first ``n`` diagonal entries (gmin)."""
+        self.rows.extend(range(n))
+        self.cols.extend(range(n))
+        self.vals.extend([value] * n)
+
+
+class SparsePattern:
+    """Symbolic CSC structure of one stamp-call sequence.
+
+    Built once per (topology, analysis-kind); afterwards a numeric fill
+    is ``np.bincount(slot_map, weights=values)`` — every triplet knows
+    which deduplicated CSC slot it accumulates into.
+    """
+
+    __slots__ = ("size", "rows", "cols", "slot_map", "indices", "indptr",
+                 "nnz", "_template")
+
+    def __init__(self, rows: np.ndarray, cols: np.ndarray, size: int):
+        self.size = size
+        self.rows = rows
+        self.cols = cols
+        order = np.lexsort((rows, cols))
+        r, c = rows[order], cols[order]
+        if r.size == 0:
+            raise SingularMatrixError("empty MNA system has no pattern")
+        first = np.empty(r.size, dtype=bool)
+        first[0] = True
+        first[1:] = (r[1:] != r[:-1]) | (c[1:] != c[:-1])
+        slot_of_sorted = np.cumsum(first) - 1
+        slot_map = np.empty(r.size, dtype=np.intp)
+        slot_map[order] = slot_of_sorted
+        self.slot_map = slot_map
+        self.indices = r[first].astype(np.int32)
+        self.nnz = int(self.indices.size)
+        counts = np.bincount(c[first], minlength=size)
+        indptr = np.zeros(size + 1, dtype=np.int32)
+        np.cumsum(counts, out=indptr[1:])
+        self.indptr = indptr
+        self._template = None
+
+    def matches(self, rows: np.ndarray, cols: np.ndarray) -> bool:
+        """Fingerprint check: same stamp-call sequence as when built?"""
+        return (rows.size == self.rows.size
+                and np.array_equal(rows, self.rows)
+                and np.array_equal(cols, self.cols))
+
+    def fill(self, values: np.ndarray) -> np.ndarray:
+        """Deduplicated CSC data array for one triplet value vector."""
+        if np.iscomplexobj(values):
+            return (np.bincount(self.slot_map, weights=values.real,
+                                minlength=self.nnz)
+                    + 1j * np.bincount(self.slot_map, weights=values.imag,
+                                       minlength=self.nnz))
+        return np.bincount(self.slot_map, weights=values,
+                           minlength=self.nnz)
+
+    def matrix(self, data: np.ndarray) -> sp.csc_matrix:
+        # Reuse one CSC shell per pattern: indices/indptr never change,
+        # so per-iteration assembly is a plain ``data`` swap (skipping
+        # construction and format validation).  Callers consume the
+        # matrix immediately (factor or densify) and never keep it.
+        mat = self._template
+        if mat is None:
+            mat = sp.csc_matrix((data, self.indices, self.indptr),
+                                shape=(self.size, self.size))
+            self._template = mat
+        else:
+            mat.data = data
+        return mat
+
+
+def get_pattern(layout: MnaLayout, kind: str, rows: np.ndarray,
+                cols: np.ndarray) -> SparsePattern:
+    """The cached :class:`SparsePattern` for ``kind`` on ``layout``,
+    rebuilt transparently when the stamp fingerprint changed (MOSFET
+    drain/source swap regions)."""
+    cache = layout.sparse_patterns
+    pattern = cache.get(kind)
+    if pattern is None or not pattern.matches(rows, cols):
+        pattern = SparsePattern(rows, cols, layout.size)
+        cache[kind] = pattern
+    return pattern
+
+
+def _splu_factor(matrix: sp.csc_matrix, context: str):
+    """``splu`` with the package's error taxonomy: a structurally or
+    numerically singular matrix raises :class:`SingularMatrixError`, the
+    same class the dense path maps ``LinAlgError`` to."""
+    try:
+        # MMD on A^T + A: MNA matrices are structurally near-symmetric,
+        # and this ordering measures a few percent faster than the
+        # COLAMD default at these sizes.
+        return splu(matrix, permc_spec="MMD_AT_PLUS_A")
+    except RuntimeError as exc:  # "Factor is exactly singular"
+        raise SingularMatrixError(f"singular MNA matrix in {context}: "
+                                  f"{exc}") from exc
+    except ValueError as exc:  # structurally deficient (empty row/col)
+        raise SingularMatrixError(
+            f"structurally singular MNA matrix in {context}: {exc}"
+        ) from exc
+
+
+# -- DC systems ---------------------------------------------------------------
+class DenseDcSystem:
+    """Today's dense DC assembly, verbatim: stamp linear devices (and the
+    gmin diagonal) once, copy + re-stamp nonlinear devices per Newton
+    iteration, LAPACK-solve the full matrix."""
+
+    def __init__(self, circuit: Circuit, layout: MnaLayout, gmin: float):
+        self._circuit = circuit
+        self._layout = layout
+        base = Stamper(layout.size)
+        for dev, nodes, branches in zip(circuit.devices,
+                                        layout.device_nodes,
+                                        layout.device_branches):
+            if dev.linear:
+                dev.stamp_dc(base, np.zeros(0), nodes, branches)
+        if gmin > 0.0:
+            diag = np.arange(layout.n_nodes)
+            base.matrix[diag, diag] += gmin
+        self._base = base
+
+    def solve_at(self, x: np.ndarray) -> np.ndarray:
+        circuit, layout = self._circuit, self._layout
+        st = Stamper(layout.size)
+        st.matrix[...] = self._base.matrix
+        st.rhs[...] = self._base.rhs
+        for dev, nodes, branches in zip(circuit.devices,
+                                        layout.device_nodes,
+                                        layout.device_branches):
+            if not dev.linear:
+                dev.stamp_dc(st, x, nodes, branches)
+        try:
+            return np.linalg.solve(st.matrix, st.rhs)
+        except np.linalg.LinAlgError as exc:
+            raise SingularMatrixError(
+                f"singular MNA matrix in circuit {circuit.title!r} "
+                f"(floating node or source loop?): {exc}") from exc
+
+
+class SparseDcSystem:
+    """Sparse DC assembly: linear-device triplets frozen once per
+    ``(gmin)`` stage, nonlinear triplets appended per Newton iteration,
+    numeric fill through the layout-cached pattern, ``splu`` solve.
+
+    The symbolic pattern survives across Newton iterations, gmin/source
+    stepping stages *and* warm-started re-evaluations of the same
+    topology — only the numeric factorization is redone per iteration.
+    """
+
+    def __init__(self, circuit: Circuit, layout: MnaLayout, gmin: float):
+        self._circuit = circuit
+        self._layout = layout
+        st = TripletStamper(layout.size)
+        self._nonlinear = []
+        for dev, nodes, branches in zip(circuit.devices,
+                                        layout.device_nodes,
+                                        layout.device_branches):
+            if dev.linear:
+                dev.stamp_dc(st, np.zeros(0), nodes, branches)
+            else:
+                self._nonlinear.append((dev, nodes, branches))
+        if gmin > 0.0:
+            st.add_diagonal(layout.n_nodes, gmin)
+        self._base_rows = np.asarray(st.rows, dtype=np.int32)
+        self._base_cols = np.asarray(st.cols, dtype=np.int32)
+        self._base_vals = np.asarray(st.vals, dtype=float)
+        self._base_rhs = st.rhs
+        self._fill_cache = None
+
+    def solve_at(self, x: np.ndarray) -> np.ndarray:
+        layout = self._layout
+        st = TripletStamper(layout.size)
+        for dev, nodes, branches in self._nonlinear:
+            dev.stamp_dc(st, x, nodes, branches)
+        nl_rows = np.asarray(st.rows, dtype=np.int32)
+        nl_cols = np.asarray(st.cols, dtype=np.int32)
+        cache = self._fill_cache
+        if (cache is not None and np.array_equal(nl_rows, cache[0])
+                and np.array_equal(nl_cols, cache[1])):
+            # Newton iterations almost always repeat the previous
+            # stamp sequence; reuse the concatenated index arrays and
+            # only refresh the nonlinear tail of the value buffer.
+            rows, cols, vals = cache[2], cache[3], cache[4]
+            vals[self._base_vals.size:] = st.vals
+        else:
+            rows = np.concatenate([self._base_rows, nl_rows])
+            cols = np.concatenate([self._base_cols, nl_cols])
+            vals = np.concatenate([self._base_vals,
+                                   np.asarray(st.vals, dtype=float)])
+            self._fill_cache = (nl_rows, nl_cols, rows, cols, vals)
+        pattern = get_pattern(layout, "dc", rows, cols)
+        matrix = pattern.matrix(pattern.fill(vals))
+        lu = _splu_factor(
+            matrix, f"circuit {self._circuit.title!r} "
+                    f"(floating node or source loop?)")
+        return lu.solve(self._base_rhs + st.rhs)
+
+
+# -- AC engines ---------------------------------------------------------------
+class DenseAcEngine:
+    """Dense ``(G + j*omega*B) x = rhs`` engine — the pre-backend
+    :class:`~repro.circuit.ac.AcSystem` internals, verbatim (broadcast
+    batch solves included), plus the explicit real-valued ``omega = 0``
+    path shared by both backends."""
+
+    def __init__(self, circuit: Circuit, layout: MnaLayout, ops):
+        self._circuit = circuit
+        self._layout = layout
+        st_g = Stamper(layout.size, dtype=complex)
+        st_b = Stamper(layout.size, dtype=complex)
+        for dev, nodes, branches in zip(circuit.devices,
+                                        layout.device_nodes,
+                                        layout.device_branches):
+            dev.stamp_ac_parts(st_g, st_b, nodes, branches,
+                               ops.get(dev.name))
+        diag = np.arange(layout.n_nodes)
+        st_g.matrix[diag, diag] += 1e-12
+        self._g = st_g.matrix
+        self._b = st_b.matrix
+        self.rhs = st_g.rhs + st_b.rhs
+
+    def with_rhs(self, rhs: np.ndarray) -> "DenseAcEngine":
+        clone = object.__new__(DenseAcEngine)
+        clone._circuit = self._circuit
+        clone._layout = self._layout
+        clone._g = self._g
+        clone._b = self._b
+        clone.rhs = rhs
+        return clone
+
+    def same_matrix(self, other) -> bool:
+        return (isinstance(other, DenseAcEngine)
+                and (other._g is self._g
+                     or np.array_equal(other._g, self._g))
+                and (other._b is self._b
+                     or np.array_equal(other._b, self._b)))
+
+    def dense_g(self) -> np.ndarray:
+        return self._g
+
+    def dense_b(self) -> np.ndarray:
+        return self._b
+
+    def _solve(self, omega: float, rhs: np.ndarray,
+               context: str) -> np.ndarray:
+        # At omega = 0 the B stack drops out *exactly*: solve the
+        # real-valued G system instead of a complex system whose
+        # imaginary part is structurally zero.  G's entries are real by
+        # construction (only source rhs values are complex), so this is
+        # the same linear system without the degenerate imaginary half.
+        if omega == 0.0:
+            a = self._g.real
+        else:
+            a = self._g + 1j * omega * self._b
+        try:
+            return np.linalg.solve(a, rhs)
+        except np.linalg.LinAlgError as exc:
+            raise SingularMatrixError(
+                f"singular AC matrix {context} in circuit "
+                f"{self._circuit.title!r}: {exc}") from exc
+
+    def solve(self, omega: float) -> np.ndarray:
+        return self._solve(omega, self.rhs,
+                           f"at f={omega / (2.0 * math.pi):g} Hz")
+
+    def solve_many(self, omegas: np.ndarray) -> np.ndarray:
+        if np.any(omegas == 0.0):
+            # Mixed grids containing DC fall back to per-frequency
+            # solves so omega = 0 gets its real-valued treatment.
+            return np.stack([self.solve(float(w)) for w in omegas])
+        a = self._g[None, :, :] \
+            + 1j * omegas[:, None, None] * self._b[None, :, :]
+        try:
+            return np.linalg.solve(a, self.rhs)
+        except np.linalg.LinAlgError as exc:
+            raise SingularMatrixError(
+                f"singular AC matrix in {len(omegas)}-frequency batch in "
+                f"circuit {self._circuit.title!r}: {exc}") from exc
+
+    def multi_rhs(self, omega: float, rhs: np.ndarray,
+                  context: str) -> np.ndarray:
+        """One factorization, many right-hand sides (columns)."""
+        return self._solve(omega, rhs, context)
+
+
+class SparseAcEngine:
+    """Sparse AC engine: one *union* pattern over the G and B triplets
+    (cached on the layout), pre-merged full-length value arrays, so a
+    frequency point is a vectorized ``g + j*omega*b`` combine plus one
+    ``splu`` — and every multi-rhs solve at a fixed frequency is pure
+    triangular back-substitution on the last factorization."""
+
+    def __init__(self, circuit: Circuit, layout: MnaLayout, ops):
+        self._circuit = circuit
+        self._layout = layout
+        st_g = TripletStamper(layout.size, dtype=complex)
+        st_b = TripletStamper(layout.size, dtype=complex)
+        for dev, nodes, branches in zip(circuit.devices,
+                                        layout.device_nodes,
+                                        layout.device_branches):
+            dev.stamp_ac_parts(st_g, st_b, nodes, branches,
+                               ops.get(dev.name))
+        st_g.add_diagonal(layout.n_nodes, 1e-12)
+        n_g = len(st_g.rows)
+        rows = np.asarray(st_g.rows + st_b.rows, dtype=np.int32)
+        cols = np.asarray(st_g.cols + st_b.cols, dtype=np.int32)
+        self._pattern = get_pattern(layout, "ac", rows, cols)
+        # Scatter G and B separately onto the shared union pattern once;
+        # per-frequency work is then a single vectorized combine.
+        vals = np.zeros(rows.size, dtype=complex)
+        vals[:n_g] = st_g.vals
+        self._g_full = self._pattern.fill(vals)
+        vals[:] = 0.0
+        vals[n_g:] = st_b.vals
+        self._b_full = self._pattern.fill(vals)
+        self.rhs = st_g.rhs + st_b.rhs
+        # Memoized (omega, lu) of the last factorization.  A mutable
+        # holder rather than plain attributes so re-driven clones — which
+        # share (pattern, g, b) and hence factorizations — reuse it.
+        self._lu_memo: List = [None, None]
+
+    def with_rhs(self, rhs: np.ndarray) -> "SparseAcEngine":
+        clone = object.__new__(SparseAcEngine)
+        clone._circuit = self._circuit
+        clone._layout = self._layout
+        clone._pattern = self._pattern
+        clone._g_full = self._g_full
+        clone._b_full = self._b_full
+        clone.rhs = rhs
+        clone._lu_memo = self._lu_memo
+        return clone
+
+    def same_matrix(self, other) -> bool:
+        return (isinstance(other, SparseAcEngine)
+                and other._pattern is self._pattern
+                and (other._g_full is self._g_full
+                     or np.array_equal(other._g_full, self._g_full))
+                and (other._b_full is self._b_full
+                     or np.array_equal(other._b_full, self._b_full)))
+
+    def dense_g(self) -> np.ndarray:
+        """Densified G — for cold-path consumers (noise adjoint)."""
+        return self._pattern.matrix(self._g_full).toarray()
+
+    def dense_b(self) -> np.ndarray:
+        return self._pattern.matrix(self._b_full).toarray()
+
+    def _factor(self, omega: float, context: str):
+        if self._lu_memo[1] is not None and self._lu_memo[0] == omega:
+            return self._lu_memo[1]
+        if omega == 0.0:
+            # SuperLU needs C-contiguous data; ``.real`` is a strided view.
+            data = np.ascontiguousarray(self._g_full.real)
+        else:
+            data = self._g_full + 1j * omega * self._b_full
+        lu = _splu_factor(self._pattern.matrix(data),
+                          f"AC system {context} in circuit "
+                          f"{self._circuit.title!r}")
+        self._lu_memo[0] = omega
+        self._lu_memo[1] = lu
+        return lu
+
+    def _solve(self, omega: float, rhs: np.ndarray,
+               context: str) -> np.ndarray:
+        lu = self._factor(omega, context)
+        if omega == 0.0:
+            # Real factorization, complex rhs: two triangular solves.
+            return (lu.solve(np.ascontiguousarray(rhs.real))
+                    + 1j * lu.solve(np.ascontiguousarray(rhs.imag)))
+        return lu.solve(rhs)
+
+    def solve(self, omega: float) -> np.ndarray:
+        return self._solve(omega, self.rhs,
+                           f"at f={omega / (2.0 * math.pi):g} Hz")
+
+    def solve_many(self, omegas: np.ndarray) -> np.ndarray:
+        out = np.empty((len(omegas), self._layout.size), dtype=complex)
+        for i, omega in enumerate(omegas):
+            out[i] = self._solve(float(omega), self.rhs,
+                                 f"in {len(omegas)}-frequency batch")
+        return out
+
+    def multi_rhs(self, omega: float, rhs: np.ndarray,
+                  context: str) -> np.ndarray:
+        lu = self._factor(omega, context)
+        if omega == 0.0:
+            return (lu.solve(np.ascontiguousarray(rhs.real))
+                    + 1j * lu.solve(np.ascontiguousarray(rhs.imag)))
+        return lu.solve(rhs)
+
+
+# -- backends -----------------------------------------------------------------
+class DenseBackend:
+    """Dense LAPACK backend (bit-identical to the pre-backend code)."""
+
+    name = "dense"
+
+    def dc_system(self, circuit: Circuit, layout: MnaLayout,
+                  gmin: float) -> DenseDcSystem:
+        return DenseDcSystem(circuit, layout, gmin)
+
+    def ac_engine(self, circuit: Circuit, layout: MnaLayout,
+                  ops) -> DenseAcEngine:
+        return DenseAcEngine(circuit, layout, ops)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__}>"
+
+
+class SparseBackend(DenseBackend):
+    """CSC + ``splu`` backend with symbolic-pattern reuse."""
+
+    name = "sparse"
+
+    def dc_system(self, circuit: Circuit, layout: MnaLayout,
+                  gmin: float) -> SparseDcSystem:
+        return SparseDcSystem(circuit, layout, gmin)
+
+    def ac_engine(self, circuit: Circuit, layout: MnaLayout,
+                  ops) -> SparseAcEngine:
+        return SparseAcEngine(circuit, layout, ops)
+
+
+#: Module singletons — backends are stateless (all per-topology state
+#: lives on the :class:`MnaLayout` pattern cache), so one instance each.
+DENSE = DenseBackend()
+SPARSE = SparseBackend()
+
+_BY_NAME = {"dense": DENSE, "sparse": SPARSE}
+
+
+def resolve_backend(spec, n_nodes: int) -> DenseBackend:
+    """Resolve a backend spec — ``None``/``"auto"``, a backend name, or
+    an instance — against the circuit's node count.
+
+    ``"auto"`` (and ``None``) picks sparse at or above
+    :data:`AUTO_SPARSE_MIN_NODES` nodes, dense below; every template
+    that predates the backend layer sits far below the threshold and so
+    keeps its exact dense numerics.
+    """
+    if spec is None or spec == "auto":
+        return SPARSE if n_nodes >= AUTO_SPARSE_MIN_NODES else DENSE
+    if isinstance(spec, str):
+        backend = _BY_NAME.get(spec)
+        if backend is None:
+            raise ReproError(
+                f"unknown linear-solver backend {spec!r}; expected one of "
+                f"'auto', 'dense', 'sparse'")
+        return backend
+    return spec

@@ -65,6 +65,12 @@ class MnaLayout:
         self.size = next_index
         if self.size == 0:
             raise NetlistError("circuit has no MNA unknowns (empty circuit?)")
+        #: Per-analysis-kind :class:`~repro.circuit.linsolve.SparsePattern`
+        #: cache — the "one symbolic factorization per topology" store.
+        #: Living on the layout ties its lifetime to the circuit's cached
+        #: layout, so re-evaluations of one built circuit reuse patterns
+        #: while distinct circuits never share them.
+        self.sparse_patterns: Dict[str, object] = {}
 
 
 class Circuit:

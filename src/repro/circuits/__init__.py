@@ -4,6 +4,8 @@ from .base import OpampTemplate, default_operating_range
 from .folded_cascode import FoldedCascodeOpamp
 from .miller import MillerOpamp
 from .ota import FiveTransistorOta
+from .two_stage_array import TwoStageArrayOpamp
 
 __all__ = ["FiveTransistorOta", "FoldedCascodeOpamp", "MillerOpamp",
-           "OpampTemplate", "default_operating_range"]
+           "OpampTemplate", "TwoStageArrayOpamp",
+           "default_operating_range"]

@@ -57,13 +57,18 @@ DEAD_CIRCUIT_PERFORMANCES = {
 WARM_KEY_SIG = 2
 
 
-def _warm_rep(value: float) -> float:
+def _warm_rep(value: float, sig: int = WARM_KEY_SIG) -> float:
     """Quantize ``value`` to its anchor-cell representative (the key *is*
     the representative, so the anchor is a pure function of the key —
-    the property that keeps warm-started runs order-independent)."""
+    the property that keeps warm-started runs order-independent).
+
+    ``sig`` controls the cell size; ``sig = WARM_KEY_SIG - 1`` yields the
+    *parent* cell of the anchor-of-anchor chain (a strictly coarser
+    quantization of the same point, hence itself a pure function of the
+    fine key)."""
     if value == 0.0 or not math.isfinite(value):
         return float(value)
-    scale = 10.0 ** (math.floor(math.log10(abs(value))) - WARM_KEY_SIG + 1)
+    scale = 10.0 ** (math.floor(math.log10(abs(value))) - sig + 1)
     return round(value / scale) * scale
 
 
@@ -102,6 +107,13 @@ class OpampTemplate(CircuitTemplate):
         #: warm start is predicted *at the sample* instead of at the
         #: anchor; cuts another 1-2 Newton iterations per evaluation
         self.warm_sensitivities = True
+        #: seed a new anchor cell's representative solve from the
+        #: cold-solved representative of its *coarser parent* cell (the
+        #: ROADMAP anchor-of-anchor chain) instead of cold-solving it
+        self.warm_chain = True
+        #: linear-solver backend spec for every solve this template runs
+        #: ("auto"/"dense"/"sparse"; see :mod:`repro.circuit.linsolve`)
+        self.linsolve = "auto"
         self._warm_cache = WarmStartCache()
 
     # -- hooks for concrete circuits -------------------------------------------
@@ -129,7 +141,7 @@ class OpampTemplate(CircuitTemplate):
                 x0 = x if slopes is None else x + slopes @ s_hat
         return OpenLoopOpampBench(circuit, out="out", supply_source="VDD",
                                   temp_c=theta["temp"], x0=x0,
-                                  ft_hint=ft_hint)
+                                  ft_hint=ft_hint, linsolve=self.linsolve)
 
     def _warm_anchor(self, d: Mapping[str, float],
                      theta: Mapping[str, float]) -> Optional[tuple]:
@@ -152,6 +164,17 @@ class OpampTemplate(CircuitTemplate):
         both only seed searches that verify/fall back — a bad prediction
         can cost iterations, never correctness.
 
+        On a cell miss with ``warm_chain`` enabled, the representative is
+        not cold-solved directly: it is Newton-seeded from the
+        cold-solved representative of its *parent* cell — the strictly
+        coarser ``WARM_KEY_SIG - 1`` quantization of the same point — so
+        successive optimizer iterations with nearby ``d`` chain into the
+        same parent anchors instead of cold-solving every new cell.  The
+        parent key is a deterministic function of the fine key (never of
+        solve history), and the seeded solve falls back to the full cold
+        homotopy chain, so anchors stay pure functions of their keys:
+        chaining affects iteration counts only, never results.
+
         Failed anchors are cached as None (the bench then cold starts,
         exactly the pre-warm-start behavior).
         """
@@ -168,12 +191,16 @@ class OpampTemplate(CircuitTemplate):
         try:
             pv = space.to_physical(d_rep, space.nominal())
             circuit = self.build(d_rep, pv, theta_rep)
-            x = solve_dc(circuit, temp_c=theta_rep["temp"]).x
+            x_seed = self._chain_seed(key, d_rep, theta_rep) \
+                if self.warm_chain else None
+            x = solve_dc(circuit, temp_c=theta_rep["temp"], x0=x_seed,
+                         backend=self.linsolve).x
             ft = None
             try:
                 bench = OpenLoopOpampBench(
                     circuit, out="out", supply_source="VDD",
-                    temp_c=theta_rep["temp"], x0=x)
+                    temp_c=theta_rep["temp"], x0=x,
+                    linsolve=self.linsolve)
                 ft = bench.transit_frequency()
             except (AnalysisError, ExtractionError):
                 ft = None
@@ -184,6 +211,45 @@ class OpampTemplate(CircuitTemplate):
             anchor = None
         self._warm_cache.store(key, anchor)
         return anchor
+
+    def _chain_seed(self, key: tuple, d_rep: Mapping[str, float],
+                    theta_rep: Mapping[str, float]
+                    ) -> Optional[np.ndarray]:
+        """Newton seed for a fine cell's representative: the cold-solved
+        representative of its parent (coarser) cell, or ``None`` when the
+        parent coincides with the fine cell or its solve failed."""
+        sig = WARM_KEY_SIG - 1
+        parent_key = ("chain",
+                      tuple(_warm_rep(v, sig) for v in key[0]),
+                      tuple((name, _warm_rep(v, sig))
+                            for name, v in key[1]))
+        cache = self._warm_cache
+        x_parent = cache.lookup_chain(parent_key)
+        if x_parent is WarmStartCache._MISSING:
+            d_parent = dict(zip(self.design_names, parent_key[1]))
+            theta_parent = dict(parent_key[2])
+            if d_parent == dict(zip(self.design_names, key[0])) \
+                    and theta_parent == dict(key[1]):
+                # The point already sits on the coarse grid: seeding from
+                # the parent would just cold-solve the same point twice.
+                return None
+            space = self.statistical_space
+            try:
+                pv = space.to_physical(d_parent, space.nominal())
+                circuit = self.build(d_parent, pv, theta_parent)
+                x_parent = solve_dc(circuit, temp_c=theta_parent["temp"],
+                                    backend=self.linsolve).x
+            except ReproError:
+                x_parent = None
+            cache.chain_solves += 1
+            cache.store_chain(parent_key, x_parent)
+        if x_parent is not None:
+            cache.chain_seeds += 1
+        return x_parent
+
+    def warm_cache_stats(self) -> Dict[str, int]:
+        """Warm-start cache counters for run telemetry."""
+        return self._warm_cache.stats()
 
     def _anchor_slopes(self, d_rep: Mapping[str, float],
                        theta_rep: Mapping[str, float],
@@ -200,7 +266,8 @@ class OpampTemplate(CircuitTemplate):
             try:
                 pv = space.to_physical(d_rep, e_i)
                 circuit = self.build(d_rep, pv, theta_rep)
-                x_i = solve_dc(circuit, temp_c=theta_rep["temp"], x0=x).x
+                x_i = solve_dc(circuit, temp_c=theta_rep["temp"], x0=x,
+                               backend=self.linsolve).x
             except ReproError:
                 continue
             if x_i.size == x.size:

@@ -37,13 +37,15 @@ import argparse
 import sys
 from typing import Callable, Dict, Optional
 
-from .circuits import FiveTransistorOta, FoldedCascodeOpamp, MillerOpamp
+from .circuits import (FiveTransistorOta, FoldedCascodeOpamp, MillerOpamp,
+                       TwoStageArrayOpamp)
 
 #: Registered benchmark circuits.
 CIRCUITS: Dict[str, Callable] = {
     "miller": MillerOpamp,
     "folded-cascode": FoldedCascodeOpamp,
     "ota": FiveTransistorOta,
+    "two-stage-array": TwoStageArrayOpamp,
 }
 
 
@@ -85,6 +87,7 @@ def cmd_optimize(args: argparse.Namespace) -> int:
         else "worst_case",
         jobs=args.jobs,
         verify_shard=verify_shard,
+        linsolve=args.linsolve,
     )
     evaluator = Evaluator(template)
     if args.inject_faults > 0.0:
@@ -130,7 +133,7 @@ def cmd_yield(args: argparse.Namespace) -> int:
     from .yieldsim import make_estimator
 
     template = _make_template(args.circuit)
-    evaluator = Evaluator(template)
+    evaluator = Evaluator(template, linsolve=args.linsolve)
     d = template.initial_design()
     s0 = template.statistical_space.nominal()
     theta_wc = find_worst_case_operating_points(
@@ -177,6 +180,15 @@ def cmd_yield(args: argparse.Namespace) -> int:
           f"({report.cache_hits} cache hits, "
           f"{report.theta_groups} worst-case corners, "
           f"backend {report.backend})")
+    warm = getattr(report, "warm_cache", {})
+    if warm.get("hits", 0) or warm.get("misses", 0):
+        chain = ""
+        if warm.get("chain_seeds", 0) or warm.get("chain_solves", 0):
+            chain = (f", chain seeds/solves "
+                     f"{warm.get('chain_seeds', 0)}"
+                     f"/{warm.get('chain_solves', 0)}")
+        print(f"warm-start cache: {warm.get('hits', 0)} hits / "
+              f"{warm.get('misses', 0)} misses{chain}")
     if report.retried_chunks:
         print(f"warning: {report.retried_chunks}/{report.chunks} chunks "
               f"re-run serially in the parent "
@@ -282,6 +294,8 @@ def cmd_corners(args: argparse.Namespace) -> int:
 
 def cmd_evaluate(args: argparse.Namespace) -> int:
     template = _make_template(args.circuit)
+    if args.linsolve is not None:
+        template.linsolve = args.linsolve
     d = template.initial_design()
     values = template.evaluate(d, template.statistical_space.nominal(),
                                template.operating_range.nominal())
@@ -306,7 +320,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
 
     with open(args.netlist) as handle:
         circuit = parse_netlist(handle.read())
-    op = solve_dc(circuit, temp_c=args.temp)
+    op = solve_dc(circuit, temp_c=args.temp, backend=args.linsolve)
     print(f"DC operating point ({op.iterations} Newton iterations, "
           f"{op.strategy}):")
     for node, voltage in sorted(op.voltages().items()):
@@ -316,11 +330,20 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             print(f"  {name}: Id = {format_si(record['ids'], 'A')}, "
                   f"{record['region']}")
     if args.node and args.ac:
-        h = transfer_at(circuit, op, args.node, args.ac)
+        h = transfer_at(circuit, op, args.node, args.ac,
+                        backend=args.linsolve)
         print(f"\nAC transfer to {args.node} at "
               f"{format_si(args.ac, 'Hz')}: |H| = {abs(h):.4g} "
               f"({db(abs(h)):.1f} dB)")
     return 0
+
+
+def _add_linsolve(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--linsolve", choices=("dense", "sparse", "auto"),
+                   default=None,
+                   help="MNA linear-solver backend: dense LU, sparse "
+                        "LU with factorization reuse, or auto-select "
+                        "by circuit size (default: auto)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -364,6 +387,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "simulations with a ConvergenceError")
     p.add_argument("--fault-seed", type=int, default=0,
                    help="seed of the injected-fault schedule")
+    _add_linsolve(p)
     p.set_defaults(func=cmd_optimize)
 
     p = sub.add_parser(
@@ -391,6 +415,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "merge-verify input format)")
     p.add_argument("--json", action="store_true",
                    help="emit the full result + run report as JSON")
+    _add_linsolve(p)
     p.set_defaults(func=cmd_yield)
 
     p = sub.add_parser(
@@ -424,6 +449,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("evaluate", help="nominal performances")
     p.add_argument("circuit", choices=sorted(CIRCUITS))
+    _add_linsolve(p)
     p.set_defaults(func=cmd_evaluate)
 
     p = sub.add_parser("simulate", help="solve a SPICE-style netlist")
@@ -432,6 +458,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--node", help="node for an AC transfer readout")
     p.add_argument("--ac", type=float,
                    help="frequency [Hz] for the AC readout")
+    _add_linsolve(p)
     p.set_defaults(func=cmd_simulate)
     return parser
 

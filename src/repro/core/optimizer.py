@@ -97,6 +97,12 @@ class OptimizerConfig:
     #: shards' via :func:`repro.yieldsim.merge_results`.  ``None`` (and
     #: the 1-shard plan) reproduce the unsharded run bit for bit.
     verify_shard: Optional[ShardPlan] = None
+    #: linear-solver backend override for every circuit solve of the run
+    #: ("dense"/"sparse"/"auto"; see :mod:`repro.circuit.linsolve`).
+    #: ``None`` keeps the template's own setting (default "auto": by
+    #: node count, which leaves all small templates on the bit-identical
+    #: dense path).
+    linsolve: Optional[str] = None
 
 
 @dataclass
@@ -170,6 +176,10 @@ class OptimizationResult:
     pool_jobs: int = 1
     pool_tasks: int = 0
     pool_died: bool = False
+    #: warm-start cache counters of the template at run end
+    #: (hits/misses/chain_seeds/chain_solves/evictions/...), when the
+    #: template exposes them
+    warm_cache: Optional[Dict[str, int]] = None
 
     @property
     def initial(self) -> IterationRecord:
@@ -203,6 +213,12 @@ class YieldOptimizer:
         self.template = template
         self.config = config or OptimizerConfig()
         self.evaluator = evaluator or Evaluator(template)
+        if self.config.linsolve is not None:
+            # Push the override onto the template so every solve of the
+            # run — evaluations, warm anchors, constraint benches — uses
+            # the requested backend (pool workers inherit it via pickle).
+            template.linsolve = self.config.linsolve
+            self.evaluator.linsolve = self.config.linsolve
         #: pluggable Y_tilde verifier; the paper's Eq. 6-7 Monte-Carlo by
         #: default, or e.g. :class:`repro.yieldsim.MeanShiftIS`, which
         #: reuses the iteration's Eq. 8 worst-case points as mean shifts
@@ -547,4 +563,6 @@ class YieldOptimizer:
             health=health,
             pool_jobs=pool.jobs if pool is not None else 1,
             pool_tasks=pool.tasks_dispatched if pool is not None else 0,
-            pool_died=pool is not None and not pool.alive)
+            pool_died=pool is not None and not pool.alive,
+            warm_cache=template.warm_cache_stats()
+            if hasattr(template, "warm_cache_stats") else None)

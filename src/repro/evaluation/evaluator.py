@@ -45,9 +45,17 @@ def _quantize(value: float):
 class Evaluator:
     """Counting/caching façade over a circuit template."""
 
-    def __init__(self, template: CircuitTemplate, cache: bool = True):
+    def __init__(self, template: CircuitTemplate, cache: bool = True,
+                 linsolve=None):
         self.template = template
         self.cache_enabled = cache
+        #: linear-solver backend override ("dense"/"sparse"/"auto").
+        #: ``None`` leaves the template's own setting untouched; anything
+        #: else is pushed onto the template so every solve it runs —
+        #: including warm-anchor solves — uses the requested backend.
+        self.linsolve = linsolve
+        if linsolve is not None:
+            template.linsolve = linsolve
         self._cache: Dict[Tuple, Dict[str, float]] = {}
         # Key-building hot path: freeze the design-name order and the
         # operating-parameter order once instead of re-deriving (and, for

@@ -85,11 +85,16 @@ class OpenLoopOpampBench:
 
     def __init__(self, circuit: Circuit, out: str = "out",
                  supply_source: str = "VDD", temp_c: float = 27.0,
-                 x0=None, ft_hint: Optional[float] = None):
+                 x0=None, ft_hint: Optional[float] = None,
+                 linsolve=None):
         self.circuit = circuit
         self.out = out
         self.supply_source = supply_source
         self.temp_c = temp_c
+        #: linear-solver backend spec for the DC solve and all AC systems
+        #: (``None``/``"auto"`` selects by node count; see
+        #: :mod:`repro.circuit.linsolve`)
+        self.linsolve = linsolve
         #: optional Newton warm start for the DC solve (a nearby operating
         #: point, e.g. a cached anchor solution); the solver falls back to
         #: the full homotopy chain when it does not converge from here
@@ -106,7 +111,7 @@ class OpenLoopOpampBench:
         """The (lazily solved) DC operating point."""
         if self._op is None:
             self._op = solve_dc(self.circuit, temp_c=self.temp_c,
-                                x0=self.x0)
+                                x0=self.x0, backend=self.linsolve)
         return self._op
 
     def _system(self, ac_p: complex, ac_n: complex) -> AcSystem:
@@ -124,7 +129,8 @@ class OpenLoopOpampBench:
                 base = next(iter(self._systems.values()))
                 system = base.with_drives()
             else:
-                system = AcSystem(self.circuit, self.op)
+                system = AcSystem(self.circuit, self.op,
+                                  backend=self.linsolve)
             self._systems[key] = system
         return system
 

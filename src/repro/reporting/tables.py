@@ -172,9 +172,9 @@ def effort_table(rows: Sequence[Tuple]) -> str:
 
 def health_table(result: OptimizationResult) -> str:
     """Render the failure/recovery telemetry of one optimization run:
-    fault-policy activity, executor retries/timeouts, and shared-pool
-    usage.  Empty string when the run was entirely clean and serial
-    (nothing worth reporting)."""
+    fault-policy activity, executor retries/timeouts, shared-pool usage,
+    and warm-start cache effectiveness.  Empty string when the run was
+    entirely clean and serial (nothing worth reporting)."""
     health = getattr(result, "health", None)
     pool_tasks = getattr(result, "pool_tasks", 0)
     rows: List[Tuple[str, str]] = []
@@ -183,6 +183,17 @@ def health_table(result: OptimizationResult) -> str:
         rows.append(("pool tasks", str(pool_tasks)))
         if result.pool_died:
             rows.append(("pool died", "yes (degraded to serial)"))
+    warm = getattr(result, "warm_cache", None)
+    if warm and (warm.get("hits", 0) or warm.get("misses", 0)):
+        rows.append(("warm-cache hits/misses",
+                     f"{warm.get('hits', 0)}/{warm.get('misses', 0)}"))
+        if warm.get("chain_seeds", 0) or warm.get("chain_solves", 0):
+            rows.append(("warm-chain seeds/solves",
+                         f"{warm.get('chain_seeds', 0)}"
+                         f"/{warm.get('chain_solves', 0)}"))
+        if warm.get("evictions", 0):
+            rows.append(("warm-cache evictions",
+                         str(warm.get("evictions", 0))))
     if result.total_failed_samples:
         rows.append(("failed evaluations",
                      str(result.total_failed_samples)))

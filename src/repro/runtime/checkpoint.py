@@ -242,6 +242,13 @@ def splice_merged_result(path: str, result) -> None:
     updated alongside, and the file is rewritten atomically — a
     subsequent ``--resume`` continues the trajectory with the merged
     verification in place.
+
+    Shard-aware budget accounting: the other shards' simulation effort
+    (the merged report's counts minus what the local shard already
+    recorded) is folded into the checkpoint's evaluator ``counters`` and
+    the record's cumulative ``simulations``, so a resumed run's
+    ``RunBudget``/Table-7 effort reporting reflects the *fleet-wide*
+    spend instead of under-reporting to one shard's share.
     """
     try:
         with open(path) as handle:
@@ -261,10 +268,32 @@ def splice_merged_result(path: str, result) -> None:
             f"checkpoint {path!r} has no iteration records to splice a "
             f"merged verification into")
     record = records[-1]
-    record["mc"] = {"kind": "yieldsim", "data": result.to_dict()}
+    old_mc = record.get("mc") or {}
+    old_report = (old_mc.get("data") or {}).get("report") or {} \
+        if old_mc.get("kind") == "yieldsim" else {}
+    merged = result.to_dict()
+    record["mc"] = {"kind": "yieldsim", "data": merged}
     record["yield_mc"] = float(result.estimate)
     record["failed_samples"] = int(result.failed_samples)
     record["verify_samples"] = int(result.n_samples)
+    # Fold the sibling shards' effort (merged minus what this
+    # checkpoint's own verification already counted) into the pooled
+    # budget counters.
+    merged_report = merged.get("report") or {}
+    counters = payload.setdefault("counters", {})
+    for merged_key, counter_key in (("simulations", "simulations"),
+                                    ("requests", "requests"),
+                                    ("cache_hits", "cache_hits"),
+                                    ("cache_misses", "cache_misses")):
+        delta = int(merged_report.get(merged_key, 0)) \
+            - int(old_report.get(merged_key, 0))
+        if delta > 0:
+            counters[counter_key] = \
+                int(counters.get(counter_key, 0)) + delta
+    sims_delta = int(merged_report.get("simulations", 0)) \
+        - int(old_report.get("simulations", 0))
+    if sims_delta > 0 and "simulations" in record:
+        record["simulations"] = int(record["simulations"]) + sims_delta
     directory = os.path.dirname(os.path.abspath(path))
     handle = tempfile.NamedTemporaryFile(
         "w", dir=directory, suffix=".tmp", delete=False)

@@ -101,6 +101,8 @@ class YieldEstimator(abc.ABC):
         before = (evaluator.simulation_count, evaluator.request_count,
                   evaluator.cache_hits, evaluator.cache_misses)
         retried0 = getattr(evaluator, "retried_evaluations", 0)
+        warm_stats = getattr(template, "warm_cache_stats", None)
+        warm0 = warm_stats() if callable(warm_stats) else None
         with PhaseTimer(report, "simulate"):
             outcome = BatchExecutor(self.execution, pool=self.pool).run(
                 evaluator, d, thetas, matrix)
@@ -141,6 +143,14 @@ class YieldEstimator(abc.ABC):
             getattr(evaluator, "retried_evaluations", 0) - retried0
         report.degraded_to_serial |= outcome.degraded_to_serial
         report.pool_incompatible |= outcome.pool_incompatible
+        if warm0 is not None:
+            # Warm-start cache effort accrued during this run (the parent
+            # counters already include folded pool-worker deltas).
+            from ..circuit.dc import WarmStartCache
+            delta = WarmStartCache.counter_delta(warm_stats(), warm0)
+            for key, value in delta.items():
+                report.warm_cache[key] = \
+                    report.warm_cache.get(key, 0) + value
         return SampleEvaluation(spec_values=spec_values,
                                 spec_pass=spec_pass,
                                 indicator=indicator, failed=failed,

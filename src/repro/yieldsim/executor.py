@@ -168,6 +168,9 @@ class TaskCounts:
     failed: int = 0
     retried: int = 0
     recovered: int = 0
+    #: warm-start cache counter deltas of the task (additive; empty when
+    #: the template has no warm cache)
+    warm: Dict[str, int] = field(default_factory=dict)
 
 
 def _init_pool_worker(template, cache_enabled: bool) -> None:
@@ -188,14 +191,23 @@ def _task_target(policy, fail_mode):
     return guarded, guarded
 
 
-def _task_snapshot(evaluator: Evaluator) -> Tuple[int, int, int, int]:
+def _warm_stats(evaluator: Evaluator) -> Dict[str, int]:
+    stats = getattr(evaluator.template, "warm_cache_stats", None)
+    return stats() if callable(stats) else {}
+
+
+def _task_snapshot(evaluator: Evaluator) -> Tuple:
     return (evaluator.request_count, evaluator.cache_hits,
-            evaluator.simulation_count, evaluator.cache_size)
+            evaluator.simulation_count, evaluator.cache_size,
+            _warm_stats(evaluator))
 
 
-def _task_counts(evaluator: Evaluator, before: Tuple[int, int, int, int],
+def _task_counts(evaluator: Evaluator, before: Tuple,
                  guarded) -> TaskCounts:
-    requests0, hits0, simulations0, cache_len0 = before
+    from ..circuit.dc import WarmStartCache
+    requests0, hits0, simulations0, cache_len0, warm0 = before
+    warm = WarmStartCache.counter_delta(_warm_stats(evaluator), warm0) \
+        if warm0 else {}
     return TaskCounts(
         requests=evaluator.request_count - requests0,
         hits=evaluator.cache_hits - hits0,
@@ -203,7 +215,8 @@ def _task_counts(evaluator: Evaluator, before: Tuple[int, int, int, int],
         entries=evaluator.cache_items_since(cache_len0),
         failed=guarded.failed_evaluations if guarded else 0,
         retried=guarded.retried_evaluations if guarded else 0,
-        recovered=guarded.recovered_evaluations if guarded else 0)
+        recovered=guarded.recovered_evaluations if guarded else 0,
+        warm=warm)
 
 
 def _pool_worst_case(spec, d: Dict[str, float], theta: Dict[str, float],
@@ -289,6 +302,13 @@ def fold_task(evaluator, counts: TaskCounts) -> None:
             evaluator.failed_evaluations += counts.failed
             evaluator.retried_evaluations += counts.retried
             evaluator.recovered_evaluations += counts.recovered
+    if counts.warm and any(counts.warm.values()):
+        # Surface the workers' warm-anchor effort in the parent template's
+        # counters.  This is a fleet-wide *effort* total (each worker owns
+        # a private anchor cache), not a replay of the serial hit pattern.
+        warm_cache = getattr(inner.template, "_warm_cache", None)
+        if warm_cache is not None:
+            warm_cache.absorb(counts.warm)
 
 
 class PoolHandle:

@@ -146,6 +146,8 @@ def merge_reports(reports: Sequence[RunReport]) -> Optional[RunReport]:
         merged.pool_incompatible |= report.pool_incompatible
         if report.backend not in backends:
             backends.append(report.backend)
+        for key, count in getattr(report, "warm_cache", {}).items():
+            merged.warm_cache[key] = merged.warm_cache.get(key, 0) + count
         for phase, seconds in report.phase_seconds.items():
             merged.phase_seconds[phase] = \
                 merged.phase_seconds.get(phase, 0.0) + seconds

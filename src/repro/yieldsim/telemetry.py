@@ -48,6 +48,11 @@ class RunReport:
     #: evaluation stack (template mismatch / non-replicable wrapper) and
     #: the batch silently ran serially instead
     pool_incompatible: bool = False
+    #: warm-start cache counter *deltas* accrued during this run
+    #: (hits/misses/chain_seeds/chain_solves/evictions), when the
+    #: template exposes a warm cache; empty otherwise.  Additive across
+    #: shards/workers like the other counters.
+    warm_cache: Dict[str, int] = field(default_factory=dict)
     #: wall time per phase, seconds
     phase_seconds: Dict[str, float] = field(default_factory=dict)
 
@@ -73,6 +78,7 @@ class RunReport:
             "retried_evaluations": self.retried_evaluations,
             "degraded_to_serial": self.degraded_to_serial,
             "pool_incompatible": self.pool_incompatible,
+            "warm_cache": dict(self.warm_cache),
             "phase_seconds": dict(self.phase_seconds),
             "wall_time_s": self.wall_time_s,
         }
@@ -102,6 +108,8 @@ class RunReport:
             degraded_to_serial=bool(data.get("degraded_to_serial",
                                              False)),
             pool_incompatible=bool(data.get("pool_incompatible", False)),
+            warm_cache={k: int(v)
+                        for k, v in data.get("warm_cache", {}).items()},
             phase_seconds=dict(data.get("phase_seconds", {})))
 
 

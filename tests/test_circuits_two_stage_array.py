@@ -1,0 +1,199 @@
+"""Tests for the two-stage segmented-array template: the large
+benchmark circuit of the sparse MNA backend.
+
+Beyond the usual template sanity (plausible nominals, feasible initial
+sizing, mismatch physics of the matched pairs), these tests pin down the
+properties the template exists for: an MNA system large enough that the
+``auto`` backend picks sparse, sparse/dense agreement on the full
+evaluation path, and end-to-end operation through the yield-estimation
+and sharded-verification pipelines.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuit.linsolve import AUTO_SPARSE_MIN_NODES
+from repro.circuits import TwoStageArrayOpamp
+from repro.circuits.two_stage_array import MATCHED_PAIRS, N_SEGMENTS
+
+TEMPLATE = TwoStageArrayOpamp()
+D = TEMPLATE.initial_design()
+THETA = TEMPLATE.operating_range.nominal()
+S0 = TEMPLATE.statistical_space.nominal()
+NOMINAL = TEMPLATE.evaluate(D, S0, THETA)
+
+
+class TestSize:
+    def test_mna_size_exceeds_sparse_floor(self):
+        size = TEMPLATE.nominal_mna_size()
+        assert size >= AUTO_SPARSE_MIN_NODES
+        assert size >= 250  # the >= 120 floor with headroom to spare
+
+    def test_assert_large_passes(self):
+        TEMPLATE.assert_large()
+
+    def test_auto_backend_resolves_to_sparse(self):
+        from repro.circuit.linsolve import SPARSE, resolve_backend
+        assert resolve_backend("auto",
+                               TEMPLATE.nominal_mna_size()) is SPARSE
+
+
+class TestNominal:
+    def test_values_in_plausible_ranges(self):
+        assert 75.0 < NOMINAL["a0"] < 100.0
+        assert 3.0 < NOMINAL["ft"] < 15.0
+        assert 70.0 < NOMINAL["cmrr"] < 120.0
+        assert 1.5 < NOMINAL["sr"] < 6.0
+        assert 0.3 < NOMINAL["power"] < 2.0
+
+    def test_initial_design_is_feasible(self):
+        values = TEMPLATE.constraints(D)
+        assert min(values.values()) >= 0.0
+
+    def test_initial_design_meets_specs(self):
+        for spec in TEMPLATE.specs:
+            assert spec.passes(NOMINAL[spec.performance])
+
+    def test_statistical_space_shape(self):
+        space = TEMPLATE.statistical_space
+        # globals + (vth + beta) for the two matched pairs only: the
+        # local space stays 8-dimensional regardless of segment count.
+        n_globals = space.dim - 8
+        assert len(space.local_variations) == 8
+        assert n_globals >= 1
+        assert len(TEMPLATE.local_vth_names()) == 4
+
+    def test_variants(self):
+        local_only = TwoStageArrayOpamp(with_global=False)
+        assert local_only.statistical_space.dim == 8
+        global_only = TwoStageArrayOpamp(with_local=False)
+        assert len(global_only.statistical_space.local_variations) == 0
+
+    def test_matched_pairs_listed(self):
+        assert ("M1", "M2") in MATCHED_PAIRS
+        assert ("M3", "M4") in MATCHED_PAIRS
+
+
+class TestBackendEquivalence:
+    def test_dense_and_sparse_full_evaluations_agree(self):
+        """The acceptance tolerance of the backend layer, exercised on
+        the full evaluate() path (DC homotopy + warm start + AC
+        measurements) of the large template itself."""
+        results = {}
+        for backend in ("dense", "sparse"):
+            t = TwoStageArrayOpamp()
+            t.linsolve = backend
+            rng = np.random.default_rng(11)
+            s = rng.standard_normal(t.statistical_space.dim)
+            results[backend] = t.evaluate(t.initial_design(), s, THETA)
+        for key, dense_value in results["dense"].items():
+            assert results["sparse"][key] == pytest.approx(
+                dense_value, rel=1e-6), key
+
+
+class TestMismatchPhysics:
+    def _with_vth_mismatch(self, device_a, device_b, delta):
+        space = TEMPLATE.statistical_space
+        s = np.zeros(space.dim)
+        names = [lv.name for lv in space.local_variations]
+        sig_a = space.local_variations[names.index(
+            f"dvt_{device_a}")].sigma(TEMPLATE.process, D)
+        sig_b = space.local_variations[names.index(
+            f"dvt_{device_b}")].sigma(TEMPLATE.process, D)
+        s[space.index(f"dvt_{device_a}")] = delta / sig_a
+        s[space.index(f"dvt_{device_b}")] = -delta / sig_b
+        return TEMPLATE.evaluate(D, s, THETA)
+
+    def test_mirror_pair_mismatch_degrades_cmrr(self):
+        plus = self._with_vth_mismatch("M3", "M4", 2e-3)
+        minus = self._with_vth_mismatch("M4", "M3", 2e-3)
+        assert min(plus["cmrr"], minus["cmrr"]) < NOMINAL["cmrr"] - 5.0
+
+    def test_input_pair_beta_mismatch_shifts_cmrr(self):
+        """Input-pair vth mismatch is pure offset (absorbed by the
+        bench); its *gain-factor* mismatch unbalances gm and moves CMRR
+        by a signed few dB."""
+        space = TEMPLATE.statistical_space
+        shifts = []
+        for sign in (1.0, -1.0):
+            s = np.zeros(space.dim)
+            s[space.index("dbeta_M1")] = 3.0 * sign
+            s[space.index("dbeta_M2")] = -3.0 * sign
+            shifts.append(TEMPLATE.evaluate(D, s, THETA)["cmrr"]
+                          - NOMINAL["cmrr"])
+        assert all(abs(shift) > 1.0 for shift in shifts)
+        assert min(shifts) < 0.0 < max(shifts)
+
+    def test_mismatch_leaves_power_alone(self):
+        tilted = self._with_vth_mismatch("M1", "M2", 2e-3)
+        assert tilted["power"] == pytest.approx(NOMINAL["power"],
+                                                rel=0.05)
+
+
+class TestDesignBehaviour:
+    def test_bigger_miller_cap_lowers_ft_and_sr(self):
+        d = dict(D)
+        d["cc"] = D["cc"] * 2.0
+        result = TEMPLATE.evaluate(d, S0, THETA)
+        assert result["ft"] < NOMINAL["ft"]
+        assert result["sr"] < NOMINAL["sr"]
+
+    def test_segment_widths_scale_power(self):
+        d = dict(D)
+        d["wp"] = D["wp"] * 1.5
+        d["wn"] = D["wn"] * 1.5
+        result = TEMPLATE.evaluate(d, S0, THETA)
+        assert result["power"] > NOMINAL["power"]
+
+    def test_segment_count_constant(self):
+        """The netlist really instantiates every segment (device count
+        grows with N_SEGMENTS)."""
+        space = TEMPLATE.statistical_space
+        pv = space.to_physical(D, S0)
+        circuit = TEMPLATE.build(D, pv, THETA)
+        names = {dev.name for dev in circuit.devices}
+        for k in range(1, N_SEGMENTS + 1):
+            assert f"MP{k}" in names
+            assert f"MN{k}" in names
+
+
+class TestEndToEnd:
+    def test_yield_estimation_runs(self):
+        from repro.evaluation import Evaluator
+        from repro.spec.operating import spec_key
+        from repro.yieldsim import make_estimator
+
+        t = TwoStageArrayOpamp()
+        evaluator = Evaluator(t)
+        d = t.initial_design()
+        theta = {spec_key(s): dict(THETA) for s in t.specs}
+        estimator = make_estimator("mc")
+        result = estimator.estimate(evaluator, d, theta, n_samples=12,
+                                    seed=7)
+        assert result.n_samples == 12
+        assert 0.0 <= result.estimate <= 1.0
+        assert result.report.simulations > 0
+
+    def test_sharded_runs_merge_to_unsharded(self):
+        from repro.evaluation import Evaluator
+        from repro.spec.operating import spec_key
+        from repro.yieldsim import ShardPlan, make_estimator, merge_results
+
+        theta = {spec_key(s): dict(THETA) for s in TEMPLATE.specs}
+        results = []
+        for index in (0, 1):
+            t = TwoStageArrayOpamp()
+            estimator = make_estimator("mc")
+            results.append(estimator.estimate(
+                Evaluator(t), t.initial_design(), theta, n_samples=10,
+                seed=7, shard=ShardPlan(index, 2)))
+        merged = merge_results(results)
+        t = TwoStageArrayOpamp()
+        unsharded = make_estimator("mc").estimate(
+            Evaluator(t), t.initial_design(), theta, n_samples=10, seed=7)
+        assert merged.estimate == pytest.approx(unsharded.estimate)
+        assert merged.n_samples == unsharded.n_samples
+
+    def test_cli_registration(self):
+        from repro.cli import CIRCUITS
+        assert CIRCUITS["two-stage-array"] is TwoStageArrayOpamp

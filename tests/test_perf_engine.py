@@ -159,11 +159,11 @@ class TestWarmStartDc:
         original = dc_mod._newton
         calls = {"n": 0}
 
-        def flaky(circuit, layout, x0, gmin):
+        def flaky(circuit, layout, x0, gmin, backend):
             calls["n"] += 1
             if calls["n"] <= 2:  # the newton-warm and newton stages
                 raise ConvergenceError("injected failure")
-            return original(circuit, layout, x0, gmin)
+            return original(circuit, layout, x0, gmin, backend)
 
         monkeypatch.setattr(dc_mod, "_newton", flaky)
         result = solve_dc(ckt, x0=reference.x)
