@@ -1,11 +1,24 @@
 """Benchmark circuits of the paper's Section 6 plus a teaching circuit."""
 
+from typing import Callable, Dict
+
 from .base import OpampTemplate, default_operating_range
 from .folded_cascode import FoldedCascodeOpamp
 from .miller import MillerOpamp
 from .ota import FiveTransistorOta
 from .two_stage_array import TwoStageArrayOpamp
 
-__all__ = ["FiveTransistorOta", "FoldedCascodeOpamp", "MillerOpamp",
-           "OpampTemplate", "TwoStageArrayOpamp",
+#: Registered benchmark circuits by CLI/service name.  The CLI and the
+#: ``repro.serve`` job runner both resolve circuit names here, so a job
+#: submitted over the wire instantiates exactly the template a local
+#: command would.
+CIRCUITS: Dict[str, Callable] = {
+    "miller": MillerOpamp,
+    "folded-cascode": FoldedCascodeOpamp,
+    "ota": FiveTransistorOta,
+    "two-stage-array": TwoStageArrayOpamp,
+}
+
+__all__ = ["CIRCUITS", "FiveTransistorOta", "FoldedCascodeOpamp",
+           "MillerOpamp", "OpampTemplate", "TwoStageArrayOpamp",
            "default_operating_range"]

@@ -17,7 +17,12 @@ writing any Python:
 * ``corners``   — the PVT corner report,
 * ``evaluate``  — nominal performances and constraint values,
 * ``simulate``  — DC operating point (and optional AC gain) of a
-  SPICE-style netlist file.
+  SPICE-style netlist file,
+* ``serve``     — run the optimization-as-a-service job daemon
+  (submit/status/result/cancel JSON API, content-addressed result
+  cache, automatic shard orchestration),
+* ``submit`` / ``status`` / ``result`` / ``cancel`` — the matching
+  client commands against a running daemon.
 
 Examples::
 
@@ -29,24 +34,17 @@ Examples::
     python -m repro analyze folded-cascode --local-only
     python -m repro corners ota
     python -m repro simulate my_circuit.sp --node out --ac 1e3
+    python -m repro serve --port 8754 --store /tmp/repro-store
+    python -m repro submit folded-cascode --samples 300 --shards 4 --wait
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict, Optional
+from typing import Optional
 
-from .circuits import (FiveTransistorOta, FoldedCascodeOpamp, MillerOpamp,
-                       TwoStageArrayOpamp)
-
-#: Registered benchmark circuits.
-CIRCUITS: Dict[str, Callable] = {
-    "miller": MillerOpamp,
-    "folded-cascode": FoldedCascodeOpamp,
-    "ota": FiveTransistorOta,
-    "two-stage-array": TwoStageArrayOpamp,
-}
+from .circuits import CIRCUITS
 
 
 def _make_template(name: str, local_only: bool = False):
@@ -128,43 +126,33 @@ def cmd_optimize(args: argparse.Namespace) -> int:
 def cmd_yield(args: argparse.Namespace) -> int:
     import json
 
-    from .evaluation import Evaluator
-    from .spec.operating import find_worst_case_operating_points
-    from .yieldsim import make_estimator
+    from .serve.jobs import YieldRequest, execute_yield, yield_artifact
 
-    template = _make_template(args.circuit)
-    evaluator = Evaluator(template, linsolve=args.linsolve)
-    d = template.initial_design()
-    s0 = template.statistical_space.nominal()
-    theta_wc = find_worst_case_operating_points(
-        lambda theta: evaluator.evaluate(d, s0, theta),
-        template.specs, template.operating_range)
-    shard = None
-    if args.shard:
-        from .yieldsim import ShardPlan
-        shard = ShardPlan.parse(args.shard)
-    worst_case = None
-    if args.estimator == "is":
-        # Mean-shift IS centers its proposal on the Eq. 8 worst-case
-        # points; computing them costs O(dim) simulations per spec.
-        # The search is seed-deterministic, so every shard of a fleet
-        # reconstructs the same mixture components.
-        from .core import find_all_worst_case_points
-        worst_case = find_all_worst_case_points(evaluator, d, theta_wc,
-                                                seed=args.seed)
-    estimator = make_estimator(args.estimator, jobs=args.jobs,
-                               timeout_s=args.chunk_timeout)
-    result = estimator.estimate(evaluator, d, theta_wc,
-                                n_samples=args.samples, seed=args.seed,
-                                worst_case=worst_case, shard=shard)
+    if args.circuit not in CIRCUITS:
+        raise SystemExit(
+            f"unknown circuit {args.circuit!r}; choose from "
+            f"{', '.join(sorted(CIRCUITS))}")
+    # The CLI and the job-server workers execute through the same
+    # request path (repro.serve.jobs), so an API-submitted job is
+    # bit-identical to this command.
+    request = YieldRequest(
+        circuit=args.circuit, estimator=args.estimator,
+        n_samples=args.samples, seed=args.seed, jobs=args.jobs,
+        linsolve=args.linsolve, chunk_timeout=args.chunk_timeout,
+        shard=args.shard or None)
+    result = execute_yield(request)
     if args.out:
+        # Self-describing artifact: schema version + provenance block,
+        # validated on load by merge-verify and the serve result store.
+        artifact = yield_artifact(request, result, command="yield")
         with open(args.out, "w") as handle:
-            handle.write(result.to_json(indent=2))
+            json.dump(artifact, handle, indent=2)
     if args.json:
         print(result.to_json(indent=2))
         return 0
+    template = _make_template(args.circuit)
     report = result.report
-    shard_note = f", shard {shard.label}" if shard is not None else ""
+    shard_note = f", shard {args.shard}" if args.shard else ""
     print(f"circuit: {template.name}  (estimator: {args.estimator}, "
           f"N = {result.n_samples}, jobs = {args.jobs}{shard_note})")
     print(f"yield = {result.estimate * 100:.2f}%  "
@@ -207,22 +195,44 @@ def cmd_yield(args: argparse.Namespace) -> int:
 def cmd_merge_verify(args: argparse.Namespace) -> int:
     import json
 
+    from .errors import ReproError
     from .reporting import merged_provenance_table
-    from .yieldsim import YieldResult, merge_results
+    from .serve.contract import (KIND_MERGED, check_merge_compatible,
+                                 load_result_artifact, merged_provenance,
+                                 wrap_result)
+    from .yieldsim import merge_results
 
     results = []
+    provenances = []
     for path in args.shards:
         try:
             with open(path) as handle:
-                results.append(YieldResult.from_dict(json.load(handle)))
+                data = json.load(handle)
         except OSError as exc:
             raise SystemExit(f"cannot read shard result {path!r}: {exc}")
-        except (ValueError, KeyError) as exc:
+        except ValueError as exc:
             raise SystemExit(f"corrupt shard result {path!r}: {exc}")
-    merged = merge_results(results)
+        try:
+            result, provenance = load_result_artifact(data, source=path)
+        except ReproError as exc:
+            raise SystemExit(str(exc))
+        results.append(result)
+        provenances.append(provenance)
+    try:
+        # Shards of one run must agree on template/seed/estimator —
+        # pooling mismatched statistics would be silently meaningless.
+        check_merge_compatible(provenances, sources=args.shards)
+        merged = merge_results(results)
+    except ReproError as exc:
+        raise SystemExit(str(exc))
     if args.out:
+        artifact = wrap_result(
+            merged,
+            merged_provenance(provenances, n_samples=merged.n_samples,
+                              shards=merged.merged_from),
+            kind=KIND_MERGED)
         with open(args.out, "w") as handle:
-            handle.write(merged.to_json(indent=2))
+            json.dump(artifact, handle, indent=2)
     if args.checkpoint:
         from .runtime import splice_merged_result
         splice_merged_result(args.checkpoint, merged)
@@ -335,6 +345,129 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         print(f"\nAC transfer to {args.node} at "
               f"{format_si(args.ac, 'Hz')}: |H| = {abs(h):.4g} "
               f"({db(abs(h)):.1f} dB)")
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .serve import run_daemon
+
+    try:
+        asyncio.run(run_daemon(
+            store_dir=args.store, host=args.host, port=args.port,
+            workers=args.workers,
+            max_queued_per_tenant=args.max_queued_per_tenant))
+    except KeyboardInterrupt:
+        print("serve daemon stopped")
+    return 0
+
+
+def _client(args: argparse.Namespace):
+    from .serve import ServeClient
+    return ServeClient(args.server)
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    import json
+
+    from .errors import ServeError
+
+    client = _client(args)
+    budget = {}
+    if args.deadline is not None:
+        budget["deadline_s"] = args.deadline
+    if args.max_sims is not None:
+        budget["max_simulations"] = args.max_sims
+    payload = {
+        "kind": "yield",
+        "request": {
+            "circuit": args.circuit,
+            "estimator": args.estimator,
+            "n_samples": args.samples,
+            "seed": args.seed,
+            "linsolve": args.linsolve,
+        },
+        "shards": args.shards,
+        "tenant": args.tenant,
+        "priority": args.priority,
+    }
+    if budget:
+        payload["budget"] = budget
+    if args.splice_checkpoint:
+        payload["splice_checkpoint"] = args.splice_checkpoint
+    try:
+        job = client.submit(payload)
+        if args.wait:
+            job = client.wait(job["id"], timeout_s=args.timeout)
+    except ServeError as exc:
+        raise SystemExit(str(exc))
+    if not args.wait:
+        print(json.dumps(job, indent=2))
+        return 0
+    if job["state"] != "done":
+        print(json.dumps(job, indent=2))
+        return 1
+    artifact = client.result(job["id"])
+    print(json.dumps(artifact, indent=2))
+    return 0
+
+
+def cmd_status(args: argparse.Namespace) -> int:
+    import json
+
+    from .errors import ServeError
+
+    client = _client(args)
+    try:
+        # No job id = daemon-level view: health plus queue/store stats.
+        payload = client.status(args.job) if args.job else client.stats()
+    except ServeError as exc:
+        raise SystemExit(str(exc))
+    if args.job:
+        print(json.dumps(payload, indent=2))
+    else:
+        from .reporting import queue_table
+        print(queue_table(payload))
+    return 0
+
+
+def cmd_result(args: argparse.Namespace) -> int:
+    import json
+
+    from .errors import ServeError
+
+    client = _client(args)
+    try:
+        if args.wait:
+            job = client.wait(args.job, timeout_s=args.timeout)
+            if job["state"] != "done":
+                raise SystemExit(
+                    f"job {args.job} ended {job['state']}"
+                    + (f": {job['error']}" if job.get("error") else ""))
+        artifact = client.result(args.job)
+    except ServeError as exc:
+        raise SystemExit(str(exc))
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(artifact, handle, indent=2)
+        print(f"result written to {args.out}")
+    else:
+        print(json.dumps(artifact, indent=2))
+    return 0
+
+
+def cmd_cancel(args: argparse.Namespace) -> int:
+    import json
+
+    from .errors import ServeError
+
+    client = _client(args)
+    try:
+        job = client.cancel(args.job)
+    except ServeError as exc:
+        raise SystemExit(str(exc))
+    print(json.dumps(job, indent=2))
     return 0
 
 
@@ -460,6 +593,78 @@ def build_parser() -> argparse.ArgumentParser:
                    help="frequency [Hz] for the AC readout")
     _add_linsolve(p)
     p.set_defaults(func=cmd_simulate)
+
+    p = sub.add_parser(
+        "serve", help="run the optimization-as-a-service job daemon")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8642)
+    p.add_argument("--store", default=".repro-store", metavar="DIR",
+                   help="content-addressed result store directory "
+                        "(default: .repro-store)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="worker processes executing jobs (default: 2)")
+    p.add_argument("--max-queued-per-tenant", type=int, default=None,
+                   metavar="N",
+                   help="reject a tenant's submissions beyond N queued "
+                        "jobs (default: unlimited)")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "submit", help="submit a yield job to a repro serve daemon")
+    p.add_argument("circuit", choices=sorted(CIRCUITS))
+    p.add_argument("--server", default="http://127.0.0.1:8642",
+                   help="daemon base URL (default: "
+                        "http://127.0.0.1:8642)")
+    p.add_argument("--estimator", choices=("mc", "is", "qmc"),
+                   default="mc")
+    p.add_argument("--samples", type=int, default=300)
+    p.add_argument("--seed", type=int, default=2001)
+    p.add_argument("--shards", type=int, default=1, metavar="N",
+                   help="decompose the verification into N shard "
+                        "workers merged server-side (default: 1)")
+    p.add_argument("--tenant", default="default")
+    p.add_argument("--priority", type=int, default=0,
+                   help="higher runs first (default: 0)")
+    p.add_argument("--deadline", type=float, metavar="S",
+                   help="per-job wall-clock budget [s]")
+    p.add_argument("--max-sims", type=int, metavar="N",
+                   help="per-job simulation budget (advisory: overspend "
+                        "is flagged budget_exceeded)")
+    p.add_argument("--splice-checkpoint", metavar="PATH",
+                   help="server-side checkpoint to splice the merged "
+                        "verification into")
+    p.add_argument("--wait", action="store_true",
+                   help="block until the job finishes and print its "
+                        "result artifact")
+    p.add_argument("--timeout", type=float, default=600.0,
+                   help="--wait polling timeout [s] (default: 600)")
+    _add_linsolve(p)
+    p.set_defaults(func=cmd_submit)
+
+    p = sub.add_parser(
+        "status", help="job status, or daemon queue/store telemetry")
+    p.add_argument("job", nargs="?", default=None,
+                   help="job id (omit for the daemon-level summary)")
+    p.add_argument("--server", default="http://127.0.0.1:8642")
+    p.set_defaults(func=cmd_status)
+
+    p = sub.add_parser(
+        "result", help="fetch a finished job's result artifact")
+    p.add_argument("job", help="job id")
+    p.add_argument("--server", default="http://127.0.0.1:8642")
+    p.add_argument("--out", metavar="PATH",
+                   help="write the artifact to PATH instead of stdout")
+    p.add_argument("--wait", action="store_true",
+                   help="poll until the job reaches a terminal state "
+                        "first")
+    p.add_argument("--timeout", type=float, default=600.0,
+                   help="--wait polling timeout [s] (default: 600)")
+    p.set_defaults(func=cmd_result)
+
+    p = sub.add_parser("cancel", help="cancel a queued or running job")
+    p.add_argument("job", help="job id")
+    p.add_argument("--server", default="http://127.0.0.1:8642")
+    p.set_defaults(func=cmd_cancel)
     return parser
 
 

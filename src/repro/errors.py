@@ -70,3 +70,14 @@ class WorstCaseError(ReproError):
 class OptimizationError(ReproError):
     """Raised for unrecoverable failures inside the yield optimization loop
     (Fig. 6 of the paper)."""
+
+
+class ArtifactError(ReproError):
+    """Raised for malformed, incompatible, or unvalidatable stored result
+    artifacts (the versioned JSON files written by ``yield --out``,
+    ``merge-verify`` and the ``repro.serve`` result store)."""
+
+
+class ServeError(ReproError):
+    """Raised by the ``repro.serve`` job server and client for invalid
+    job specifications, unknown job ids, and protocol-level failures."""

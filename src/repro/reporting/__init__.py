@@ -2,8 +2,8 @@
 
 from .tables import (effort_table, health_table, improvement_table,
                      merged_provenance_table, mismatch_table,
-                     optimization_trace_table, side_by_side)
+                     optimization_trace_table, queue_table, side_by_side)
 
 __all__ = ["effort_table", "health_table", "improvement_table",
            "merged_provenance_table", "mismatch_table",
-           "optimization_trace_table", "side_by_side"]
+           "optimization_trace_table", "queue_table", "side_by_side"]

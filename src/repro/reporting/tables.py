@@ -268,6 +268,39 @@ def merged_provenance_table(result) -> str:
     return "\n".join(lines)
 
 
+def queue_table(stats: Mapping) -> str:
+    """Render ``repro serve`` daemon telemetry (the ``/v1/stats``
+    payload): job counts by state and tenant, aggregate cache hits and
+    simulation spend, and the result-store object count."""
+    queue = stats.get("queue", stats)
+    by_state = queue.get("by_state", {})
+    order = ("queued", "running", "done", "failed", "cancelled")
+    lines = [f"Jobs ({queue.get('jobs', 0)} total)", "-" * 32]
+    for state in order:
+        if by_state.get(state):
+            lines.append(f"  {state:<10} : {by_state[state]}")
+    for state in sorted(set(by_state) - set(order)):
+        lines.append(f"  {state:<10} : {by_state[state]}")
+    by_tenant = queue.get("by_tenant", {})
+    if by_tenant:
+        lines.append("By tenant")
+        for tenant in sorted(by_tenant):
+            counts = by_tenant[tenant]
+            text = ", ".join(f"{state}={counts[state]}"
+                             for state in order if counts.get(state))
+            lines.append(f"  {tenant:<10} : {text or '-'}")
+    lines.append(f"cache hits   : {queue.get('cache_hits', 0)}")
+    lines.append(f"simulations  : {queue.get('simulations', 0)}")
+    store = stats.get("store")
+    if store:
+        lines.append(f"store        : {store.get('objects', 0)} "
+                     f"object(s) at {store.get('root', '?')}")
+        if store.get("invalid"):
+            lines.append(f"store invalid: {store['invalid']} "
+                         f"(corrupt entries treated as misses)")
+    return "\n".join(lines)
+
+
 def side_by_side(paper: str, measured: str, title: str) -> str:
     """Join a paper excerpt and our measured table under one banner."""
     bar = "=" * 72

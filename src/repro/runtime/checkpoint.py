@@ -29,7 +29,13 @@ import numpy as np
 from ..errors import ReproError
 
 #: current checkpoint schema version
-CHECKPOINT_VERSION = 1
+CHECKPOINT_VERSION = 2
+
+#: schema versions :func:`load_checkpoint` can read
+READABLE_VERSIONS = (1, 2)
+
+#: delta marker: "same serialized value as the previous record's entry"
+_PREV = "@prev"
 
 
 class CheckpointError(ReproError):
@@ -198,19 +204,84 @@ class OptimizerCheckpoint:
     stop_reason: Optional[str] = None
 
 
+def _compact_wc(records: List[Dict],
+                previous_wc: Optional[Dict]) -> None:
+    """Delta-encode the serialized worst-case blocks in place (the
+    version-2 compaction).
+
+    The warm-started Eq. 8 searches converge: from some iteration on, a
+    spec's worst-case point stops moving, and every later record repeats
+    the identical (s_wc, gradient, ...) block — the bulk of a long run's
+    checkpoint.  A per-spec entry that serializes identically to the
+    previous record's entry is replaced by the :data:`_PREV` marker;
+    ``previous_wc`` is compared against the *last* record the same way.
+    Expansion (:func:`_expand_wc`) restores the exact dicts, so the
+    round-trip is bit-identical.
+    """
+    reference: Optional[Dict] = None
+    for record in records:
+        worst_case = record.get("worst_case") or {}
+        if reference is not None:
+            compact = {}
+            for key, wc in worst_case.items():
+                if reference.get(key) == wc:
+                    compact[key] = _PREV
+                else:
+                    compact[key] = wc
+            record["worst_case"] = compact
+        reference = worst_case
+    if previous_wc is not None and reference is not None:
+        for key in list(previous_wc):
+            if reference.get(key) == previous_wc[key]:
+                previous_wc[key] = _PREV
+
+
+def _expand_wc(records: List[Dict], previous_wc: Optional[Dict],
+               path: str) -> None:
+    """Resolve :data:`_PREV` markers in place (inverse of
+    :func:`_compact_wc`); a no-op on version-1 payloads."""
+    reference: Dict = {}
+    for index, record in enumerate(records):
+        expanded = {}
+        for key, wc in (record.get("worst_case") or {}).items():
+            if wc == _PREV:
+                if key not in reference:
+                    raise CheckpointError(
+                        f"checkpoint {path!r}: record {index} marks "
+                        f"worst-case {key!r} as unchanged but no "
+                        f"previous record defines it")
+                expanded[key] = reference[key]
+            else:
+                expanded[key] = wc
+        record["worst_case"] = expanded
+        reference = expanded
+    if previous_wc is not None:
+        for key, wc in previous_wc.items():
+            if wc == _PREV:
+                if key not in reference:
+                    raise CheckpointError(
+                        f"checkpoint {path!r}: previous_wc marks "
+                        f"{key!r} as unchanged but the last record "
+                        f"does not define it")
+                previous_wc[key] = reference[key]
+
+
 def save_checkpoint(path: str, checkpoint: OptimizerCheckpoint) -> None:
-    """Atomically write ``checkpoint`` as JSON to ``path``."""
+    """Atomically write ``checkpoint`` as JSON to ``path`` (version-2
+    schema: repeated worst-case blocks are delta-compacted)."""
+    records = [record_to_dict(record) for record in checkpoint.records]
+    previous_wc = None if checkpoint.previous_wc is None else {
+        key: _wc_to_dict(wc)
+        for key, wc in checkpoint.previous_wc.items()}
+    _compact_wc(records, previous_wc)
     payload = {
         "version": CHECKPOINT_VERSION,
         "template_name": checkpoint.template_name,
         "seed": checkpoint.seed,
         "iteration": checkpoint.iteration,
         "d_f": dict(checkpoint.d_f),
-        "records": [record_to_dict(record)
-                    for record in checkpoint.records],
-        "previous_wc": None if checkpoint.previous_wc is None else {
-            key: _wc_to_dict(wc)
-            for key, wc in checkpoint.previous_wc.items()},
+        "records": records,
+        "previous_wc": previous_wc,
         "sample_state": dict(checkpoint.sample_state),
         "counters": dict(checkpoint.counters),
         "wall_time_s": checkpoint.wall_time_s,
@@ -258,10 +329,11 @@ def splice_merged_result(path: str, result) -> None:
     except ValueError as exc:
         raise CheckpointError(f"corrupt checkpoint {path!r}: {exc}")
     version = payload.get("version")
-    if version != CHECKPOINT_VERSION:
+    if version not in READABLE_VERSIONS:
         raise CheckpointError(
             f"checkpoint {path!r} has schema version {version!r}; "
-            f"this build reads version {CHECKPOINT_VERSION}")
+            f"this build reads versions "
+            f"{', '.join(map(str, READABLE_VERSIONS))}")
     records = payload.get("records") or []
     if not records:
         raise CheckpointError(
@@ -323,15 +395,17 @@ def load_checkpoint(path: str, template) -> OptimizerCheckpoint:
     except ValueError as exc:
         raise CheckpointError(f"corrupt checkpoint {path!r}: {exc}")
     version = payload.get("version")
-    if version != CHECKPOINT_VERSION:
+    if version not in READABLE_VERSIONS:
         raise CheckpointError(
             f"checkpoint {path!r} has schema version {version!r}; "
-            f"this build reads version {CHECKPOINT_VERSION}")
+            f"this build reads versions "
+            f"{', '.join(map(str, READABLE_VERSIONS))}")
     if payload["template_name"] != template.name:
         raise CheckpointError(
             f"checkpoint {path!r} was written for template "
             f"{payload['template_name']!r}, not {template.name!r}")
     previous_wc = payload.get("previous_wc")
+    _expand_wc(payload.get("records") or [], previous_wc, path)
     return OptimizerCheckpoint(
         template_name=payload["template_name"],
         seed=int(payload["seed"]),

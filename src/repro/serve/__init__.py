@@ -1,0 +1,50 @@
+"""Optimization-as-a-service: the ``repro.serve`` job server.
+
+The paper's feasibility-guided yield flow is a long-running, restartable
+computation; this subsystem turns the pieces the runtime already
+provides — checkpoints, :class:`~repro.yieldsim.ShardPlan` workers,
+``merge-verify`` splicing, budgets, fault policies — into a daemon that
+clients talk to over a versioned JSON API:
+
+* :class:`ServeApp` / :class:`ServeDaemon` — the asyncio job server
+  (``repro serve``): submit/status/result/cancel plus health and queue
+  telemetry,
+* :class:`~repro.serve.queue.JobQueue` — multi-tenant priority queue;
+  each job carries its own budget and fault policy,
+* :class:`~repro.serve.store.ResultStore` — persistent result store
+  keyed by a canonical content hash of (template + specs, seed,
+  estimator config, schema version): identical requests are served from
+  cache without simulation,
+* :mod:`~repro.serve.jobs` — the request-execution path shared with the
+  CLI (bit-identical results either way) and the automatic shard
+  fan-out/merge,
+* :mod:`~repro.serve.contract` — the wire format: versioned artifacts
+  with provenance, validated on load,
+* :class:`ServeClient` — the stdlib HTTP client behind ``repro
+  submit/status/result/cancel``.
+"""
+
+from __future__ import annotations
+
+from .client import ServeClient
+from .contract import (KIND_MERGED, KIND_OPTIMIZE, KIND_YIELD,
+                       SCHEMA_VERSION, check_merge_compatible,
+                       load_result_artifact, make_provenance,
+                       merged_provenance, validate_artifact, wrap_result)
+from .jobs import (YieldRequest, cache_key, canonical_request,
+                   execute_yield, execute_yield_job, merge_artifacts,
+                   yield_artifact)
+from .queue import CANCELLED, DONE, FAILED, Job, JobQueue, QUEUED, RUNNING
+from .server import ServeApp, ServeDaemon, ServerThread, run_daemon
+from .store import ResultStore
+
+__all__ = [
+    "CANCELLED", "DONE", "FAILED", "Job", "JobQueue", "KIND_MERGED",
+    "KIND_OPTIMIZE", "KIND_YIELD", "QUEUED", "RUNNING", "ResultStore",
+    "SCHEMA_VERSION", "ServeApp", "ServeClient", "ServeDaemon",
+    "ServerThread", "YieldRequest", "cache_key", "canonical_request",
+    "check_merge_compatible", "execute_yield", "execute_yield_job",
+    "load_result_artifact", "make_provenance", "merge_artifacts",
+    "merged_provenance", "run_daemon", "validate_artifact",
+    "wrap_result", "yield_artifact",
+]

@@ -1,0 +1,99 @@
+"""Stdlib HTTP client for the ``repro.serve`` API.
+
+A thin synchronous wrapper over :mod:`urllib.request` — the same wire
+contract any other client (a CI job, a DSE sweep driver, ``curl``)
+speaks.  Every method returns the decoded JSON body; protocol and
+HTTP-level failures raise :class:`~repro.errors.ServeError` with the
+server's error message when one was sent.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, Mapping, Optional
+
+from ..errors import ServeError
+
+#: job states the poller treats as terminal
+_TERMINAL = ("done", "failed", "cancelled")
+
+
+class ServeClient:
+    """Client for one ``repro serve`` daemon at ``base_url``."""
+
+    def __init__(self, base_url: str, timeout_s: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = timeout_s
+
+    # -- transport -------------------------------------------------------------
+    def _call(self, method: str, path: str,
+              body: Optional[Mapping] = None) -> Dict:
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            f"{self.base_url}{path}", data=data, headers=headers,
+            method=method)
+        try:
+            with urllib.request.urlopen(
+                    request, timeout=self.timeout_s) as response:
+                raw = response.read()
+        except urllib.error.HTTPError as exc:
+            try:
+                message = json.loads(exc.read().decode("utf-8")).get(
+                    "error", str(exc))
+            except (ValueError, OSError):
+                message = str(exc)
+            raise ServeError(f"{method} {path} -> {exc.code}: {message}")
+        except urllib.error.URLError as exc:
+            raise ServeError(
+                f"cannot reach serve daemon at {self.base_url}: "
+                f"{exc.reason}")
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except ValueError as exc:
+            raise ServeError(f"non-JSON response from {path}: {exc}")
+
+    # -- API -------------------------------------------------------------------
+    def health(self) -> Dict:
+        return self._call("GET", "/v1/health")
+
+    def stats(self) -> Dict:
+        return self._call("GET", "/v1/stats")
+
+    def submit(self, payload: Mapping) -> Dict:
+        """Submit a job specification; returns the job record."""
+        return self._call("POST", "/v1/jobs", body=payload)
+
+    def status(self, job_id: str) -> Dict:
+        return self._call("GET", f"/v1/jobs/{job_id}")
+
+    def result(self, job_id: str) -> Dict:
+        """The finished job's provenance-stamped artifact."""
+        return self._call("GET", f"/v1/jobs/{job_id}/result")
+
+    def cancel(self, job_id: str) -> Dict:
+        return self._call("POST", f"/v1/jobs/{job_id}/cancel")
+
+    def wait(self, job_id: str, timeout_s: float = 600.0,
+             poll_s: float = 0.2) -> Dict:
+        """Poll until the job reaches a terminal state; returns the
+        final job record (check ``state`` before fetching the result)."""
+        deadline = time.monotonic() + timeout_s
+        while True:
+            job = self.status(job_id)
+            if job.get("state") in _TERMINAL:
+                return job
+            if time.monotonic() >= deadline:
+                raise ServeError(
+                    f"job {job_id} still {job.get('state')!r} after "
+                    f"{timeout_s:.0f} s")
+            time.sleep(poll_s)
+
+
+__all__ = ["ServeClient"]

@@ -1,0 +1,248 @@
+"""Job specifications and the request-execution path of ``repro.serve``.
+
+The central object is :class:`YieldRequest`: one fully parameterized
+yield estimation.  ``repro yield`` on the command line and a worker
+process of the job server both execute a request through
+:func:`execute_yield`, so an API-submitted job produces *exactly* the
+result the equivalent local command would — bit for bit, including the
+telemetry counters.
+
+Requests also define the service's **cache identity**:
+:func:`canonical_request` reduces a request to the fields that determine
+its result (template + spec set, seed, estimator configuration, code
+schema version) and :func:`cache_key` hashes the canonical form, so the
+content-addressed result store serves identical requests without
+simulation.  Sharding is an execution detail for QMC (skip-ahead shards
+reproduce the unsharded point set exactly) but changes the sample
+streams of MC/IS (independent ``SeedSequence.spawn`` sub-streams), so
+the shard count enters the key only for stream-splitting estimators.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+from ..circuits import CIRCUITS
+from ..errors import ServeError
+from .contract import (KIND_MERGED, KIND_YIELD, SCHEMA_VERSION,
+                       make_provenance, wrap_result)
+
+#: estimators whose shard decomposition reproduces the unsharded sample
+#: stream exactly (Sobol skip-ahead); their cache key ignores ``shards``
+_STREAM_INVARIANT_ESTIMATORS = ("qmc",)
+
+
+@dataclass(frozen=True)
+class YieldRequest:
+    """One fully parameterized yield estimation."""
+
+    circuit: str
+    estimator: str = "mc"
+    n_samples: int = 300
+    seed: int = 2001
+    jobs: int = 1
+    linsolve: Optional[str] = None
+    chunk_timeout: Optional[float] = None
+    #: 1-based ``i/N`` shard label (None = the full stream)
+    shard: Optional[str] = None
+    #: optional fault-policy override: ``{"lenient": bool,
+    #: "retry_attempts": int, "jitter": float, "backoff": float}``.
+    #: None runs the bare evaluator, exactly like the local CLI.
+    policy: Optional[Mapping] = None
+
+    def __post_init__(self):
+        if self.circuit not in CIRCUITS:
+            raise ServeError(
+                f"unknown circuit {self.circuit!r}; choose from "
+                f"{', '.join(sorted(CIRCUITS))}")
+        from ..yieldsim import ESTIMATORS
+        if self.estimator not in ESTIMATORS:
+            raise ServeError(
+                f"unknown estimator {self.estimator!r}; choose from "
+                f"{', '.join(sorted(ESTIMATORS))}")
+        if self.n_samples < 1:
+            raise ServeError(
+                f"n_samples must be >= 1, got {self.n_samples}")
+
+    def to_dict(self) -> Dict:
+        return {
+            "circuit": self.circuit,
+            "estimator": self.estimator,
+            "n_samples": self.n_samples,
+            "seed": self.seed,
+            "jobs": self.jobs,
+            "linsolve": self.linsolve,
+            "chunk_timeout": self.chunk_timeout,
+            "shard": self.shard,
+            "policy": None if self.policy is None else dict(self.policy),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "YieldRequest":
+        try:
+            return cls(
+                circuit=data["circuit"],
+                estimator=data.get("estimator", "mc"),
+                n_samples=int(data.get("n_samples", 300)),
+                seed=int(data.get("seed", 2001)),
+                jobs=int(data.get("jobs", 1)),
+                linsolve=data.get("linsolve"),
+                chunk_timeout=data.get("chunk_timeout"),
+                shard=data.get("shard"),
+                policy=data.get("policy"))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ServeError(f"invalid yield request: {exc}")
+
+
+def spec_signature(template) -> list:
+    """The template's spec set in canonical, hashable form."""
+    return [[spec.performance, spec.kind, float(spec.bound)]
+            for spec in template.specs]
+
+
+def canonical_request(request: YieldRequest,
+                      shards: int = 1) -> Dict:
+    """The result-determining canonical form of a (possibly sharded)
+    request.
+
+    Instantiates the template to capture the spec set: two builds that
+    register different specs under one circuit name must never share a
+    cache entry.  Execution-only knobs (worker counts, timeouts) are
+    excluded — they change wall clock, not the result.
+    """
+    template = CIRCUITS[request.circuit]()
+    canonical: Dict = {
+        "schema_version": SCHEMA_VERSION,
+        "circuit": request.circuit,
+        "specs": spec_signature(template),
+        "statistical_dim": int(template.statistical_space.dim),
+        "seed": request.seed,
+        "estimator": request.estimator,
+        "n_samples": request.n_samples,
+        "linsolve": request.linsolve or "auto",
+    }
+    if request.policy is not None:
+        # A fault policy changes results whenever a sample faults (the
+        # faults themselves are deterministic in the point), so it is
+        # part of the result's identity.
+        canonical["policy"] = {key: request.policy[key]
+                               for key in sorted(request.policy)}
+    if shards > 1 and request.estimator not in \
+            _STREAM_INVARIANT_ESTIMATORS:
+        # MC/IS shards draw independent sub-streams: the pooled result
+        # depends on the partition, so the partition is part of the key.
+        canonical["shards"] = int(shards)
+    return canonical
+
+
+def cache_key(request: YieldRequest, shards: int = 1) -> str:
+    """Content hash of the canonical request (the result-store key)."""
+    text = json.dumps(canonical_request(request, shards=shards),
+                      sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+# -- execution ----------------------------------------------------------------
+def execute_yield(request: YieldRequest):
+    """Run one yield estimation; the single execution path shared by
+    ``repro yield`` and the job-server workers.
+
+    Returns the :class:`~repro.yieldsim.YieldResult`.
+    """
+    from ..evaluation import Evaluator
+    from ..spec.operating import find_worst_case_operating_points
+    from ..yieldsim import ShardPlan, make_estimator
+
+    template = CIRCUITS[request.circuit]()
+    evaluator = Evaluator(template, linsolve=request.linsolve)
+    target = evaluator
+    guarded = None
+    if request.policy is not None:
+        # Per-job fault policy: route every evaluation through the
+        # runtime's retry/count-as-fail machinery.  Left off by default
+        # so an unadorned request behaves exactly like the local CLI.
+        from ..runtime import (FaultPolicy, FaultTolerantEvaluator,
+                               RetryConfig)
+        policy = dict(request.policy)
+        retry = RetryConfig(
+            attempts=int(policy.get("retry_attempts", 2)),
+            jitter=float(policy.get("jitter", 1e-6)),
+            backoff=float(policy.get("backoff", 8.0)))
+        guarded = FaultTolerantEvaluator(evaluator,
+                                         FaultPolicy(retry=retry))
+        target = guarded
+    d = template.initial_design()
+    s0 = template.statistical_space.nominal()
+    theta_wc = find_worst_case_operating_points(
+        lambda theta: target.evaluate(d, s0, theta),
+        template.specs, template.operating_range)
+    shard = ShardPlan.parse(request.shard) if request.shard else None
+    worst_case = None
+    if request.estimator == "is":
+        # Mean-shift IS centers its proposal on the Eq. 8 worst-case
+        # points; the search is seed-deterministic, so every shard of a
+        # fleet reconstructs the same mixture components.
+        from ..core import find_all_worst_case_points
+        worst_case = find_all_worst_case_points(
+            target, d, theta_wc, seed=request.seed)
+    estimator = make_estimator(request.estimator, jobs=request.jobs,
+                               timeout_s=request.chunk_timeout)
+    if guarded is not None and dict(request.policy).get("lenient", True):
+        with guarded.lenient():
+            return estimator.estimate(guarded, d, theta_wc,
+                                      n_samples=request.n_samples,
+                                      seed=request.seed,
+                                      worst_case=worst_case, shard=shard)
+    return estimator.estimate(target, d, theta_wc,
+                              n_samples=request.n_samples,
+                              seed=request.seed,
+                              worst_case=worst_case, shard=shard)
+
+
+def yield_artifact(request: YieldRequest, result,
+                   command: str = "yield") -> Dict:
+    """Wrap an executed request's result in a provenance-carrying
+    artifact (the wire/store format)."""
+    shard_label = None
+    if result.shard_index is not None and result.shard_total:
+        shard_label = f"{result.shard_index + 1}/{result.shard_total}"
+    provenance = make_provenance(
+        template=request.circuit, seed=request.seed,
+        estimator=request.estimator, n_samples=request.n_samples,
+        command=command, shard=shard_label,
+        linsolve=request.linsolve)
+    return wrap_result(result, provenance, kind=KIND_YIELD)
+
+
+def execute_yield_job(payload: Mapping) -> Dict:
+    """Process-pool entry point: run one (shard of a) yield request and
+    return its artifact dict (picklable either way, but JSON keeps the
+    worker boundary identical to the wire format)."""
+    request = YieldRequest.from_dict(payload)
+    result = execute_yield(request)
+    return yield_artifact(request, result, command="serve")
+
+
+def merge_artifacts(artifacts, request: YieldRequest,
+                    shards: int) -> Dict:
+    """Pool per-shard artifacts into one merged artifact via the exact
+    :func:`~repro.yieldsim.merge_results` algebra."""
+    from ..yieldsim import YieldResult, merge_results
+    results = [YieldResult.from_dict(artifact["result"])
+               for artifact in artifacts]
+    merged = merge_results(results)
+    provenance = make_provenance(
+        template=request.circuit, seed=request.seed,
+        estimator=request.estimator, n_samples=request.n_samples,
+        command="serve", shards=shards, linsolve=request.linsolve)
+    return wrap_result(merged, provenance, kind=KIND_MERGED)
+
+
+__all__ = [
+    "YieldRequest", "cache_key", "canonical_request", "execute_yield",
+    "execute_yield_job", "merge_artifacts", "spec_signature",
+    "yield_artifact",
+]

@@ -1,0 +1,182 @@
+"""Multi-tenant priority job queue of the ``repro.serve`` daemon.
+
+Jobs are plain records with a small state machine::
+
+    queued -> running -> done
+                      -> failed
+    queued -> cancelled            (before dispatch)
+    running -> cancelled           (cancel requested; result discarded)
+
+Scheduling is strict priority (higher first), FIFO within a priority
+level; a ``max_queued_per_tenant`` cap keeps one chatty client from
+starving the queue for everyone else.  The queue is a pure data
+structure — no threads, no asyncio — so the daemon drives it from its
+event loop and the tests drive it directly.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+from ..errors import ServeError
+
+#: job states
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+#: states a job can still leave
+_ACTIVE = (QUEUED, RUNNING)
+
+
+@dataclass
+class Job:
+    """One submitted job and its lifecycle record."""
+
+    id: str
+    kind: str
+    request: Dict
+    tenant: str = "default"
+    priority: int = 0
+    #: shard fan-out of the verification (1 = no decomposition)
+    shards: int = 1
+    #: optional per-job budget: {"deadline_s": float,
+    #: "max_simulations": int}
+    budget: Optional[Dict] = None
+    #: optional checkpoint path to splice a merged verification into
+    splice_checkpoint: Optional[str] = None
+    state: str = QUEUED
+    #: canonical content hash of the request (the result-store key)
+    cache_key: str = ""
+    #: True when the result was served from the store without simulation
+    cache_hit: bool = False
+    #: simulator calls spent by *this* job (0 on a cache hit)
+    simulations: int = 0
+    #: True when fresh spend exceeded budget["max_simulations"]
+    budget_exceeded: bool = False
+    error: Optional[str] = None
+    submitted_at: float = field(default_factory=time.time)
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+
+    def to_dict(self) -> Dict:
+        return {
+            "id": self.id,
+            "kind": self.kind,
+            "request": dict(self.request),
+            "tenant": self.tenant,
+            "priority": self.priority,
+            "shards": self.shards,
+            "budget": self.budget,
+            "splice_checkpoint": self.splice_checkpoint,
+            "state": self.state,
+            "cache_key": self.cache_key,
+            "cache_hit": self.cache_hit,
+            "simulations": self.simulations,
+            "budget_exceeded": self.budget_exceeded,
+            "error": self.error,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+        }
+
+
+class JobQueue:
+    """Priority queue + job registry (see module docstring)."""
+
+    def __init__(self, max_queued_per_tenant: Optional[int] = None):
+        self.jobs: Dict[str, Job] = {}
+        self._heap: List = []
+        self._seq = itertools.count()
+        self.max_queued_per_tenant = max_queued_per_tenant
+
+    # -- submission ------------------------------------------------------------
+    def submit(self, job: Job) -> Job:
+        if job.id in self.jobs:
+            raise ServeError(f"duplicate job id {job.id!r}")
+        if self.max_queued_per_tenant is not None:
+            queued = sum(1 for other in self.jobs.values()
+                         if other.tenant == job.tenant
+                         and other.state == QUEUED)
+            if queued >= self.max_queued_per_tenant:
+                raise ServeError(
+                    f"tenant {job.tenant!r} already has {queued} queued "
+                    f"job(s); per-tenant limit is "
+                    f"{self.max_queued_per_tenant}")
+        self.jobs[job.id] = job
+        if job.state == QUEUED:
+            heapq.heappush(self._heap,
+                           (-job.priority, next(self._seq), job.id))
+        return job
+
+    # -- scheduling ------------------------------------------------------------
+    def pop_next(self) -> Optional[Job]:
+        """The highest-priority queued job, marked running; None when
+        nothing is dispatchable."""
+        while self._heap:
+            _, _, job_id = heapq.heappop(self._heap)
+            job = self.jobs.get(job_id)
+            # Cancelled-while-queued entries stay in the heap until
+            # popped here (lazy deletion).
+            if job is not None and job.state == QUEUED:
+                job.state = RUNNING
+                job.started_at = time.time()
+                return job
+        return None
+
+    # -- lookups ---------------------------------------------------------------
+    def get(self, job_id: str) -> Job:
+        try:
+            return self.jobs[job_id]
+        except KeyError:
+            raise ServeError(f"unknown job id {job_id!r}")
+
+    # -- transitions -----------------------------------------------------------
+    def finish(self, job_id: str, *, error: Optional[str] = None) -> Job:
+        job = self.get(job_id)
+        if job.state not in _ACTIVE:
+            return job  # cancelled mid-flight: keep the terminal state
+        job.state = FAILED if error else DONE
+        job.error = error
+        job.finished_at = time.time()
+        return job
+
+    def cancel(self, job_id: str) -> Job:
+        """Best-effort cancel: a queued job never runs; a running job is
+        marked cancelled and its eventual result is discarded (worker
+        processes are not killed mid-simulation)."""
+        job = self.get(job_id)
+        if job.state in _ACTIVE:
+            job.state = CANCELLED
+            job.finished_at = time.time()
+        return job
+
+    # -- telemetry -------------------------------------------------------------
+    def stats(self) -> Dict:
+        by_state: Dict[str, int] = {}
+        by_tenant: Dict[str, Dict[str, int]] = {}
+        cache_hits = 0
+        simulations = 0
+        for job in self.jobs.values():
+            by_state[job.state] = by_state.get(job.state, 0) + 1
+            tenant = by_tenant.setdefault(job.tenant, {})
+            tenant[job.state] = tenant.get(job.state, 0) + 1
+            cache_hits += int(job.cache_hit)
+            simulations += job.simulations
+        return {
+            "jobs": len(self.jobs),
+            "by_state": by_state,
+            "by_tenant": by_tenant,
+            "cache_hits": cache_hits,
+            "simulations": simulations,
+        }
+
+
+__all__ = ["CANCELLED", "DONE", "FAILED", "Job", "JobQueue", "QUEUED",
+           "RUNNING"]

@@ -1,0 +1,470 @@
+"""The ``repro.serve`` daemon: asyncio HTTP front end, job dispatch,
+shard orchestration, and the content-addressed cache path.
+
+Layering::
+
+    ServeDaemon   -- minimal HTTP/1.1 on asyncio streams (stdlib only)
+      ServeApp    -- submit/status/result/cancel/stats; owns the queue,
+                     the result store, and the worker process pool
+        JobQueue  -- priority scheduling (repro.serve.queue)
+        ResultStore -- content-addressed artifacts (repro.serve.store)
+        workers   -- repro.serve.jobs.execute_yield_job in a
+                     ProcessPoolExecutor
+
+A submitted job is first looked up in the store under its canonical
+request hash; a hit completes the job instantly with ``cache_hit=True``
+and zero fresh simulations.  A miss enqueues the job; the dispatcher
+runs it on the pool, splitting ``shards > 1`` verifications into
+``ShardPlan(i, N)`` child workers whose artifacts are pooled exactly by
+:func:`~repro.yieldsim.merge_results` — and, when the job names a
+``splice_checkpoint``, spliced into that optimizer checkpoint via
+:func:`~repro.runtime.splice_merged_result`, so a long optimization can
+outsource its verification to the fleet and resume with the merged
+estimate in place.
+
+Budgets and cancellation are enforced at the dispatch layer: a job's
+``deadline_s`` cancels the await (the job fails with a ``deadline``
+error; worker processes are not killed mid-simulation), and
+``max_simulations`` flags ``budget_exceeded`` when the fresh spend went
+over (a yield estimate is one atomic batch, so the overshoot is
+reported rather than truncated).  Cancelling a running job discards its
+result; cancelling a queued job prevents it from ever starting.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import uuid
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Mapping, Optional
+
+from ..errors import ArtifactError, ReproError, ServeError
+from .jobs import (YieldRequest, cache_key, execute_yield_job,
+                   merge_artifacts)
+from .queue import CANCELLED, DONE, Job, JobQueue
+from .store import ResultStore
+
+#: API version prefix of every route
+API_PREFIX = "/v1"
+
+
+class ServeApp:
+    """The daemon's protocol-independent core (one per event loop)."""
+
+    def __init__(self, store: ResultStore, workers: int = 2,
+                 max_concurrent: Optional[int] = None,
+                 max_queued_per_tenant: Optional[int] = None):
+        self.store = store
+        self.workers = max(1, int(workers))
+        self.queue = JobQueue(max_queued_per_tenant=max_queued_per_tenant)
+        self._max_concurrent = max_concurrent or self.workers
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._results: Dict[str, Dict] = {}
+        self._running: set = set()
+        self._wakeup = asyncio.Event()
+        self._closing = False
+        self._dispatcher: Optional[asyncio.Task] = None
+
+    # -- lifecycle -------------------------------------------------------------
+    def _ensure_started(self) -> None:
+        if self._dispatcher is None:
+            self._dispatcher = asyncio.get_running_loop().create_task(
+                self._dispatch_loop())
+
+    def _pool(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.workers)
+        return self._executor
+
+    async def close(self) -> None:
+        self._closing = True
+        self._wakeup.set()
+        if self._dispatcher is not None:
+            self._dispatcher.cancel()
+            try:
+                await self._dispatcher
+            except (asyncio.CancelledError, Exception):
+                pass
+            self._dispatcher = None
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+
+    # -- API methods -----------------------------------------------------------
+    async def submit(self, payload: Mapping) -> Dict:
+        """Submit a job; returns the job record (already ``done`` on a
+        cache hit)."""
+        if not isinstance(payload, Mapping):
+            raise ServeError("job submission must be a JSON object")
+        kind = payload.get("kind", "yield")
+        if kind != "yield":
+            raise ServeError(
+                f"unsupported job kind {kind!r}; this build serves "
+                f"'yield' jobs")
+        request = YieldRequest.from_dict(payload.get("request", {}))
+        if request.shard is not None:
+            raise ServeError(
+                "submit the unsharded request and set 'shards': N; the "
+                "service orchestrates the shard fan-out itself")
+        shards = int(payload.get("shards", 1))
+        if shards < 1:
+            raise ServeError(f"shards must be >= 1, got {shards}")
+        if shards > request.n_samples:
+            raise ServeError(
+                f"cannot split {request.n_samples} samples into "
+                f"{shards} non-empty shards")
+        budget = payload.get("budget")
+        if budget is not None and not isinstance(budget, Mapping):
+            raise ServeError("budget must be an object")
+        job = Job(
+            id=uuid.uuid4().hex[:12],
+            kind=kind,
+            request=request.to_dict(),
+            tenant=str(payload.get("tenant", "default")),
+            priority=int(payload.get("priority", 0)),
+            shards=shards,
+            budget=dict(budget) if budget else None,
+            splice_checkpoint=payload.get("splice_checkpoint"),
+            cache_key=cache_key(request, shards=shards))
+        cached = self.store.get(job.cache_key)
+        if cached is not None:
+            job.state = DONE
+            job.cache_hit = True
+            job.simulations = 0
+            job.started_at = job.finished_at = job.submitted_at
+            self.queue.submit(job)
+            self._results[job.id] = cached
+            await self._maybe_splice(job, cached)
+            return job.to_dict()
+        self._ensure_started()
+        self.queue.submit(job)
+        self._wakeup.set()
+        return job.to_dict()
+
+    def status(self, job_id: str) -> Dict:
+        return self.queue.get(job_id).to_dict()
+
+    def result(self, job_id: str) -> Dict:
+        """The finished job's artifact, with the job's own accounting
+        stamped into the provenance block."""
+        job = self.queue.get(job_id)
+        if job.state != DONE:
+            raise ServeError(
+                f"job {job_id} is {job.state}"
+                + (f": {job.error}" if job.error else ""))
+        artifact = self._results.get(job_id)
+        if artifact is None:  # pragma: no cover - done implies stored
+            raise ServeError(f"job {job_id} has no stored artifact")
+        stamped = dict(artifact)
+        provenance = dict(stamped.get("provenance", {}))
+        provenance["job"] = {
+            "id": job.id,
+            "tenant": job.tenant,
+            "cache_hit": job.cache_hit,
+            "simulations": job.simulations,
+            "shards": job.shards,
+        }
+        stamped["provenance"] = provenance
+        return stamped
+
+    def cancel(self, job_id: str) -> Dict:
+        return self.queue.cancel(job_id).to_dict()
+
+    def stats(self) -> Dict:
+        return {
+            "queue": self.queue.stats(),
+            "store": self.store.stats(),
+            "workers": self.workers,
+            "running": len(self._running),
+        }
+
+    async def wait_idle(self) -> None:
+        """Block until no job is queued or running (test helper)."""
+        while True:
+            states = self.queue.stats()["by_state"]
+            if not states.get("queued") and not states.get("running") \
+                    and not self._running:
+                return
+            await asyncio.sleep(0.01)
+
+    # -- dispatch --------------------------------------------------------------
+    async def _dispatch_loop(self) -> None:
+        while not self._closing:
+            self._wakeup.clear()
+            while len(self._running) < self._max_concurrent:
+                job = self.queue.pop_next()
+                if job is None:
+                    break
+                self._running.add(job.id)
+                asyncio.get_running_loop().create_task(
+                    self._run_job(job))
+            await self._wakeup.wait()
+
+    async def _run_job(self, job: Job) -> None:
+        try:
+            request = YieldRequest.from_dict(job.request)
+            deadline = (job.budget or {}).get("deadline_s")
+            artifact = await asyncio.wait_for(
+                self._execute(job, request),
+                timeout=float(deadline) if deadline else None)
+        except asyncio.TimeoutError:
+            self.queue.finish(job.id, error="deadline exceeded")
+        except (ReproError, OSError, RuntimeError, ValueError) as exc:
+            self.queue.finish(job.id,
+                              error=f"{type(exc).__name__}: {exc}")
+        else:
+            if job.state == CANCELLED:
+                # Cancelled mid-flight: the result is discarded, not
+                # stored — the caller asked for it to not exist.
+                return
+            job.simulations = int(
+                (artifact.get("result") or {}).get("simulations", 0))
+            max_sims = (job.budget or {}).get("max_simulations")
+            if max_sims is not None and job.simulations > int(max_sims):
+                job.budget_exceeded = True
+            self.store.put(job.cache_key, artifact)
+            self._results[job.id] = artifact
+            try:
+                await self._maybe_splice(job, artifact)
+            except ReproError as exc:
+                self.queue.finish(
+                    job.id, error=f"splice failed: {exc}")
+                return
+            self.queue.finish(job.id)
+        finally:
+            self._running.discard(job.id)
+            self._wakeup.set()
+
+    async def _execute(self, job: Job, request: YieldRequest) -> Dict:
+        loop = asyncio.get_running_loop()
+        if job.shards <= 1:
+            return await loop.run_in_executor(
+                self._pool(), execute_yield_job, request.to_dict())
+        payloads = []
+        for index in range(job.shards):
+            payload = request.to_dict()
+            payload["shard"] = f"{index + 1}/{job.shards}"
+            payloads.append(payload)
+        futures = [loop.run_in_executor(self._pool(), execute_yield_job,
+                                        payload)
+                   for payload in payloads]
+        artifacts = await asyncio.gather(*futures)
+        return merge_artifacts(artifacts, request, shards=job.shards)
+
+    async def _maybe_splice(self, job: Job, artifact: Dict) -> None:
+        """Splice a merged sharded verification into the optimizer
+        checkpoint the job names (the shard-launcher absorbing the
+        manual ``merge-verify --checkpoint`` step)."""
+        if not job.splice_checkpoint:
+            return
+        from ..runtime import splice_merged_result
+        from ..yieldsim import YieldResult
+        merged = YieldResult.from_dict(artifact["result"])
+        await asyncio.get_running_loop().run_in_executor(
+            None, splice_merged_result, job.splice_checkpoint, merged)
+
+
+# -- HTTP layer ---------------------------------------------------------------
+_STATUS_TEXT = {200: "OK", 202: "Accepted", 400: "Bad Request",
+                404: "Not Found", 409: "Conflict",
+                500: "Internal Server Error"}
+
+
+class ServeDaemon:
+    """Minimal HTTP/1.1 JSON front end over :class:`ServeApp`."""
+
+    def __init__(self, app: ServeApp, host: str = "127.0.0.1",
+                 port: int = 0):
+        self.app = app
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.app.close()
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    # -- request handling ------------------------------------------------------
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            status, body = await self._respond(reader)
+        except Exception as exc:  # pragma: no cover - defensive
+            status, body = 500, {"error": f"{type(exc).__name__}: {exc}"}
+        payload = json.dumps(body).encode("utf-8")
+        head = (f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, '')}\r\n"
+                f"Content-Type: application/json\r\n"
+                f"Content-Length: {len(payload)}\r\n"
+                f"Connection: close\r\n\r\n").encode("ascii")
+        try:
+            writer.write(head + payload)
+            await writer.drain()
+        except (ConnectionError, OSError):  # pragma: no cover
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    async def _respond(self, reader: asyncio.StreamReader):
+        request_line = (await reader.readline()).decode(
+            "latin-1").strip()
+        if not request_line:
+            return 400, {"error": "empty request"}
+        try:
+            method, path, _ = request_line.split(" ", 2)
+        except ValueError:
+            return 400, {"error": f"malformed request line "
+                                  f"{request_line!r}"}
+        content_length = 0
+        while True:
+            line = (await reader.readline()).decode("latin-1").strip()
+            if not line:
+                break
+            name, _, value = line.partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError:
+                    return 400, {"error": "bad Content-Length"}
+        body: Optional[Dict] = None
+        if content_length:
+            raw = await reader.readexactly(content_length)
+            try:
+                body = json.loads(raw.decode("utf-8"))
+            except ValueError as exc:
+                return 400, {"error": f"request body is not JSON: {exc}"}
+        return await self._route(method.upper(), path, body)
+
+    async def _route(self, method: str, path: str,
+                     body: Optional[Dict]):
+        parts = [part for part in path.split("/") if part]
+        try:
+            if parts == ["v1", "health"] and method == "GET":
+                return 200, {"status": "ok",
+                             "jobs": self.app.queue.stats()["by_state"]}
+            if parts == ["v1", "stats"] and method == "GET":
+                return 200, self.app.stats()
+            if parts == ["v1", "jobs"] and method == "POST":
+                return 202, await self.app.submit(body or {})
+            if len(parts) == 3 and parts[:2] == ["v1", "jobs"] \
+                    and method == "GET":
+                return 200, self.app.status(parts[2])
+            if len(parts) == 4 and parts[:2] == ["v1", "jobs"] \
+                    and parts[3] == "result" and method == "GET":
+                return 200, self.app.result(parts[2])
+            if len(parts) == 4 and parts[:2] == ["v1", "jobs"] \
+                    and parts[3] == "cancel" and method == "POST":
+                return 200, self.app.cancel(parts[2])
+        except ServeError as exc:
+            text = str(exc)
+            if "unknown job id" in text:
+                return 404, {"error": text}
+            if text.startswith("job ") and (" is queued" in text
+                                            or " is running" in text):
+                return 409, {"error": text}
+            return 400, {"error": text}
+        except (ArtifactError, ReproError) as exc:
+            return 400, {"error": f"{type(exc).__name__}: {exc}"}
+        return 404, {"error": f"no route {method} {path}"}
+
+
+class ServerThread:
+    """Run a daemon on a background thread (tests and ``--wait`` CLI
+    flows); context manager yielding the base URL via ``self.url``."""
+
+    def __init__(self, store_dir: str, workers: int = 1,
+                 host: str = "127.0.0.1", port: int = 0,
+                 max_queued_per_tenant: Optional[int] = None):
+        self.store_dir = store_dir
+        self.workers = workers
+        self.host = host
+        self.port = port
+        self.max_queued_per_tenant = max_queued_per_tenant
+        self.url = ""
+        self._ready = threading.Event()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop: Optional[asyncio.Event] = None
+        self._thread: Optional[threading.Thread] = None
+        self._error: Optional[BaseException] = None
+
+    def __enter__(self) -> "ServerThread":
+        self._thread = threading.Thread(target=self._main, daemon=True)
+        self._thread.start()
+        if not self._ready.wait(timeout=30):
+            raise ServeError("serve daemon failed to start in 30 s")
+        if self._error is not None:
+            raise ServeError(f"serve daemon failed to start: "
+                             f"{self._error}")
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        if self._thread is not None:
+            self._thread.join(timeout=30)
+
+    def _main(self) -> None:
+        try:
+            asyncio.run(self._run())
+        except BaseException as exc:  # pragma: no cover - startup bugs
+            self._error = exc
+            self._ready.set()
+
+    async def _run(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        app = ServeApp(
+            ResultStore(self.store_dir), workers=self.workers,
+            max_queued_per_tenant=self.max_queued_per_tenant)
+        daemon = ServeDaemon(app, host=self.host, port=self.port)
+        await daemon.start()
+        self.port = daemon.port
+        self.url = f"http://{self.host}:{daemon.port}"
+        self._ready.set()
+        try:
+            await self._stop.wait()
+        finally:
+            await daemon.stop()
+
+
+async def run_daemon(store_dir: str, host: str = "127.0.0.1",
+                     port: int = 8754, workers: int = 2,
+                     max_queued_per_tenant: Optional[int] = None,
+                     announce=print) -> None:
+    """Foreground daemon entry point of ``repro serve``."""
+    app = ServeApp(ResultStore(store_dir), workers=workers,
+                   max_queued_per_tenant=max_queued_per_tenant)
+    daemon = ServeDaemon(app, host=host, port=port)
+    await daemon.start()
+    announce(f"repro serve listening on http://{host}:{daemon.port} "
+             f"(store: {app.store.root}, workers: {workers})")
+    try:
+        await daemon.serve_forever()
+    except asyncio.CancelledError:  # pragma: no cover - shutdown path
+        pass
+    finally:
+        await daemon.stop()
+
+
+__all__ = ["API_PREFIX", "ServeApp", "ServeDaemon", "ServerThread",
+           "run_daemon"]

@@ -1,0 +1,103 @@
+"""Content-addressed persistent result store of the job server.
+
+Artifacts are stored under their request's canonical content hash
+(:func:`repro.serve.jobs.cache_key`), two-level sharded like git's
+object store (``objects/ab/abcdef....json``) so a directory never holds
+millions of entries.  Writes are atomic (temp file + rename in the same
+directory), so a concurrently reading daemon — or a second daemon
+sharing the store over a network filesystem — sees either the complete
+artifact or nothing.  Every artifact is validated against the wire
+contract on ``get`` *and* ``put``: a corrupt or schema-incompatible
+entry is treated as a miss, never served.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Dict, Optional
+
+from ..errors import ArtifactError
+from .contract import validate_artifact
+
+_KEY_CHARS = set("0123456789abcdef")
+
+
+class ResultStore:
+    """Filesystem-backed content-addressed artifact store."""
+
+    def __init__(self, root: str):
+        self.root = os.path.abspath(root)
+        self.objects = os.path.join(self.root, "objects")
+        os.makedirs(self.objects, exist_ok=True)
+        #: cache telemetry since this process opened the store
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+        self.invalid = 0
+
+    def _path(self, key: str) -> str:
+        if len(key) < 3 or not set(key) <= _KEY_CHARS:
+            raise ArtifactError(f"malformed store key {key!r}")
+        return os.path.join(self.objects, key[:2], f"{key}.json")
+
+    def __contains__(self, key: str) -> bool:
+        return os.path.exists(self._path(key))
+
+    def get(self, key: str) -> Optional[Dict]:
+        """The stored artifact under ``key``, or None.  Unreadable or
+        contract-violating entries count as misses (and are left in
+        place for forensics — the daemon recomputes and overwrites)."""
+        path = self._path(key)
+        try:
+            with open(path) as handle:
+                artifact = json.load(handle)
+            validate_artifact(artifact, source=path)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, ValueError, ArtifactError):
+            self.invalid += 1
+            self.misses += 1
+            return None
+        self.hits += 1
+        return artifact
+
+    def put(self, key: str, artifact: Dict) -> str:
+        """Atomically store ``artifact`` under ``key``; returns the
+        object path.  Last-writer-wins on a race — both writers hold a
+        complete, validated artifact for the same canonical request, so
+        either outcome is correct."""
+        validate_artifact(artifact, source=f"store key {key}")
+        path = self._path(key)
+        directory = os.path.dirname(path)
+        os.makedirs(directory, exist_ok=True)
+        handle = tempfile.NamedTemporaryFile(
+            "w", dir=directory, suffix=".tmp", delete=False)
+        try:
+            with handle:
+                json.dump(artifact, handle)
+            os.replace(handle.name, path)
+        except BaseException:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
+        self.writes += 1
+        return path
+
+    def __len__(self) -> int:
+        count = 0
+        for _, _, files in os.walk(self.objects):
+            count += sum(1 for name in files if name.endswith(".json"))
+        return count
+
+    def stats(self) -> Dict:
+        return {"hits": self.hits, "misses": self.misses,
+                "writes": self.writes, "invalid": self.invalid,
+                "objects": len(self), "root": self.root}
+
+
+__all__ = ["ResultStore"]

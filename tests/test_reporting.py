@@ -98,3 +98,32 @@ class TestSideBySide:
         assert "Table 1" in text
         assert "--- paper ---" in text
         assert "--- this reproduction ---" in text
+
+
+class TestQueueTable:
+    def test_renders_daemon_stats(self):
+        from repro.reporting import queue_table
+        text = queue_table({
+            "queue": {
+                "jobs": 4,
+                "by_state": {"done": 2, "queued": 1, "failed": 1},
+                "by_tenant": {"alice": {"done": 2},
+                              "bob": {"queued": 1, "failed": 1}},
+                "cache_hits": 1,
+                "simulations": 96,
+            },
+            "store": {"objects": 3, "root": "/tmp/store", "invalid": 1},
+        })
+        assert "Jobs (4 total)" in text
+        assert "queued" in text and "done" in text and "failed" in text
+        assert "alice" in text and "bob" in text
+        assert "cache hits   : 1" in text
+        assert "simulations  : 96" in text
+        assert "3 object(s) at /tmp/store" in text
+        assert "store invalid: 1" in text
+
+    def test_accepts_bare_queue_stats(self):
+        from repro.reporting import queue_table
+        text = queue_table({"jobs": 0, "by_state": {}, "by_tenant": {},
+                            "cache_hits": 0, "simulations": 0})
+        assert "Jobs (0 total)" in text

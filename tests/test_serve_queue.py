@@ -1,0 +1,103 @@
+"""Tests for the multi-tenant priority job queue of ``repro.serve``."""
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve import (CANCELLED, DONE, FAILED, Job, JobQueue, QUEUED,
+                         RUNNING)
+
+
+def job(job_id, **overrides):
+    fields = dict(id=job_id, kind="yield", request={"circuit": "ota"})
+    fields.update(overrides)
+    return Job(**fields)
+
+
+class TestScheduling:
+    def test_priority_order_fifo_within_level(self):
+        queue = JobQueue()
+        queue.submit(job("low-1", priority=0))
+        queue.submit(job("high", priority=5))
+        queue.submit(job("low-2", priority=0))
+        order = [queue.pop_next().id for _ in range(3)]
+        assert order == ["high", "low-1", "low-2"]
+        assert queue.pop_next() is None
+
+    def test_pop_marks_running_and_stamps_start(self):
+        queue = JobQueue()
+        queue.submit(job("a"))
+        popped = queue.pop_next()
+        assert popped.state == RUNNING
+        assert popped.started_at is not None
+
+    def test_cancelled_while_queued_never_dispatches(self):
+        queue = JobQueue()
+        queue.submit(job("a", priority=1))
+        queue.submit(job("b"))
+        queue.cancel("a")
+        assert queue.pop_next().id == "b"
+        assert queue.pop_next() is None
+        assert queue.get("a").state == CANCELLED
+
+
+class TestLifecycle:
+    def test_finish_success_and_failure(self):
+        queue = JobQueue()
+        queue.submit(job("ok"))
+        queue.submit(job("bad"))
+        queue.pop_next(), queue.pop_next()
+        assert queue.finish("ok").state == DONE
+        failed = queue.finish("bad", error="boom")
+        assert failed.state == FAILED and failed.error == "boom"
+        assert failed.finished_at is not None
+
+    def test_cancel_running_wins_over_late_finish(self):
+        queue = JobQueue()
+        queue.submit(job("a"))
+        queue.pop_next()
+        queue.cancel("a")
+        # the in-flight worker reporting afterwards must not resurrect it
+        assert queue.finish("a").state == CANCELLED
+
+    def test_cancel_terminal_is_a_no_op(self):
+        queue = JobQueue()
+        queue.submit(job("a"))
+        queue.pop_next()
+        queue.finish("a")
+        assert queue.cancel("a").state == DONE
+
+    def test_unknown_and_duplicate_ids(self):
+        queue = JobQueue()
+        queue.submit(job("a"))
+        with pytest.raises(ServeError, match="unknown job id"):
+            queue.get("nope")
+        with pytest.raises(ServeError, match="duplicate job id"):
+            queue.submit(job("a"))
+
+
+class TestTenancy:
+    def test_per_tenant_queue_cap(self):
+        queue = JobQueue(max_queued_per_tenant=2)
+        queue.submit(job("a1", tenant="alice"))
+        queue.submit(job("a2", tenant="alice"))
+        queue.submit(job("b1", tenant="bob"))  # other tenants unaffected
+        with pytest.raises(ServeError, match="per-tenant limit"):
+            queue.submit(job("a3", tenant="alice"))
+        # capacity frees up once a job leaves the queued state
+        queue.pop_next()
+        queue.submit(job("a4", tenant="alice"))
+
+    def test_stats_aggregation(self):
+        queue = JobQueue()
+        queue.submit(job("a", tenant="alice"))
+        queue.submit(job("b", tenant="bob"))
+        running = queue.pop_next()
+        running.cache_hit = True
+        running.simulations = 48
+        queue.finish(running.id)
+        stats = queue.stats()
+        assert stats["jobs"] == 2
+        assert stats["by_state"] == {DONE: 1, QUEUED: 1}
+        assert set(stats["by_tenant"]) == {"alice", "bob"}
+        assert stats["cache_hits"] == 1
+        assert stats["simulations"] == 48

@@ -1,0 +1,99 @@
+"""Tests for the content-addressed result store of ``repro.serve``."""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import ArtifactError
+from repro.serve import ResultStore, make_provenance, wrap_result
+from repro.statistics import wilson_interval
+from repro.yieldsim import SufficientStats, YieldResult
+from repro.yieldsim.result import KIND_BINOMIAL
+
+KEY = "ab" + "0" * 62
+
+
+def artifact(k=7, n=10):
+    stats = SufficientStats(kind=KIND_BINOMIAL, n=n, successes=k,
+                            failed=0, w_sum=float(n), w_sq_sum=float(n),
+                            w_pass_sum=float(k), w_sq_pass_sum=float(k))
+    low, high = wilson_interval(k, n, 0.95)
+    result = YieldResult(estimator="mc", estimate=k / n, n_samples=n,
+                         simulations=n, ci_low=low, ci_high=high,
+                         ci_level=0.95, ess=float(n), failed_samples=0,
+                         stats=stats)
+    return wrap_result(result, make_provenance(
+        template="ota", seed=3, estimator="mc", n_samples=n,
+        command="yield"))
+
+
+class TestResultStore:
+    def test_round_trip(self, tmp_path):
+        store = ResultStore(str(tmp_path / "store"))
+        assert KEY not in store
+        assert store.get(KEY) is None
+        path = store.put(KEY, artifact())
+        assert os.path.exists(path)
+        # git-style two-level fan-out
+        assert os.path.basename(os.path.dirname(path)) == KEY[:2]
+        assert KEY in store
+        assert store.get(KEY) == artifact()
+        assert len(store) == 1
+        stats = store.stats()
+        assert stats["hits"] == 1 and stats["writes"] == 1
+        assert stats["objects"] == 1
+        assert stats["root"] == store.root
+
+    def test_reopen_persists(self, tmp_path):
+        root = str(tmp_path / "store")
+        ResultStore(root).put(KEY, artifact())
+        assert ResultStore(root).get(KEY) == artifact()
+
+    def test_overwrite_is_last_writer_wins(self, tmp_path):
+        store = ResultStore(str(tmp_path / "store"))
+        store.put(KEY, artifact(k=1))
+        store.put(KEY, artifact(k=9))
+        assert store.get(KEY)["result"]["estimate"] == 0.9
+        assert len(store) == 1
+
+    @pytest.mark.parametrize("key", ["", "ab", "xyz" * 20, "AB" + "0" * 62])
+    def test_rejects_malformed_keys(self, tmp_path, key):
+        store = ResultStore(str(tmp_path / "store"))
+        with pytest.raises(ArtifactError, match="malformed store key"):
+            store.get(key)
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        store = ResultStore(str(tmp_path / "store"))
+        path = store.put(KEY, artifact())
+        with open(path, "w") as handle:
+            handle.write("{truncated")
+        assert store.get(KEY) is None
+        assert store.stats()["invalid"] == 1
+        # the corrupt file stays in place for forensics
+        assert os.path.exists(path)
+
+    def test_contract_violating_entry_is_a_miss(self, tmp_path):
+        store = ResultStore(str(tmp_path / "store"))
+        path = store.put(KEY, artifact())
+        broken = artifact()
+        del broken["provenance"]
+        with open(path, "w") as handle:
+            json.dump(broken, handle)
+        assert store.get(KEY) is None
+        assert store.stats()["invalid"] == 1
+
+    def test_put_validates_before_writing(self, tmp_path):
+        store = ResultStore(str(tmp_path / "store"))
+        with pytest.raises(ArtifactError):
+            store.put(KEY, {"not": "an artifact"})
+        assert KEY not in store
+        assert len(store) == 0
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        store = ResultStore(str(tmp_path / "store"))
+        for index in range(5):
+            store.put(f"{index:02x}" + "0" * 62, artifact())
+        leftovers = [name for _, _, files in os.walk(store.root)
+                     for name in files if name.endswith(".tmp")]
+        assert leftovers == []

@@ -501,7 +501,12 @@ class TestCli:
         assert "Merged verification (2 of 2 shard(s)" in rendered
         assert "shard 1/2" in rendered and "shard 2/2" in rendered
         with open(merged_path) as handle:
-            merged = json.load(handle)
+            artifact = json.load(handle)
+        assert artifact["schema_version"] == 1
+        assert artifact["kind"] == "merged-yield-result"
+        assert artifact["provenance"]["template"] == "ota"
+        assert artifact["provenance"]["shards"] == 2
+        merged = artifact["result"]
         for key in ("estimate", "ci_low", "ci_high", "ess", "n_samples",
                     "simulations", "failed_samples", "bad_fraction"):
             assert merged[key] == base[key], key
@@ -513,6 +518,40 @@ class TestCli:
         bad.write_text("{not json")
         with pytest.raises(SystemExit):
             main(["merge-verify", str(bad)])
+
+    def test_merge_verify_rejects_mismatched_shards(self, tmp_path,
+                                                    capsys):
+        """Shard files disagreeing on seed, template, or estimator must
+        be refused — pooling them would silently produce a meaningless
+        estimate."""
+        from repro.cli import main
+        paths = []
+        for index, seed in enumerate((3, 4), start=1):
+            out = str(tmp_path / f"shard{index}.json")
+            assert main(["yield", "ota", "--estimator", "qmc",
+                         "--samples", "16", "--seed", str(seed),
+                         "--shard", f"{index}/2", "--out", out]) == 0
+            paths.append(out)
+        capsys.readouterr()
+        with pytest.raises(SystemExit) as err:
+            main(["merge-verify"] + paths)
+        message = str(err.value)
+        assert "seed" in message and "incompatible" in message
+        assert paths[0] in message and paths[1] in message
+
+    def test_merge_verify_rejects_mismatched_template(self, tmp_path,
+                                                      capsys):
+        from repro.cli import main
+        paths = []
+        for index, circuit in enumerate(("ota", "miller"), start=1):
+            out = str(tmp_path / f"shard{index}.json")
+            assert main(["yield", circuit, "--estimator", "qmc",
+                         "--samples", "16", "--seed", "3",
+                         "--shard", f"{index}/2", "--out", out]) == 0
+            paths.append(out)
+        capsys.readouterr()
+        with pytest.raises(SystemExit, match="template"):
+            main(["merge-verify"] + paths)
 
     def test_parser_accepts_shard_flags(self):
         from repro.cli import build_parser
