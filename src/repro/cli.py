@@ -64,45 +64,54 @@ def _make_template(name: str, local_only: bool = False):
 
 
 def cmd_optimize(args: argparse.Namespace) -> int:
-    from .core import OptimizerConfig, YieldOptimizer
-    from .evaluation import Evaluator
+    import json
+
     from .reporting import health_table, optimization_trace_table
-    from .runtime import FaultInjectingEvaluator, RunBudget
-    from .yieldsim import make_estimator
+    from .runtime import RunBudget
+    from .serve.jobs import (OptimizeRequest, execute_optimize,
+                             optimize_artifact)
 
     template = _make_template(args.circuit)
     verify_shard = None
     if args.verify_shard:
         from .yieldsim import ShardPlan
         verify_shard = ShardPlan.parse(args.verify_shard)
-    config = OptimizerConfig(
-        n_samples_linear=args.samples,
-        n_samples_verify=args.verify_samples,
-        max_iterations=args.iterations,
+    # The CLI and the job-server workers execute through the same
+    # request path (repro.serve.jobs), so an API-submitted optimize job
+    # is trajectory-identical to this command.
+    request = OptimizeRequest(
+        circuit=args.circuit,
+        iterations=args.iterations,
+        samples_linear=args.samples,
+        samples_verify=args.verify_samples,
         seed=args.seed,
+        estimator=args.estimator,
         use_constraints=not args.no_constraints,
         linearize_at="nominal" if args.nominal_linearization
         else "worst_case",
-        jobs=args.jobs,
-        verify_shard=verify_shard,
         linsolve=args.linsolve,
-    )
-    evaluator = Evaluator(template)
+        jobs=args.jobs)
+    evaluator = None
     if args.inject_faults > 0.0:
+        from .evaluation import Evaluator
+        from .runtime import FaultInjectingEvaluator
         evaluator = FaultInjectingEvaluator(
-            evaluator, rate=args.inject_faults, seed=args.fault_seed)
-    # The optimizer owns a persistent shared pool when jobs >= 2 and the
-    # stack is worker-replicable; the estimator's own per-call pool is
-    # kept as a fallback for stacks the shared pool cannot serve (e.g.
-    # fault injection, which must stay serial in the parent).
-    verifier = make_estimator(
-        args.estimator, jobs=1 if args.inject_faults <= 0.0 else args.jobs)
-    result = YieldOptimizer(
-        template, config, evaluator=evaluator, verifier=verifier,
+            Evaluator(template), rate=args.inject_faults,
+            seed=args.fault_seed)
+    result = execute_optimize(
+        request,
+        checkpoint_path=args.checkpoint,
+        resume=args.resume,
         budget=RunBudget(deadline_s=args.deadline,
                          max_simulations=args.max_sims),
-        checkpoint_path=args.checkpoint,
-        resume=args.resume).run()
+        evaluator=evaluator,
+        verify_shard=verify_shard)
+    if args.out:
+        artifact = optimize_artifact(request, result,
+                                     command="optimize")
+        with open(args.out, "w") as handle:
+            json.dump(artifact, handle, indent=2)
+        print(f"optimize artifact written to {args.out}")
     print(optimization_trace_table(template, result))
     print(f"stop reason: {result.stop_reason}; "
           f"converged: {result.converged}; "
@@ -357,7 +366,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
         asyncio.run(run_daemon(
             store_dir=args.store, host=args.host, port=args.port,
             workers=args.workers,
-            max_queued_per_tenant=args.max_queued_per_tenant))
+            max_queued_per_tenant=args.max_queued_per_tenant,
+            store_max_bytes=args.store_max_bytes,
+            store_max_age_s=args.store_max_age,
+            heartbeat_timeout_s=args.heartbeat_timeout,
+            max_attempts=args.max_attempts,
+            drain_grace_s=args.drain_grace))
     except KeyboardInterrupt:
         print("serve daemon stopped")
     return 0
@@ -379,15 +393,27 @@ def cmd_submit(args: argparse.Namespace) -> int:
         budget["deadline_s"] = args.deadline
     if args.max_sims is not None:
         budget["max_simulations"] = args.max_sims
-    payload = {
-        "kind": "yield",
-        "request": {
+    if args.kind == "optimize":
+        request = {
+            "circuit": args.circuit,
+            "iterations": args.iterations,
+            "samples_linear": args.opt_samples,
+            "samples_verify": args.verify_samples,
+            "seed": args.seed,
+            "estimator": args.estimator,
+            "linsolve": args.linsolve,
+        }
+    else:
+        request = {
             "circuit": args.circuit,
             "estimator": args.estimator,
             "n_samples": args.samples,
             "seed": args.seed,
             "linsolve": args.linsolve,
-        },
+        }
+    payload = {
+        "kind": args.kind,
+        "request": request,
         "shards": args.shards,
         "tenant": args.tenant,
         "priority": args.priority,
@@ -520,6 +546,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "simulations with a ConvergenceError")
     p.add_argument("--fault-seed", type=int, default=0,
                    help="seed of the injected-fault schedule")
+    p.add_argument("--out", metavar="PATH",
+                   help="also write the optimization trace as a "
+                        "provenance-carrying artifact JSON (the serve "
+                        "layer's optimize-result format)")
     _add_linsolve(p)
     p.set_defaults(func=cmd_optimize)
 
@@ -607,17 +637,56 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="N",
                    help="reject a tenant's submissions beyond N queued "
                         "jobs (default: unlimited)")
+    p.add_argument("--store-max-bytes", type=int, default=None,
+                   metavar="BYTES",
+                   help="store GC: evict least-recently-accessed "
+                        "artifacts beyond this footprint (default: "
+                        "unbounded)")
+    p.add_argument("--store-max-age", type=float, default=None,
+                   metavar="S",
+                   help="store GC: evict artifacts not accessed within "
+                        "S seconds (default: unbounded)")
+    p.add_argument("--heartbeat-timeout", type=float, default=60.0,
+                   metavar="S",
+                   help="declare a worker wedged after S seconds "
+                        "without a heartbeat and retry its jobs "
+                        "(default: 60)")
+    p.add_argument("--max-attempts", type=int, default=3, metavar="N",
+                   help="attempts per job before a transient fault "
+                        "becomes terminal (default: 3)")
+    p.add_argument("--drain-grace", type=float, default=10.0,
+                   metavar="S",
+                   help="SIGTERM drain: grace period for running jobs "
+                        "before the pool is killed (default: 10)")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
-        "submit", help="submit a yield job to a repro serve daemon")
+        "submit",
+        help="submit a yield or optimize job to a repro serve daemon")
     p.add_argument("circuit", choices=sorted(CIRCUITS))
+    p.add_argument("--kind", choices=("yield", "optimize"),
+                   default="yield",
+                   help="job kind: a one-shot yield estimation or a "
+                        "full checkpoint-backed Fig. 6 optimization "
+                        "(default: yield)")
     p.add_argument("--server", default="http://127.0.0.1:8642",
                    help="daemon base URL (default: "
                         "http://127.0.0.1:8642)")
     p.add_argument("--estimator", choices=("mc", "is", "qmc"),
                    default="mc")
-    p.add_argument("--samples", type=int, default=300)
+    p.add_argument("--samples", type=int, default=300,
+                   help="yield jobs: statistical samples N "
+                        "(default: 300)")
+    p.add_argument("--iterations", type=int, default=5,
+                   help="optimize jobs: Fig. 6 iterations (default: 5)")
+    p.add_argument("--opt-samples", type=int, default=10000,
+                   metavar="N",
+                   help="optimize jobs: linearized-model samples "
+                        "(default: 10000)")
+    p.add_argument("--verify-samples", type=int, default=150,
+                   metavar="N",
+                   help="optimize jobs: verification samples per "
+                        "iteration (default: 150)")
     p.add_argument("--seed", type=int, default=2001)
     p.add_argument("--shards", type=int, default=1, metavar="N",
                    help="decompose the verification into N shard "

@@ -270,8 +270,10 @@ def merged_provenance_table(result) -> str:
 
 def queue_table(stats: Mapping) -> str:
     """Render ``repro serve`` daemon telemetry (the ``/v1/stats``
-    payload): job counts by state and tenant, aggregate cache hits and
-    simulation spend, and the result-store object count."""
+    payload): job counts by state and tenant, per-job supervision state
+    (attempt, recovered, heartbeat age) for everything queued or
+    running, aggregate cache hits and simulation spend, and the
+    result-store footprint."""
     queue = stats.get("queue", stats)
     by_state = queue.get("by_state", {})
     order = ("queued", "running", "done", "failed", "cancelled")
@@ -289,8 +291,27 @@ def queue_table(stats: Mapping) -> str:
             text = ", ".join(f"{state}={counts[state]}"
                              for state in order if counts.get(state))
             lines.append(f"  {tenant:<10} : {text or '-'}")
+    active = stats.get("active") or []
+    if active:
+        lines.append("Active jobs")
+        lines.append(f"  {'id':<12} {'kind':<8} {'state':<8} "
+                     f"{'att':>3} {'rec':>3} {'beat':>7}")
+        for job in active:
+            age = job.get("heartbeat_age_s")
+            beat = f"{age:6.1f}s" if age is not None else "      -"
+            rec = "yes" if job.get("recovered") else "no"
+            lines.append(
+                f"  {job.get('id', '?'):<12} {job.get('kind', '?'):<8} "
+                f"{job.get('state', '?'):<8} "
+                f"{job.get('attempt', 1):>3} {rec:>3} {beat}")
     lines.append(f"cache hits   : {queue.get('cache_hits', 0)}")
     lines.append(f"simulations  : {queue.get('simulations', 0)}")
+    if queue.get("recovered"):
+        lines.append(f"recovered    : {queue['recovered']} "
+                     f"(re-enqueued after a daemon restart)")
+    if queue.get("retries"):
+        lines.append(f"retries      : {queue['retries']} "
+                     f"(supervised re-attempts)")
     store = stats.get("store")
     if store:
         lines.append(f"store        : {store.get('objects', 0)} "
@@ -298,6 +319,11 @@ def queue_table(stats: Mapping) -> str:
         if store.get("invalid"):
             lines.append(f"store invalid: {store['invalid']} "
                          f"(corrupt entries treated as misses)")
+        if store.get("evictions"):
+            bound = store.get("max_bytes")
+            bound_text = f" (bound: {bound} bytes)" if bound else ""
+            lines.append(f"store GC     : {store['evictions']} "
+                         f"eviction(s){bound_text}")
     return "\n".join(lines)
 
 

@@ -25,7 +25,8 @@ from .budget import (RunBudget, STOP_ABORTED_PREFIX, STOP_CONVERGED,
                      STOP_DEADLINE, STOP_MAX_ITERATIONS, STOP_SIM_BUDGET)
 from .checkpoint import (CHECKPOINT_VERSION, CheckpointError,
                          OptimizerCheckpoint, READABLE_VERSIONS,
-                         load_checkpoint, record_from_dict, record_to_dict,
+                         load_checkpoint, peek_checkpoint,
+                         record_from_dict, record_to_dict,
                          save_checkpoint, splice_merged_result)
 from .faults import FaultInjectingEvaluator
 from .policy import (DEFAULT_ACTIONS, FaultAction, FaultPolicy,
@@ -39,6 +40,7 @@ __all__ = [
     "FaultTolerantEvaluator", "OptimizerCheckpoint", "RetryConfig",
     "RunBudget", "STOP_ABORTED_PREFIX", "STOP_CONVERGED", "STOP_DEADLINE",
     "STOP_MAX_ITERATIONS", "STOP_SIM_BUDGET", "load_checkpoint",
-    "point_digest", "record_from_dict", "record_to_dict",
+    "peek_checkpoint", "point_digest", "record_from_dict",
+    "record_to_dict",
     "save_checkpoint", "splice_merged_result",
 ]

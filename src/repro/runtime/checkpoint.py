@@ -381,6 +381,37 @@ def splice_merged_result(path: str, result) -> None:
         raise
 
 
+def peek_checkpoint(path: str) -> Dict:
+    """Light-weight checkpoint inspection: summary fields only, no
+    template rebinding (the serve layer's recovery/status path uses
+    this to describe a resumable job without instantiating circuits).
+
+    Returns ``{"version", "template_name", "seed", "iteration",
+    "stop_reason"}``; raises :class:`CheckpointError` on unreadable or
+    version-incompatible files.
+    """
+    try:
+        with open(path) as handle:
+            payload = json.load(handle)
+    except OSError as exc:
+        raise CheckpointError(f"cannot read checkpoint {path!r}: {exc}")
+    except ValueError as exc:
+        raise CheckpointError(f"corrupt checkpoint {path!r}: {exc}")
+    version = payload.get("version")
+    if version not in READABLE_VERSIONS:
+        raise CheckpointError(
+            f"checkpoint {path!r} has schema version {version!r}; "
+            f"this build reads versions "
+            f"{', '.join(map(str, READABLE_VERSIONS))}")
+    return {
+        "version": version,
+        "template_name": payload.get("template_name"),
+        "seed": payload.get("seed"),
+        "iteration": int(payload.get("iteration", 0)),
+        "stop_reason": payload.get("stop_reason"),
+    }
+
+
 def load_checkpoint(path: str, template) -> OptimizerCheckpoint:
     """Load a checkpoint and rebind it to ``template``.
 

@@ -31,20 +31,29 @@ from .contract import (KIND_MERGED, KIND_OPTIMIZE, KIND_YIELD,
                        SCHEMA_VERSION, check_merge_compatible,
                        load_result_artifact, make_provenance,
                        merged_provenance, validate_artifact, wrap_result)
-from .jobs import (YieldRequest, cache_key, canonical_request,
+from .jobs import (OptimizeRequest, YieldRequest, cache_key,
+                   canonical_optimize_request, canonical_request,
+                   execute_optimize, execute_optimize_job,
                    execute_yield, execute_yield_job, merge_artifacts,
-                   yield_artifact)
+                   optimize_artifact, optimize_cache_key,
+                   optimize_result_dict, trace_fingerprint,
+                   worker_heartbeat, yield_artifact)
 from .queue import CANCELLED, DONE, FAILED, Job, JobQueue, QUEUED, RUNNING
 from .server import ServeApp, ServeDaemon, ServerThread, run_daemon
 from .store import ResultStore
+from .wal import WriteAheadLog
 
 __all__ = [
     "CANCELLED", "DONE", "FAILED", "Job", "JobQueue", "KIND_MERGED",
-    "KIND_OPTIMIZE", "KIND_YIELD", "QUEUED", "RUNNING", "ResultStore",
-    "SCHEMA_VERSION", "ServeApp", "ServeClient", "ServeDaemon",
-    "ServerThread", "YieldRequest", "cache_key", "canonical_request",
-    "check_merge_compatible", "execute_yield", "execute_yield_job",
+    "KIND_OPTIMIZE", "KIND_YIELD", "OptimizeRequest", "QUEUED",
+    "RUNNING", "ResultStore", "SCHEMA_VERSION", "ServeApp",
+    "ServeClient", "ServeDaemon", "ServerThread", "WriteAheadLog",
+    "YieldRequest", "cache_key", "canonical_optimize_request",
+    "canonical_request", "check_merge_compatible", "execute_optimize",
+    "execute_optimize_job", "execute_yield", "execute_yield_job",
     "load_result_artifact", "make_provenance", "merge_artifacts",
-    "merged_provenance", "run_daemon", "validate_artifact",
-    "wrap_result", "yield_artifact",
+    "merged_provenance", "optimize_artifact", "optimize_cache_key",
+    "optimize_result_dict", "run_daemon", "trace_fingerprint",
+    "validate_artifact", "worker_heartbeat", "wrap_result",
+    "yield_artifact",
 ]

@@ -10,6 +10,7 @@ server's error message when one was sent.
 from __future__ import annotations
 
 import json
+import random
 import time
 import urllib.error
 import urllib.request
@@ -20,6 +21,11 @@ from ..errors import ServeError
 #: job states the poller treats as terminal
 _TERMINAL = ("done", "failed", "cancelled")
 
+#: multiplicative growth of the poll interval between idle polls
+_BACKOFF_FACTOR = 1.6
+#: fractional uniform jitter applied to every computed poll interval
+_JITTER = 0.25
+
 
 class ServeClient:
     """Client for one ``repro serve`` daemon at ``base_url``."""
@@ -27,6 +33,9 @@ class ServeClient:
     def __init__(self, base_url: str, timeout_s: float = 30.0):
         self.base_url = base_url.rstrip("/")
         self.timeout_s = timeout_s
+        #: response headers of the most recent call (lower-cased names);
+        #: :meth:`wait` reads ``retry-after`` from here
+        self.last_headers: Dict[str, str] = {}
 
     # -- transport -------------------------------------------------------------
     def _call(self, method: str, path: str,
@@ -43,6 +52,9 @@ class ServeClient:
             with urllib.request.urlopen(
                     request, timeout=self.timeout_s) as response:
                 raw = response.read()
+                self.last_headers = {
+                    name.lower(): value
+                    for name, value in response.headers.items()}
         except urllib.error.HTTPError as exc:
             try:
                 message = json.loads(exc.read().decode("utf-8")).get(
@@ -58,6 +70,16 @@ class ServeClient:
             return json.loads(raw.decode("utf-8"))
         except ValueError as exc:
             raise ServeError(f"non-JSON response from {path}: {exc}")
+
+    def retry_after_s(self) -> Optional[float]:
+        """The last response's ``Retry-After`` in seconds, or None."""
+        value = self.last_headers.get("retry-after")
+        if value is None:
+            return None
+        try:
+            return max(0.0, float(value))
+        except ValueError:
+            return None
 
     # -- API -------------------------------------------------------------------
     def health(self) -> Dict:
@@ -80,11 +102,33 @@ class ServeClient:
     def cancel(self, job_id: str) -> Dict:
         return self._call("POST", f"/v1/jobs/{job_id}/cancel")
 
+    def next_poll_s(self, interval_s: float,
+                    max_poll_s: float) -> float:
+        """The jittered, ``Retry-After``-respecting sleep before the
+        next poll of an unfinished job.
+
+        Exponential growth capped at ``max_poll_s`` keeps an idle
+        client from hammering a busy daemon; uniform ±25% jitter
+        decorrelates a fleet of waiting clients; and a server-sent
+        ``Retry-After`` acts as a floor — the daemon knows its own
+        load better than the client's schedule does.
+        """
+        interval = min(interval_s, max_poll_s)
+        retry_after = self.retry_after_s()
+        if retry_after is not None:
+            interval = max(interval, min(retry_after, max_poll_s))
+        return interval * (1.0 + _JITTER * (2.0 * random.random() - 1.0))
+
     def wait(self, job_id: str, timeout_s: float = 600.0,
-             poll_s: float = 0.2) -> Dict:
+             poll_s: float = 0.2, max_poll_s: float = 5.0) -> Dict:
         """Poll until the job reaches a terminal state; returns the
-        final job record (check ``state`` before fetching the result)."""
+        final job record (check ``state`` before fetching the result).
+
+        Polling starts at ``poll_s`` and backs off exponentially with
+        jitter up to ``max_poll_s`` (see :meth:`next_poll_s`).
+        """
         deadline = time.monotonic() + timeout_s
+        interval = max(1e-3, poll_s)
         while True:
             job = self.status(job_id)
             if job.get("state") in _TERMINAL:
@@ -93,7 +137,9 @@ class ServeClient:
                 raise ServeError(
                     f"job {job_id} still {job.get('state')!r} after "
                     f"{timeout_s:.0f} s")
-            time.sleep(poll_s)
+            time.sleep(min(self.next_poll_s(interval, max_poll_s),
+                           max(0.0, deadline - time.monotonic())))
+            interval *= _BACKOFF_FACTOR
 
 
 __all__ = ["ServeClient"]

@@ -52,7 +52,7 @@ KIND_OPTIMIZE = "optimize-result"
 
 #: every artifact must carry these top-level fields
 _REQUIRED_FIELDS = ("schema_version", "kind", "provenance", "result")
-#: provenance fields every yield artifact must carry
+#: provenance fields every yield/optimize artifact must carry
 _REQUIRED_PROVENANCE = ("template", "seed", "estimator")
 
 
@@ -123,7 +123,7 @@ def validate_artifact(data: Mapping, source: str = "artifact") -> None:
     provenance = data["provenance"]
     if not isinstance(provenance, Mapping):
         raise ArtifactError(f"{source}: provenance must be an object")
-    if data["kind"] in (KIND_YIELD, KIND_MERGED):
+    if data["kind"] in (KIND_YIELD, KIND_MERGED, KIND_OPTIMIZE):
         absent = [key for key in _REQUIRED_PROVENANCE
                   if key not in provenance]
         if absent:

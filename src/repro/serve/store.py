@@ -9,38 +9,85 @@ sharing the store over a network filesystem — sees either the complete
 artifact or nothing.  Every artifact is validated against the wire
 contract on ``get`` *and* ``put``: a corrupt or schema-incompatible
 entry is treated as a miss, never served.
+
+Beyond the object cache, the store root owns the daemon's durable
+state: the job write-ahead log (``wal.jsonl``, see
+:mod:`repro.serve.wal`), per-job optimizer checkpoints
+(``checkpoints/<job>.json``) that recovered ``optimize`` jobs resume
+from, and transient worker heartbeat files (``heartbeats/<job>``).
+
+**Garbage collection** (:meth:`gc`) keeps the store bounded: entries
+older than ``max_age_s`` are evicted, and when the object + checkpoint
+footprint exceeds ``max_bytes``, the least-recently-*accessed* entries
+go first (every cache hit refreshes the entry's mtime, so mtime is the
+access clock — unlike atime it survives ``noatime`` mounts).  Paths in
+the caller's ``protect`` set — the daemon passes the checkpoints of
+every live job — are never evicted regardless of age or pressure.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import re
 import tempfile
-from typing import Dict, Optional
+import time
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..errors import ArtifactError
 from .contract import validate_artifact
 
 _KEY_CHARS = set("0123456789abcdef")
 
+#: characters a job-derived filename may contain
+_SAFE_NAME = re.compile(r"^[A-Za-z0-9._-]+$")
+
 
 class ResultStore:
     """Filesystem-backed content-addressed artifact store."""
 
-    def __init__(self, root: str):
+    def __init__(self, root: str, max_bytes: Optional[int] = None,
+                 max_age_s: Optional[float] = None):
         self.root = os.path.abspath(root)
         self.objects = os.path.join(self.root, "objects")
+        self.checkpoints = os.path.join(self.root, "checkpoints")
+        self.heartbeats = os.path.join(self.root, "heartbeats")
         os.makedirs(self.objects, exist_ok=True)
+        #: GC bounds (None = unbounded on that axis)
+        self.max_bytes = max_bytes
+        self.max_age_s = max_age_s
         #: cache telemetry since this process opened the store
         self.hits = 0
         self.misses = 0
         self.writes = 0
         self.invalid = 0
+        self.evictions = 0
 
     def _path(self, key: str) -> str:
         if len(key) < 3 or not set(key) <= _KEY_CHARS:
             raise ArtifactError(f"malformed store key {key!r}")
         return os.path.join(self.objects, key[:2], f"{key}.json")
+
+    def _job_file(self, directory: str, name: str,
+                  suffix: str = "") -> str:
+        if not _SAFE_NAME.match(name):
+            raise ArtifactError(f"malformed job id {name!r}")
+        os.makedirs(directory, exist_ok=True)
+        return os.path.join(directory, name + suffix)
+
+    def checkpoint_path(self, job_id: str) -> str:
+        """The store-owned optimizer checkpoint of ``job_id`` (written
+        by optimize workers, resumed from after a crash)."""
+        return self._job_file(self.checkpoints, job_id, ".json")
+
+    def heartbeat_path(self, job_id: str) -> str:
+        """The heartbeat file workers of ``job_id`` touch while alive
+        (its mtime is the supervisor's liveness clock)."""
+        return self._job_file(self.heartbeats, job_id)
+
+    def wal_path(self) -> str:
+        """Location of the job write-ahead log inside this store."""
+        return os.path.join(self.root, "wal.jsonl")
 
     def __contains__(self, key: str) -> bool:
         return os.path.exists(self._path(key))
@@ -48,7 +95,8 @@ class ResultStore:
     def get(self, key: str) -> Optional[Dict]:
         """The stored artifact under ``key``, or None.  Unreadable or
         contract-violating entries count as misses (and are left in
-        place for forensics — the daemon recomputes and overwrites)."""
+        place for forensics — the daemon recomputes and overwrites).
+        A hit refreshes the entry's mtime (the LRU access clock)."""
         path = self._path(key)
         try:
             with open(path) as handle:
@@ -61,6 +109,10 @@ class ResultStore:
             self.invalid += 1
             self.misses += 1
             return None
+        try:
+            os.utime(path, None)
+        except OSError:  # pragma: no cover - concurrent eviction
+            pass
         self.hits += 1
         return artifact
 
@@ -88,6 +140,74 @@ class ResultStore:
         self.writes += 1
         return path
 
+    # -- garbage collection ----------------------------------------------------
+    def _entries(self) -> List[Tuple[float, int, str]]:
+        """``(mtime, size, path)`` of every evictable file (objects,
+        checkpoints, and stale heartbeat droppings)."""
+        entries = []
+        for base in (self.objects, self.checkpoints, self.heartbeats):
+            for dirpath, _, files in os.walk(base):
+                for name in files:
+                    if name.endswith(".tmp"):
+                        continue
+                    path = os.path.join(dirpath, name)
+                    try:
+                        stat = os.stat(path)
+                    except OSError:
+                        continue
+                    entries.append((stat.st_mtime, stat.st_size, path))
+        return entries
+
+    def gc(self, protect: Iterable[str] = (),
+           now: Optional[float] = None) -> int:
+        """Evict stored entries down to the configured bounds; returns
+        the number of files removed.
+
+        Two passes: everything older than ``max_age_s`` goes first, then
+        least-recently-accessed entries until the total footprint is
+        under ``max_bytes``.  Paths in ``protect`` (live jobs'
+        checkpoints and heartbeats) are never evicted; the WAL lives
+        outside the swept directories and is never touched.
+        """
+        if self.max_bytes is None and self.max_age_s is None:
+            return 0
+        protected = {os.path.abspath(path) for path in protect}
+        now = time.time() if now is None else now
+        entries = self._entries()
+        evicted = 0
+
+        def _evict(path: str) -> bool:
+            try:
+                os.unlink(path)
+            except OSError:
+                return False
+            return True
+
+        if self.max_age_s is not None:
+            survivors = []
+            for mtime, size, path in entries:
+                if path not in protected \
+                        and now - mtime > self.max_age_s:
+                    evicted += _evict(path)
+                else:
+                    survivors.append((mtime, size, path))
+            entries = survivors
+        if self.max_bytes is not None:
+            total = sum(size for _, size, _ in entries)
+            for mtime, size, path in sorted(entries):
+                if total <= self.max_bytes:
+                    break
+                if path in protected:
+                    continue
+                if _evict(path):
+                    evicted += 1
+                    total -= size
+        self.evictions += evicted
+        return evicted
+
+    def total_bytes(self) -> int:
+        return sum(size for _, size, _ in self._entries())
+
     def __len__(self) -> int:
         count = 0
         for _, _, files in os.walk(self.objects):
@@ -97,7 +217,10 @@ class ResultStore:
     def stats(self) -> Dict:
         return {"hits": self.hits, "misses": self.misses,
                 "writes": self.writes, "invalid": self.invalid,
-                "objects": len(self), "root": self.root}
+                "evictions": self.evictions, "objects": len(self),
+                "total_bytes": self.total_bytes(),
+                "max_bytes": self.max_bytes,
+                "max_age_s": self.max_age_s, "root": self.root}
 
 
 __all__ = ["ResultStore"]

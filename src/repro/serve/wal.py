@@ -1,0 +1,190 @@
+"""Write-ahead log of the ``repro.serve`` job queue.
+
+Every job state transition (submitted, started, done/failed, cancelled,
+retried) is appended to a JSONL log under the store directory *before*
+the daemon acts on it, so a ``kill -9`` at any instant loses at most the
+in-flight simulation work — never the knowledge of which jobs existed
+and where they stood.  On startup the daemon replays the log, restores
+terminal jobs to the registry (their artifacts live in the result
+store), and re-enqueues every job that was queued or running when the
+previous process died; interrupted attempts are marked
+``recovered: true`` with an incremented ``attempt`` counter.
+
+Durability discipline:
+
+* **Appends** are single ``json.dumps`` lines written to a file opened
+  in append mode, flushed and ``fsync``-ed before the call returns — a
+  crash can truncate only the final line, and :meth:`replay` tolerates
+  (and reports) exactly one trailing partial line.
+* **Compaction** rewrites the log as one ``snapshot`` event per job via
+  the same atomic tempfile+rename discipline as
+  :class:`~repro.serve.store.ResultStore`, so a crash mid-compaction
+  leaves the previous complete log in place.
+
+The log is an *event* log, not a registry: replay folds events in order
+(submit -> start -> retry* -> finish/cancel) into the latest job record.
+Unknown event types and unknown fields are ignored, so newer daemons can
+extend the format without breaking older readers.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from ..errors import ServeError
+
+#: event types the replayer understands
+EVENT_SUBMIT = "submit"
+EVENT_START = "start"
+EVENT_RETRY = "retry"
+EVENT_FINISH = "finish"
+EVENT_CANCEL = "cancel"
+EVENT_SNAPSHOT = "snapshot"
+
+
+class WriteAheadLog:
+    """Append-only JSONL job-transition log (see module docstring)."""
+
+    def __init__(self, path: str):
+        self.path = os.path.abspath(path)
+        os.makedirs(os.path.dirname(self.path), exist_ok=True)
+        #: telemetry since this process opened the log
+        self.appends = 0
+        self.compactions = 0
+        #: partial trailing lines discarded by the last :meth:`replay`
+        self.torn_lines = 0
+
+    # -- writing ---------------------------------------------------------------
+    def append(self, event: str, **fields) -> None:
+        """Durably append one event line (flushed + fsynced)."""
+        record = {"at": time.time(), "event": event}
+        record.update(fields)
+        line = json.dumps(record, separators=(",", ":"))
+        if "\n" in line:  # defensive: JSONL integrity
+            raise ServeError("WAL event serialized with an embedded "
+                             "newline")
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        self.appends += 1
+
+    def compact(self, jobs: Iterable[Mapping]) -> None:
+        """Atomically rewrite the log as one ``snapshot`` event per job
+        (temp file + rename, like the result store)."""
+        directory = os.path.dirname(self.path)
+        handle = tempfile.NamedTemporaryFile(
+            "w", dir=directory, suffix=".tmp", delete=False,
+            encoding="utf-8")
+        try:
+            with handle:
+                for job in jobs:
+                    handle.write(json.dumps(
+                        {"at": time.time(), "event": EVENT_SNAPSHOT,
+                         "job": dict(job)},
+                        separators=(",", ":")) + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(handle.name, self.path)
+        except BaseException:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
+        self.compactions += 1
+
+    # -- reading ---------------------------------------------------------------
+    def _events(self) -> List[Dict]:
+        """All complete event records, oldest first.  A torn final line
+        (crash mid-append) is discarded and counted; a torn line
+        *followed by* complete lines means real corruption and raises."""
+        try:
+            with open(self.path, encoding="utf-8") as handle:
+                lines = handle.readlines()
+        except FileNotFoundError:
+            return []
+        events: List[Dict] = []
+        self.torn_lines = 0
+        for index, line in enumerate(lines):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                if index == len(lines) - 1:
+                    self.torn_lines += 1
+                    break
+                raise ServeError(
+                    f"WAL {self.path!r} is corrupt at line {index + 1}: "
+                    f"unparseable non-final entry")
+            if isinstance(record, dict):
+                events.append(record)
+        return events
+
+    def replay(self) -> List[Dict]:
+        """Fold the event log into the latest record per job, in
+        submission order.  Events referencing unknown job ids (their
+        submit line was lost or compacted away) are skipped."""
+        jobs: Dict[str, Dict] = {}
+        order: List[str] = []
+        for event in self._events():
+            kind = event.get("event")
+            if kind in (EVENT_SUBMIT, EVENT_SNAPSHOT):
+                job = event.get("job")
+                if not isinstance(job, dict) or "id" not in job:
+                    continue
+                job_id = job["id"]
+                if job_id not in jobs:
+                    order.append(job_id)
+                jobs[job_id] = dict(job)
+                continue
+            job = jobs.get(event.get("id"))
+            if job is None:
+                continue
+            if kind == EVENT_START:
+                job["state"] = "running"
+                job["started_at"] = event.get("at")
+                if event.get("attempt") is not None:
+                    job["attempt"] = int(event["attempt"])
+            elif kind == EVENT_RETRY:
+                job["state"] = "queued"
+                job["started_at"] = None
+                if event.get("attempt") is not None:
+                    job["attempt"] = int(event["attempt"])
+                if event.get("error"):
+                    job["error"] = event["error"]
+            elif kind == EVENT_FINISH:
+                job["state"] = event.get("state", "done")
+                job["finished_at"] = event.get("at")
+                job["error"] = event.get("error")
+                for field in ("simulations", "cache_hit",
+                              "budget_exceeded", "stop_reason"):
+                    if event.get(field) is not None:
+                        job[field] = event[field]
+            elif kind == EVENT_CANCEL:
+                job["state"] = "cancelled"
+                job["finished_at"] = event.get("at")
+                job["stop_reason"] = event.get("stop_reason", "cancelled")
+        return [jobs[job_id] for job_id in order]
+
+    def entries(self) -> int:
+        """Number of complete event lines currently in the log."""
+        return len(self._events())
+
+    def orphans(self) -> List[Tuple[str, str]]:
+        """``(job_id, state)`` of every replayed job not in a terminal
+        state — empty after a clean recovery cycle."""
+        return [(job["id"], job.get("state", "?"))
+                for job in self.replay()
+                if job.get("state") in ("queued", "running")]
+
+
+__all__ = ["EVENT_CANCEL", "EVENT_FINISH", "EVENT_RETRY",
+           "EVENT_SNAPSHOT", "EVENT_START", "EVENT_SUBMIT",
+           "WriteAheadLog"]

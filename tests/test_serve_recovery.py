@@ -1,0 +1,204 @@
+"""Crash-recovery acceptance tests: SIGKILL a real ``repro serve``
+daemon process mid-job, restart it on the same store, and require that
+every interrupted job completes with zero intervention — with the
+recovered optimize trajectory bit-identical (modulo wall-clock
+telemetry) to an uninterrupted run.
+"""
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.serve import (OptimizeRequest, ResultStore, ServeClient,
+                         WriteAheadLog, YieldRequest, execute_optimize,
+                         execute_yield, optimize_result_dict,
+                         trace_fingerprint)
+from repro.serve.contract import KIND_OPTIMIZE
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: sized so one iteration takes a couple of seconds: the kill lands
+#: after the first checkpoint write but well before convergence
+OPT_REQUEST = {"circuit": "ota", "iterations": 2, "samples_linear": 400,
+               "samples_verify": 24, "seed": 11}
+
+#: a plain Monte-Carlo batch slow enough (~seconds) to be killed mid-run
+YIELD_REQUEST = {"circuit": "ota", "estimator": "mc", "n_samples": 600,
+                 "seed": 17}
+
+EXACT_KEYS = ("estimate", "ci_low", "ci_high", "ess", "n_samples",
+              "simulations", "failed_samples", "bad_fraction")
+
+
+@pytest.fixture(scope="module")
+def direct_optimize_fingerprint():
+    """Ground truth: the uninterrupted in-process optimize trace."""
+    result = execute_optimize(OptimizeRequest(**OPT_REQUEST))
+    return trace_fingerprint(optimize_result_dict(result))
+
+
+class Daemon:
+    """A real ``repro serve`` subprocess (the thing we SIGKILL)."""
+
+    def __init__(self, store_dir, workers=1):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(ROOT, "src")
+        self.proc = subprocess.Popen(
+            [sys.executable, "-u", "-m", "repro", "serve",
+             "--store", store_dir, "--port", "0",
+             "--workers", str(workers)],
+            cwd=ROOT, env=env, stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT, text=True)
+        self.banner = self._await_banner()
+        self.url = re.search(r"listening on (http://\S+)",
+                             self.banner).group(1)
+
+    def _await_banner(self):
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            line = self.proc.stdout.readline()
+            if not line and self.proc.poll() is not None:
+                raise RuntimeError(
+                    f"daemon exited rc={self.proc.returncode}")
+            if "listening on" in line:
+                return line
+        raise RuntimeError("daemon never announced its port")
+
+    def kill9(self):
+        os.kill(self.proc.pid, signal.SIGKILL)
+        self.proc.wait(timeout=30)
+
+    def sigterm(self):
+        self.proc.send_signal(signal.SIGTERM)
+        output = self.proc.stdout.read()
+        self.proc.wait(timeout=30)
+        return output
+
+    def cleanup(self):
+        if self.proc.poll() is None:
+            self.proc.kill()
+            self.proc.wait(timeout=30)
+
+
+def poll(predicate, timeout_s=60.0, message="condition",
+         interval_s=0.05):
+    deadline = time.monotonic() + timeout_s
+    while not predicate():
+        if time.monotonic() >= deadline:
+            raise AssertionError(f"timed out waiting for {message}")
+        time.sleep(interval_s)
+
+
+class TestCrashRecovery:
+    def test_sigkill_mid_optimize_recovers_bit_identical(
+            self, tmp_path, direct_optimize_fingerprint):
+        store_dir = str(tmp_path / "store")
+        store = ResultStore(store_dir)
+        daemon = Daemon(store_dir, workers=1)
+        try:
+            client = ServeClient(daemon.url)
+            opt = client.submit({"kind": "optimize",
+                                 "request": OPT_REQUEST})
+            assert opt["state"] in ("queued", "running")
+            # a yield job queued behind the single worker: the crash
+            # must not lose it either
+            pending = client.submit({"kind": "yield",
+                                     "request": YIELD_REQUEST})
+
+            # kill -9 once the optimizer has durably checkpointed its
+            # first iteration (mid-optimize by construction)
+            checkpoint = store.checkpoint_path(opt["id"])
+            poll(lambda: os.path.exists(checkpoint),
+                 message="first optimizer checkpoint")
+            if client.status(opt["id"])["state"] == "done":
+                pytest.skip("optimize finished before the kill landed")
+            daemon.kill9()
+        finally:
+            daemon.cleanup()
+
+        # restart on the same store: both jobs must complete with zero
+        # intervention
+        revived = Daemon(store_dir, workers=1)
+        try:
+            assert "recovered: 2 job(s)" in revived.banner
+            client = ServeClient(revived.url)
+            final_opt = client.wait(opt["id"], timeout_s=600,
+                                    poll_s=0.1)
+            assert final_opt["state"] == "done", final_opt["error"]
+            assert final_opt["attempt"] >= 2
+            assert final_opt["recovered"] is True
+
+            final_yield = client.wait(pending["id"], timeout_s=600,
+                                      poll_s=0.1)
+            assert final_yield["state"] == "done", final_yield["error"]
+            assert final_yield["recovered"] is True
+
+            # the recovered trajectory is bit-identical to the
+            # uninterrupted run (volatile wall-clock telemetry aside)
+            artifact = client.result(opt["id"])
+            assert artifact["kind"] == KIND_OPTIMIZE
+            assert trace_fingerprint(artifact["result"]) == \
+                direct_optimize_fingerprint
+            job_stamp = artifact["provenance"]["job"]
+            assert job_stamp["attempt"] >= 2
+            assert job_stamp["recovered"] is True
+
+            # the resumed trace spans the full trajectory
+            assert len(artifact["result"]["records"]) >= 1
+            assert artifact["result"]["stop_reason"]
+
+            # and the yield batch matches its direct execution exactly
+            direct = execute_yield(
+                YieldRequest(**YIELD_REQUEST)).to_dict()
+            served = client.result(pending["id"])["result"]
+            for key in EXACT_KEYS:
+                assert served[key] == direct[key], key
+
+            # no orphaned WAL entries survive: every job folded to a
+            # terminal state
+            assert WriteAheadLog(store.wal_path()).orphans() == []
+
+            # graceful shutdown drains and announces it
+            output = revived.sigterm()
+            assert "draining" in output
+            assert revived.proc.returncode == 0
+        finally:
+            revived.cleanup()
+
+    def test_sigkill_mid_yield_recomputes_exactly(self, tmp_path):
+        store_dir = str(tmp_path / "store")
+        daemon = Daemon(store_dir, workers=1)
+        try:
+            client = ServeClient(daemon.url)
+            job = client.submit({"kind": "yield",
+                                 "request": YIELD_REQUEST})
+            poll(lambda: client.status(job["id"])["state"]
+                 in ("running", "done"), message="job to start")
+            if client.status(job["id"])["state"] == "done":
+                pytest.skip("yield finished before the kill landed")
+            daemon.kill9()
+        finally:
+            daemon.cleanup()
+
+        revived = Daemon(store_dir, workers=1)
+        try:
+            client = ServeClient(revived.url)
+            final = client.wait(job["id"], timeout_s=600, poll_s=0.1)
+            assert final["state"] == "done", final["error"]
+            assert final["attempt"] >= 2
+            assert final["recovered"] is True
+            direct = execute_yield(
+                YieldRequest(**YIELD_REQUEST)).to_dict()
+            served = client.result(job["id"])["result"]
+            for key in EXACT_KEYS:
+                assert served[key] == direct[key], key
+            store = ResultStore(store_dir)
+            assert WriteAheadLog(store.wal_path()).orphans() == []
+        finally:
+            revived.cleanup()

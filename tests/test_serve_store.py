@@ -97,3 +97,80 @@ class TestResultStore:
         leftovers = [name for _, _, files in os.walk(store.root)
                      for name in files if name.endswith(".tmp")]
         assert leftovers == []
+
+    def test_job_file_paths_reject_traversal(self, tmp_path):
+        store = ResultStore(str(tmp_path / "store"))
+        for name in ("../evil", "a/b", "", "x y"):
+            with pytest.raises(ArtifactError, match="malformed job id"):
+                store.checkpoint_path(name)
+        assert store.checkpoint_path("job-1.a_b").endswith(
+            "checkpoints/job-1.a_b.json")
+        assert store.heartbeat_path("job-1").endswith(
+            "heartbeats/job-1")
+        assert store.wal_path() == os.path.join(store.root, "wal.jsonl")
+
+
+class TestStoreGC:
+    def keys(self, count):
+        return [f"{index:02x}" + "1" * 62 for index in range(count)]
+
+    def test_unbounded_store_never_evicts(self, tmp_path):
+        store = ResultStore(str(tmp_path / "store"))
+        store.put(KEY, artifact())
+        assert store.gc() == 0
+        assert KEY in store
+
+    def test_age_bound_evicts_old_unprotected_entries(self, tmp_path):
+        store = ResultStore(str(tmp_path / "store"),
+                            max_age_s=3600.0)
+        old, fresh = self.keys(2)
+        old_path = store.put(old, artifact())
+        store.put(fresh, artifact())
+        past = 10_000.0
+        os.utime(old_path, (past, past))
+        assert store.gc(now=past + 7200.0 + 1.0) == 1
+        assert old not in store and fresh in store
+        assert store.stats()["evictions"] == 1
+
+    def test_size_bound_evicts_least_recently_accessed(self, tmp_path):
+        store = ResultStore(str(tmp_path / "store"))
+        keys = self.keys(4)
+        paths = {key: store.put(key, artifact()) for key in keys}
+        # bound the store to roughly two artifacts
+        store.max_bytes = 2 * os.path.getsize(paths[keys[0]]) + 1
+        # stamp an explicit access order: keys[0] oldest ... keys[3]
+        # newest, then touch keys[0] via get() (the LRU refresh)
+        for index, key in enumerate(keys):
+            os.utime(paths[key], (1000.0 + index, 1000.0 + index))
+        assert store.get(keys[0]) is not None
+        evicted = store.gc()
+        assert evicted == 2
+        # the get() refreshed keys[0]; keys[1] and keys[2] were the
+        # least recently accessed
+        assert keys[0] in store and keys[3] in store
+        assert keys[1] not in store and keys[2] not in store
+
+    def test_protected_paths_survive_any_pressure(self, tmp_path):
+        store = ResultStore(str(tmp_path / "store"), max_bytes=1,
+                            max_age_s=0.001)
+        live = store.checkpoint_path("live-job")
+        with open(live, "w") as handle:
+            handle.write("{}")
+        dead = store.checkpoint_path("dead-job")
+        with open(dead, "w") as handle:
+            handle.write("{}")
+        import time
+        time.sleep(0.01)
+        store.gc(protect=[live])
+        assert os.path.exists(live)
+        assert not os.path.exists(dead)
+
+    def test_gc_never_touches_the_wal(self, tmp_path):
+        store = ResultStore(str(tmp_path / "store"), max_bytes=0,
+                            max_age_s=0.0)
+        with open(store.wal_path(), "w") as handle:
+            handle.write('{"event":"submit"}\n')
+        store.put(KEY, artifact())
+        store.gc(now=1e12)
+        assert os.path.exists(store.wal_path())
+        assert KEY not in store

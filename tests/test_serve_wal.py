@@ -1,0 +1,190 @@
+"""Tests for the serve layer's write-ahead log: append/replay
+round-trips, torn-line tolerance, compaction, queue integration, and
+the daemon-construction recovery path."""
+
+import os
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve import ResultStore, ServeApp, WriteAheadLog
+from repro.serve.queue import (CANCELLED, DONE, FAILED, Job, JobQueue,
+                               QUEUED, RUNNING)
+
+
+def job(job_id="j1", **overrides):
+    fields = dict(id=job_id, kind="yield",
+                  request={"circuit": "ota", "n_samples": 8},
+                  cache_key="ab" + "0" * 62)
+    fields.update(overrides)
+    return Job(**fields)
+
+
+class TestWriteAheadLog:
+    def test_append_replay_round_trip(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path / "wal.jsonl"))
+        wal.append("submit", job=job().to_dict())
+        wal.append("start", id="j1", attempt=1)
+        wal.append("finish", id="j1", state="done", simulations=42)
+        (replayed,) = wal.replay()
+        assert replayed["id"] == "j1"
+        assert replayed["state"] == "done"
+        assert replayed["simulations"] == 42
+        assert wal.entries() == 3
+        assert wal.orphans() == []
+
+    def test_replay_folds_retry_and_cancel(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path / "wal.jsonl"))
+        wal.append("submit", job=job("a").to_dict())
+        wal.append("submit", job=job("b").to_dict())
+        wal.append("start", id="a", attempt=1)
+        wal.append("retry", id="a", attempt=2, error="pool died")
+        wal.append("cancel", id="b", stop_reason="cancelled")
+        by_id = {record["id"]: record for record in wal.replay()}
+        assert by_id["a"]["state"] == QUEUED
+        assert by_id["a"]["attempt"] == 2
+        assert by_id["a"]["error"] == "pool died"
+        assert by_id["b"]["state"] == CANCELLED
+        assert by_id["b"]["stop_reason"] == "cancelled"
+        assert wal.orphans() == [("a", QUEUED)]
+
+    def test_missing_log_replays_empty(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path / "wal.jsonl"))
+        assert wal.replay() == []
+        assert wal.entries() == 0
+
+    def test_torn_final_line_is_tolerated_and_counted(self, tmp_path):
+        path = str(tmp_path / "wal.jsonl")
+        wal = WriteAheadLog(path)
+        wal.append("submit", job=job().to_dict())
+        wal.append("start", id="j1", attempt=1)
+        with open(path, "a") as handle:
+            handle.write('{"at": 1.0, "event": "fini')  # crash mid-write
+        (replayed,) = wal.replay()
+        assert replayed["state"] == RUNNING
+        assert wal.torn_lines == 1
+
+    def test_torn_middle_line_raises(self, tmp_path):
+        path = str(tmp_path / "wal.jsonl")
+        wal = WriteAheadLog(path)
+        wal.append("submit", job=job().to_dict())
+        with open(path, "a") as handle:
+            handle.write('{"broken\n')
+        wal.append("start", id="j1", attempt=1)
+        with pytest.raises(ServeError, match="corrupt"):
+            wal.replay()
+
+    def test_unknown_events_and_ids_are_skipped(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path / "wal.jsonl"))
+        wal.append("submit", job=job().to_dict())
+        wal.append("newer-format-event", id="j1", payload="x")
+        wal.append("finish", id="ghost", state="done")
+        (replayed,) = wal.replay()
+        assert replayed["id"] == "j1"
+        assert replayed["state"] == QUEUED
+
+    def test_compaction_preserves_replay_and_is_atomic(self, tmp_path):
+        path = str(tmp_path / "wal.jsonl")
+        wal = WriteAheadLog(path)
+        wal.append("submit", job=job("a").to_dict())
+        wal.append("start", id="a", attempt=1)
+        wal.append("finish", id="a", state="done")
+        wal.append("submit", job=job("b").to_dict())
+        before = wal.replay()
+        wal.compact(before)
+        after = wal.replay()
+        assert [r["id"] for r in after] == [r["id"] for r in before]
+        assert {r["id"]: r["state"] for r in after} == \
+            {"a": "done", "b": QUEUED}
+        # one snapshot line per job, no temp droppings
+        assert wal.entries() == 2
+        assert [name for name in os.listdir(tmp_path)
+                if name.endswith(".tmp")] == []
+
+
+class TestQueueWalIntegration:
+    def make(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path / "wal.jsonl"))
+        return JobQueue(wal=wal), wal
+
+    def test_every_transition_is_logged_before_applied(self, tmp_path):
+        queue, wal = self.make(tmp_path)
+        queue.submit(job("a"))
+        queue.submit(job("b"))
+        popped = queue.pop_next()
+        queue.finish(popped.id)
+        queue.cancel("b")
+        states = {r["id"]: r["state"] for r in wal.replay()}
+        assert states == {"a": DONE, "b": CANCELLED}
+
+    def test_requeue_bumps_attempt_in_log_and_memory(self, tmp_path):
+        queue, wal = self.make(tmp_path)
+        queue.submit(job("a"))
+        queue.pop_next()
+        requeued = queue.requeue("a", error="worker wedged")
+        assert requeued.attempt == 2
+        assert requeued.state == QUEUED
+        assert requeued.started_at is None
+        (replayed,) = wal.replay()
+        assert replayed["attempt"] == 2
+        assert replayed["state"] == QUEUED
+        # the job is dispatchable again
+        assert queue.pop_next().id == "a"
+
+    def test_requeue_and_finish_respect_terminal_states(self, tmp_path):
+        queue, wal = self.make(tmp_path)
+        queue.submit(job("a"))
+        queue.pop_next()
+        queue.cancel("a")
+        assert queue.requeue("a").state == CANCELLED
+        assert queue.finish("a").state == CANCELLED
+        (replayed,) = wal.replay()
+        assert replayed["state"] == CANCELLED
+
+    def test_failed_attempt_logs_error(self, tmp_path):
+        queue, wal = self.make(tmp_path)
+        queue.submit(job("a"))
+        queue.pop_next()
+        queue.finish("a", error="NetlistError: no such node")
+        (replayed,) = wal.replay()
+        assert replayed["state"] == FAILED
+        assert "NetlistError" in replayed["error"]
+
+
+class TestAppRecovery:
+    def seed_wal(self, store, jobs_and_events):
+        wal = WriteAheadLog(store.wal_path())
+        for event, fields in jobs_and_events:
+            wal.append(event, **fields)
+        return wal
+
+    def test_construction_replays_and_requeues(self, tmp_path):
+        store = ResultStore(str(tmp_path / "store"))
+        self.seed_wal(store, [
+            ("submit", {"job": job("done-job", state=DONE,
+                                   cache_hit=True).to_dict()}),
+            ("submit", {"job": job("queued-job").to_dict()}),
+            ("submit", {"job": job(
+                "running-job", kind="optimize",
+                checkpoint=store.checkpoint_path("running-job"),
+                request={"circuit": "ota", "iterations": 2}).to_dict()}),
+            ("start", {"id": "running-job", "attempt": 1}),
+        ])
+        app = ServeApp(store, workers=1)
+        done = app.queue.get("done-job")
+        assert done.state == DONE and not done.recovered
+        queued = app.queue.get("queued-job")
+        assert queued.state == QUEUED and queued.recovered
+        assert queued.attempt == 1
+        # the interrupted attempt is re-enqueued as attempt 2
+        running = app.queue.get("running-job")
+        assert running.state == QUEUED
+        assert running.attempt == 2
+        assert running.recovered is True
+        assert running.started_at is None
+        assert running.checkpoint == \
+            store.checkpoint_path("running-job")
+        assert set(app.recovered_jobs) == {"queued-job", "running-job"}
+        # recovery compacts: the log is now one snapshot per job
+        assert app.wal.entries() == 3
+        assert app.queue.stats()["recovered"] == 2
