@@ -24,6 +24,7 @@ RATIOS = [
     ("sparse_kernel", "ac_speedup"),
     ("large_template", "speedup"),
     ("table1_optimize", "speedup"),
+    ("batched_mc", "speedup"),
 ]
 
 

@@ -1,6 +1,6 @@
 """Benchmark of the batched simulation engine.
 
-Produces ``BENCH_perf_engine.json`` at the repository root with six
+Produces ``BENCH_perf_engine.json`` at the repository root with seven
 measurements:
 
 * AC kernel: stacked ``solve_many`` vs a per-frequency ``solve`` loop,
@@ -15,7 +15,11 @@ measurements:
   results and Table-7 counters are bit-identical,
 * the headline Table-1 comparison: a folded-cascode optimization with
   the engine configuration vs legacy mode (``warm_dc = False``,
-  ``SECTION_POINTS = 1``, serial) — the pre-engine measurement path.
+  ``SECTION_POINTS = 1``, serial) — the pre-engine measurement path,
+* sample-batched MC: the structure-of-arrays lockstep engine
+  (``repro.circuit.batch``) vs the scalar per-sample loop on a
+  two-stage-array verification Monte-Carlo, asserting bitwise value
+  parity and exact effort-counter parity.
 
 ``REPRO_BENCH_TINY=1`` (the CI smoke setting) shrinks the run budgets and
 relaxes the speedup assertions; the committed baseline
@@ -284,3 +288,55 @@ def test_bench_table1_optimize_engine_vs_legacy(report):
     assert engine.total_simulations > 0
     if not TINY:
         assert legacy_s / engine_s >= 2.0
+
+
+def test_bench_batched_mc(report):
+    """Sample-batched vs scalar Monte-Carlo on the large template: the
+    verification-MC workload the batched engine was built for.  Parity
+    is the engine's contract — per-sample values bitwise identical
+    (asserted both exactly and at the 1e-10 relative acceptance bar)
+    and effort counters exactly equal."""
+    from repro.circuits import TwoStageArrayOpamp
+
+    n = 8 if TINY else 64
+    chunk = 8 if TINY else 64
+
+    def one_pass(batch_samples):
+        template = TwoStageArrayOpamp()
+        evaluator = Evaluator(template, cache=False)
+        d = template.initial_design()
+        theta = template.operating_range.nominal()
+        rng = np.random.default_rng(11)
+        dim = template.statistical_space.dim
+        rows = [rng.standard_normal(dim) for _ in range(n)]
+        evaluator.evaluate(d, rows[0], theta)  # pay the anchor cost
+        t0 = time.perf_counter()
+        values = evaluator.evaluate_batch(d, rows, theta,
+                                          batch_samples=batch_samples)
+        elapsed = time.perf_counter() - t0
+        counters = (evaluator.simulation_count, evaluator.request_count,
+                    evaluator.cache_hits)
+        return values, counters, template.warm_cache_stats(), elapsed
+
+    serial_vals, serial_ctr, serial_warm, serial_s = one_pass(1)
+    batched_vals, batched_ctr, batched_warm, batched_s = one_pass(chunk)
+    assert batched_ctr == serial_ctr
+    assert batched_warm == serial_warm
+    for vs, vb in zip(serial_vals, batched_vals):
+        assert set(vs) == set(vb)
+        for key in vs:
+            assert vb[key] == pytest.approx(vs[key], rel=1e-10, abs=0.0)
+            assert vb[key] == vs[key], key  # the bitwise contract
+    report["batched_mc"] = {
+        "n_samples": n,
+        "batch_samples": chunk,
+        "serial_ms_per_sample": serial_s / n * 1e3,
+        "batched_ms_per_sample": batched_s / n * 1e3,
+        "speedup": serial_s / batched_s,
+        "bit_identical": True,
+        "simulations": serial_ctr[0],
+    }
+    assert batched_s < serial_s
+    if not TINY:
+        # The ISSUE's acceptance target on the verification MC.
+        assert serial_s / batched_s >= 3.0

@@ -265,6 +265,77 @@ def unity_gain_frequency(system: AcSystem, node: str,
     return 10.0 ** (0.5 * (lo + hi))
 
 
+def refine_unity_crossing(system: AcSystem, node: str,
+                          f_lo: float, f_hi: float,
+                          g_lo: float, g_hi: float,
+                          tol: float) -> float:
+    """Illinois (modified false-position) refinement of the unity-gain
+    crossing inside a verified bracket ``|H(f_lo)| = g_lo > 1 > g_hi =
+    |H(f_hi)|``.
+
+    Works on ``(log10 f, log10 |H|)``, where a single-pole roll-off is
+    exactly linear — so the secant step typically lands within ``tol`` of
+    the crossing in 3-5 solves, against the ~30 solves of the sectioned
+    bracket sweep over the same span.  The Illinois side-halving keeps a
+    stale endpoint from pinning the iterate, guaranteeing the bracket
+    shrinks below ``tol`` even on pathological gain curves.  Used by the
+    warm transit-frequency path, where the bracket is already tight
+    (``ft_hint / 2`` .. ``2 * ft_hint``); the cold path keeps the batched
+    section sweep of :func:`unity_gain_frequency`.
+    """
+    lo, hi = math.log10(f_lo), math.log10(f_hi)
+    y_lo, y_hi = math.log10(g_lo), math.log10(g_hi)
+    side = 0
+    for _ in range(80):
+        if hi - lo <= tol:
+            break
+        u = (lo * y_hi - hi * y_lo) / (y_hi - y_lo)
+        if not lo < u < hi:
+            u = 0.5 * (lo + hi)
+        g = abs(system.transfer(node, 10.0 ** u))
+        if g <= 0.0:
+            raise ExtractionError(
+                f"zero gain at {10.0 ** u:g} Hz inside the unity bracket")
+        y = math.log10(g)
+        if y > 0.0:
+            lo, y_lo = u, y
+            if side == -1:
+                y_hi *= 0.5
+            side = -1
+        elif y < 0.0:
+            hi, y_hi = u, y
+            if side == 1:
+                y_lo *= 0.5
+            side = 1
+        else:
+            return 10.0 ** u
+    return 10.0 ** (0.5 * (lo + hi))
+
+
+def warm_unity_crossing(system: AcSystem, node: str,
+                        f_lo: float, f_hi: float,
+                        tol: float = 1e-8) -> float:
+    """Unity-gain crossing on a *hinted* bracket ``[f_lo, f_hi]``.
+
+    Verifies the bracket with two endpoint solves — raising
+    :class:`ExtractionError` with the same precondition semantics as
+    :func:`unity_gain_frequency` when the crossing moved outside it —
+    then hands off to the fast :func:`refine_unity_crossing` secant
+    search.  Both the serial and the sample-batched measurement paths
+    call this same function, so their warm transit frequencies agree
+    bitwise.
+    """
+    g_lo = abs(system.transfer(node, f_lo))
+    if g_lo <= 1.0:
+        raise ExtractionError(
+            f"gain at {f_lo:g} Hz is {g_lo:.3g} <= 1; no transit frequency")
+    g_hi = abs(system.transfer(node, f_hi))
+    if g_hi >= 1.0:
+        raise ExtractionError(
+            f"gain at {f_hi:g} Hz is {g_hi:.3g} >= 1; sweep range too small")
+    return refine_unity_crossing(system, node, f_lo, f_hi, g_lo, g_hi, tol)
+
+
 def phase_margin(system: AcSystem, node: str,
                  f_unity: Optional[float] = None) -> float:
     """Phase margin in degrees: ``180 + phase(H(f_t))``.

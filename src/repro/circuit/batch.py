@@ -1,0 +1,1014 @@
+"""Sample-batched MNA evaluation (structure-of-arrays over Monte-Carlo rows).
+
+A verification Monte-Carlo evaluates one fixed topology at many
+statistical samples: every sample's circuit differs from its neighbours
+only in a handful of *values* — per-device threshold shifts, gain-factor
+scalings and the global sheet-resistance factor — never in structure.
+The serial path nevertheless rebuilds the netlist, re-stamps the MNA
+system and re-runs the scalar device model per sample.
+
+This module exploits the shared structure.  :class:`SampleBatchPlan`
+
+* builds the circuit **twice** — once at the nominal statistical point
+  (the *prototype*) and once at a synthetic *probe* point with distinct
+  per-device perturbations — and verifies by comparison that the builder
+  maps statistical variations the way the batch engine assumes (resistors
+  scale linearly with the resistance factor, MOSFETs track their own
+  ``delta_vto``/``beta_factor``, everything else is invariant).  Any
+  builder that deviates raises :class:`BatchUnsupported` and the caller
+  falls back to the serial path — the probe can only *disable* batching,
+  never corrupt results;
+* captures the prototype's exact stamp-call sequences (DC base, AC
+  ``(G, B)``) as triplet descriptors whose values are per-sample arrays;
+* runs one **lockstep damped-Newton** over all samples, evaluating every
+  MOSFET once per iteration for the whole batch
+  (:func:`repro.circuit.mos.evaluate_nmos_batch`) and replicating the
+  scalar solver's damping/convergence/fault semantics per sample.  Any
+  sample that leaves the warm-Newton happy path (non-finite update,
+  iteration cap, singular matrix) is handed back for the serial fallback,
+  whose full homotopy chain reproduces the serial outcome exactly.
+
+Parity contract: every arithmetic step mirrors the serial code
+operation-for-operation (same accumulation order, same association, same
+library calls), so batched results are **bitwise identical** to the
+serial per-sample loop — not merely close.  The test suite asserts exact
+equality.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import SingularMatrixError
+from .ac import AcSystem
+from .dc import (ABSTOL_V, DCResult, GMIN_FINAL, MAX_ITERATIONS, MAX_STEP_V,
+                 RELTOL)
+from .devices import (Capacitor, Inductor, Isource, Mosfet, Resistor, Vcvs,
+                      Vccs, Vsource)
+from .linsolve import (DenseAcEngine, SparseAcEngine, SparsePattern,
+                       TripletStamper, _splu_factor, resolve_backend)
+from .mos import (REGION_NAMES, evaluate_nmos_batch,
+                  intrinsic_capacitances_batch)
+from .netlist import Circuit
+
+#: Resistance factor of the probe build; a power of two, so a builder
+#: computing ``base * factor`` yields exactly ``2 * (base * 1.0)`` and the
+#: linearity check is an exact float comparison.
+PROBE_RESISTANCE_FACTOR = 2.0
+
+
+class BatchUnsupported(Exception):
+    """Internal signal: this build cannot be batched; use the serial path.
+
+    Deliberately *not* a :class:`~repro.errors.ReproError` — it never
+    reaches user code or the fault policy; the evaluation layer catches
+    it and silently falls back.
+    """
+
+
+def probe_maps(proto: Circuit) -> Tuple[Dict[str, float], Dict[str, float]]:
+    """Distinct per-transistor probe perturbations for ``proto``.
+
+    Each MOSFET gets its *own* ``delta_vto``/``beta_factor`` value, so a
+    builder that cross-wires device perturbations (device A built with
+    device B's variation) produces a detectable mismatch instead of a
+    silently wrong batch.
+    """
+    dvto: Dict[str, float] = {}
+    beta: Dict[str, float] = {}
+    index = 0
+    for dev in proto.devices:
+        if isinstance(dev, Mosfet):
+            index += 1
+            dvto[dev.name] = 0.01 * index
+            beta[dev.name] = 1.0 + 0.125 * index
+    return dvto, beta
+
+
+def _col(x: np.ndarray, index: int) -> np.ndarray:
+    """Per-sample voltage column, treating ground (-1) as 0 V."""
+    if index < 0:
+        return np.zeros(x.shape[0])
+    return x[:, index]
+
+
+def _mos_adds(nd: int, ng: int, ns: int, nb: int
+              ) -> Tuple[List[Tuple[int, int, int, float]],
+                         List[Tuple[int, int]]]:
+    """The 8 Jacobian adds + 2 rhs adds of ``Mosfet.stamp_dc`` /
+    ``stamp_ac_parts`` (G part) for one drain/source orientation, with
+    the ground skips applied.  Quantity indices: 0=gm 1=gds 2=gmb 3=gsum;
+    rhs sign multiplies ``ieq``."""
+    adds = []
+    for row, col, qty, sign in (
+            (nd, ng, 0, 1.0), (nd, nd, 1, 1.0), (nd, nb, 2, 1.0),
+            (nd, ns, 3, -1.0), (ns, ng, 0, -1.0), (ns, nd, 1, -1.0),
+            (ns, nb, 2, -1.0), (ns, ns, 3, 1.0)):
+        if row >= 0 and col >= 0:
+            adds.append((row, col, qty, sign))
+    rhs = []
+    if nd >= 0:
+        rhs.append((nd, -1.0))
+    if ns >= 0:
+        rhs.append((ns, 1.0))
+    return adds, rhs
+
+
+def _mos_cap_adds(nd: int, ng: int, ns: int, nb: int
+                  ) -> List[Tuple[int, int, int, float]]:
+    """The B-part adds of ``Mosfet.stamp_ac_parts``: four two-terminal
+    capacitances via ``add_conductance``, in call order, ground-skipped.
+    Quantity indices: 0=cgs 1=cgd 2=cdb 3=csb."""
+    adds = []
+    for a, b, qty in ((ng, ns, 0), (ng, nd, 1), (nd, nb, 2), (ns, nb, 3)):
+        for row, col, sign in ((a, a, 1.0), (b, b, 1.0),
+                               (a, b, -1.0), (b, a, -1.0)):
+            if row >= 0 and col >= 0:
+                adds.append((row, col, qty, sign))
+    return adds
+
+
+class _MosPlan:
+    """Static per-transistor data: reflected model card, effective
+    geometry, tracking flags and the stamp descriptors of both
+    drain/source orientations."""
+
+    __slots__ = ("name", "index", "nodes", "pol", "model_t", "w_eff", "l",
+                 "tracked_vto", "tracked_beta", "cj", "dc_variants",
+                 "ac_g_variants", "ac_b_variants", "rhs_variants")
+
+    def __init__(self, index: int, dev: Mosfet, nodes: Sequence[int],
+                 temp_c: float, tracked_vto: bool, tracked_beta: bool):
+        self.name = dev.name
+        self.index = index
+        self.nodes = tuple(nodes)
+        self.model_t = dev.model.at_temperature(temp_c)
+        self.pol = self.model_t.polarity
+        self.w_eff = dev.w * dev.m
+        self.l = dev.l
+        self.tracked_vto = tracked_vto
+        self.tracked_beta = tracked_beta
+        self.cj = self.model_t.cj * self.w_eff * self.model_t.ldif
+        nd, ng, ns, nb = nodes
+        self.dc_variants = {}
+        self.rhs_variants = {}
+        self.ac_g_variants = {}
+        self.ac_b_variants = {}
+        for swapped in (False, True):
+            ed, es = (ns, nd) if swapped else (nd, ns)
+            adds, rhs = _mos_adds(ed, ng, es, nb)
+            self.dc_variants[swapped] = adds
+            self.rhs_variants[swapped] = rhs
+            self.ac_g_variants[swapped] = adds
+            self.ac_b_variants[swapped] = _mos_cap_adds(ed, ng, es, nb)
+
+
+class _SigSpec:
+    """Assembled stamp plan for one swap signature: concatenated triplet
+    index arrays plus gather maps from per-sample quantity matrices."""
+
+    __slots__ = ("rows", "cols", "n_base", "nl_qty", "nl_mos", "nl_sign",
+                 "rhs_rows", "rhs_mos", "rhs_sign", "pattern", "n_g",
+                 "g_const", "g_res_slots", "g_res_idx", "g_res_sign",
+                 "g_qty", "g_mos", "g_sign", "g_mos_slots",
+                 "b_const", "b_qty", "b_mos", "b_sign", "b_mos_slots")
+
+
+def _match_devices(proto: Circuit, probe: Circuit,
+                   probe_dvto: Dict[str, float],
+                   probe_beta: Dict[str, float],
+                   probe_rf: float) -> Tuple[List[Tuple[Mosfet, bool, bool]],
+                                             List[Tuple[Resistor, bool]]]:
+    """Verify the probe build differs from the prototype exactly as the
+    batch model assumes; return (mosfets, resistors) with tracking flags.
+
+    Raises :class:`BatchUnsupported` on any structural or value mismatch.
+    """
+    if len(proto.devices) != len(probe.devices):
+        raise BatchUnsupported("device count differs between builds")
+    mosfets: List[Tuple[Mosfet, bool, bool]] = []
+    resistors: List[Tuple[Resistor, bool]] = []
+    for a, b in zip(proto.devices, probe.devices):
+        if type(a) is not type(b) or a.name != b.name or a.nodes != b.nodes:
+            raise BatchUnsupported(f"device {a.name!r} differs structurally")
+        if isinstance(a, Resistor):
+            if b.resistance == probe_rf * a.resistance:
+                resistors.append((a, True))
+            elif b.resistance == a.resistance:
+                resistors.append((a, False))
+            else:
+                raise BatchUnsupported(
+                    f"resistor {a.name!r} is not linear in the "
+                    f"resistance factor")
+        elif isinstance(a, Mosfet):
+            if (a.w != b.w or a.l != b.l or a.m != b.m
+                    or a.model != b.model):
+                raise BatchUnsupported(f"mosfet {a.name!r} geometry or "
+                                       f"model varies with the sample")
+            if a.delta_vto != 0.0 or a.beta_factor != 1.0:
+                raise BatchUnsupported(
+                    f"mosfet {a.name!r} has non-nominal perturbations in "
+                    f"the prototype build")
+            if b.delta_vto == probe_dvto.get(a.name):
+                tracked_vto = True
+            elif b.delta_vto == 0.0:
+                tracked_vto = False
+            else:
+                raise BatchUnsupported(
+                    f"mosfet {a.name!r} does not track its own delta_vto")
+            if b.beta_factor == probe_beta.get(a.name):
+                tracked_beta = True
+            elif b.beta_factor == 1.0:
+                tracked_beta = False
+            else:
+                raise BatchUnsupported(
+                    f"mosfet {a.name!r} does not track its own beta_factor")
+            mosfets.append((a, tracked_vto, tracked_beta))
+        elif isinstance(a, Capacitor):
+            if a.capacitance != b.capacitance or a.ic != b.ic:
+                raise BatchUnsupported(f"capacitor {a.name!r} varies")
+        elif isinstance(a, Inductor):
+            if a.inductance != b.inductance:
+                raise BatchUnsupported(f"inductor {a.name!r} varies")
+        elif isinstance(a, (Vsource, Isource)):
+            if (a.dc != b.dc or a.ac != b.ac or a.waveform is not None
+                    or b.waveform is not None or a.scale != 1.0
+                    or b.scale != 1.0):
+                raise BatchUnsupported(f"source {a.name!r} varies")
+        elif isinstance(a, Vcvs):
+            if a.gain != b.gain:
+                raise BatchUnsupported(f"vcvs {a.name!r} varies")
+        elif isinstance(a, Vccs):
+            if a.gm != b.gm:
+                raise BatchUnsupported(f"vccs {a.name!r} varies")
+        else:
+            raise BatchUnsupported(
+                f"unsupported device type {type(a).__name__} ({a.name!r})")
+    if not mosfets:
+        raise BatchUnsupported("no transistors; batching is pointless")
+    return mosfets, resistors
+
+
+class _LazyOps(dict):
+    """Operating-point record dict materialized on access.
+
+    The serial path computes every device's record when the AC engine is
+    assembled; the batched path already holds all quantities as arrays
+    and only pays the per-record dict construction for devices the
+    extraction actually reads (typically one tail transistor)."""
+
+    def __init__(self, plan: "SampleBatchPlan", k: int):
+        super().__init__()
+        self._plan = plan
+        self._k = k
+
+    def __missing__(self, key):
+        record = self._plan._op_record(self._k, key)
+        if record is None:
+            raise KeyError(key)
+        self[key] = record
+        return record
+
+    def __contains__(self, key):
+        return dict.__contains__(self, key) or key in self._plan._op_kinds
+
+    def get(self, key, default=None):
+        try:
+            return self[key]
+        except KeyError:
+            return default
+
+    def _materialize(self):
+        for name in self._plan._op_kinds:
+            self[name]
+
+    def keys(self):
+        self._materialize()
+        return dict.keys(self)
+
+    def values(self):
+        self._materialize()
+        return dict.values(self)
+
+    def items(self):
+        self._materialize()
+        return dict.items(self)
+
+    def __iter__(self):
+        self._materialize()
+        return dict.__iter__(self)
+
+    def __len__(self):
+        self._materialize()
+        return dict.__len__(self)
+
+
+class _LazySampleCircuit:
+    """Per-sample circuit view, materialized on first attribute access.
+
+    ``extract`` implementations that read ``bench.circuit`` (the noise
+    analysis re-stamps a fresh AC system from device *values*) must see
+    the sample's tracked-resistor resistances, not the prototype's.
+    Cloning a big circuit per sample would dominate the batched runtime,
+    and most templates never touch ``bench.circuit`` — so the clone is
+    built lazily.  Must be consumed before the plan's next
+    ``set_samples`` call (the evaluation layer extracts chunk by chunk).
+    """
+
+    def __init__(self, plan: "SampleBatchPlan", k: int):
+        self._plan = plan
+        self._k = k
+        self._real: Optional[Circuit] = None
+
+    def _materialize(self) -> Circuit:
+        if self._real is None:
+            self._real = self._plan._sample_circuit(self._k)
+        return self._real
+
+    def __getattr__(self, name):
+        return getattr(self._materialize(), name)
+
+    def __len__(self):
+        return len(self._materialize())
+
+    def __iter__(self):
+        return iter(self._materialize())
+
+    def __contains__(self, name):
+        return name in self._materialize()
+
+
+class SampleBatchPlan:
+    """Structure-of-arrays evaluation plan for one ``(d, theta)`` build.
+
+    Lifecycle: construct once per ``(d, theta)`` (verifies the builder
+    and captures stamp sequences), then per chunk of samples call
+    :meth:`set_samples` followed by :meth:`solve`, and for each converged
+    sample :meth:`dc_result` / :meth:`systems` to assemble an injected
+    testbench.
+    """
+
+    def __init__(self, proto: Circuit, probe: Circuit,
+                 probe_dvto: Dict[str, float],
+                 probe_beta: Dict[str, float],
+                 temp_c: float, linsolve=None):
+        self.circuit = proto
+        self.temp_c = temp_c
+        layout = proto.layout()
+        self.layout = layout
+        self.backend = resolve_backend(linsolve, layout.n_nodes)
+        self.sparse = self.backend.name == "sparse"
+        mos_pairs, res_pairs = _match_devices(
+            proto, probe, probe_dvto, probe_beta, PROBE_RESISTANCE_FACTOR)
+
+        node_of = {dev.name: nodes for dev, nodes
+                   in zip(proto.devices, layout.device_nodes)}
+        self.mosfets: List[_MosPlan] = [
+            _MosPlan(i, dev, node_of[dev.name], temp_c, tv, tb)
+            for i, (dev, tv, tb) in enumerate(mos_pairs)]
+        self._mos_index = {mp.name: mp for mp in self.mosfets}
+        self.n_mos = len(self.mosfets)
+        self.resistors: List[Tuple[Resistor, bool, Tuple[int, int]]] = [
+            (dev, tracked, node_of[dev.name])
+            for dev, tracked in res_pairs]
+        self._res_index = {dev.name: j
+                           for j, (dev, _, _) in enumerate(self.resistors)}
+        self._op_kinds = {mp.name: ("mos", mp.index) for mp in self.mosfets}
+        self._op_kinds.update({dev.name: ("res", j) for j, (dev, _, _)
+                               in enumerate(self.resistors)})
+
+        self._capture_dc()
+        self._capture_ac()
+        self._dc_specs: Dict[bytes, _SigSpec] = {}
+        self._ac_specs: Dict[bytes, _SigSpec] = {}
+        self.n_samples = 0
+
+    # -- capture ---------------------------------------------------------------
+    def _capture_dc(self) -> None:
+        """Record the linear-device DC stamp sequence of the prototype,
+        marking tracked-resistor value slots, and append the gmin
+        diagonal exactly where the serial backends put it."""
+        layout = self.layout
+        st = TripletStamper(layout.size)
+        res_slots: List[int] = []
+        res_idx: List[int] = []
+        res_sign: List[float] = []
+        for dev, nodes, branches in zip(self.circuit.devices,
+                                        layout.device_nodes,
+                                        layout.device_branches):
+            if not dev.linear:
+                continue
+            start = len(st.rows)
+            dev.stamp_dc(st, np.zeros(0), nodes, branches)
+            if isinstance(dev, Resistor):
+                j = self._res_index[dev.name]
+                if self.resistors[j][1]:  # tracked
+                    g = 1.0 / dev.resistance
+                    for slot in range(start, len(st.rows)):
+                        res_slots.append(slot)
+                        res_idx.append(j)
+                        res_sign.append(1.0 if st.vals[slot] == g else -1.0)
+        n_linear = len(st.rows)
+        st.add_diagonal(layout.n_nodes, GMIN_FINAL)
+        self._dc_rows = np.asarray(st.rows, dtype=np.intp)
+        self._dc_cols = np.asarray(st.cols, dtype=np.intp)
+        self._dc_const = np.asarray(st.vals, dtype=float)
+        self._dc_n_linear = n_linear
+        self._dc_res_slots = np.asarray(res_slots, dtype=np.intp)
+        self._dc_res_idx = np.asarray(res_idx, dtype=np.intp)
+        self._dc_res_sign = np.asarray(res_sign, dtype=float)
+        self._dc_base_rhs = st.rhs.copy()
+
+    def _capture_ac(self) -> None:
+        """Record the AC ``(G, B)`` stamp sequences (device-interleaved,
+        as the engines assemble them), the static source rhs and the
+        VIP/VIN drive branch indices."""
+        layout = self.layout
+        st_g = TripletStamper(layout.size, dtype=complex)
+        st_b = TripletStamper(layout.size, dtype=complex)
+        g_segments: List[tuple] = []  # ("const", start, end) | ("mos", idx)
+        b_segments: List[tuple] = []
+        g_res: List[Tuple[int, int, float]] = []  # (slot, res_idx, sign)
+        for dev, nodes, branches in zip(self.circuit.devices,
+                                        layout.device_nodes,
+                                        layout.device_branches):
+            if isinstance(dev, Mosfet):
+                mp = self._mos_index[dev.name]
+                g_segments.append(("mos", mp.index))
+                b_segments.append(("mos", mp.index))
+                continue
+            g_start, b_start = len(st_g.rows), len(st_b.rows)
+            dev.stamp_ac_parts(st_g, st_b, nodes, branches, None)
+            g_segments.append(("const", g_start, len(st_g.rows)))
+            b_segments.append(("const", b_start, len(st_b.rows)))
+            if isinstance(dev, Resistor):
+                j = self._res_index[dev.name]
+                if self.resistors[j][1]:
+                    g = 1.0 / dev.resistance
+                    for slot in range(g_start, len(st_g.rows)):
+                        sign = 1.0 if st_g.vals[slot] == g else -1.0
+                        g_res.append((slot, j, sign))
+        self._ac_g_segments = g_segments
+        self._ac_b_segments = b_segments
+        self._ac_g_rows = list(st_g.rows)
+        self._ac_g_cols = list(st_g.cols)
+        self._ac_g_const = list(st_g.vals)
+        self._ac_g_res = g_res
+        self._ac_b_rows = list(st_b.rows)
+        self._ac_b_cols = list(st_b.cols)
+        self._ac_b_const = list(st_b.vals)
+        self._ac_rhs_static = st_g.rhs + st_b.rhs
+        branch_of = {}
+        for dev, branches in zip(self.circuit.devices,
+                                 layout.device_branches):
+            if isinstance(dev, Vsource) and branches:
+                branch_of[dev.name] = branches[0]
+        if "VIP" not in branch_of or "VIN" not in branch_of:
+            raise BatchUnsupported("bench drive sources VIP/VIN not found")
+        self._drive_vip = branch_of["VIP"]
+        self._drive_vin = branch_of["VIN"]
+
+    # -- per-chunk sample values -----------------------------------------------
+    def set_samples(self, pvs: Sequence) -> None:
+        """Load one chunk of physical variations (objects with
+        ``delta_vto(name)``/``beta_factor(name)``/``resistance_factor``,
+        i.e. :class:`repro.statistics.space.PhysicalVariations`)."""
+        n = len(pvs)
+        self.n_samples = n
+        n_mos = self.n_mos
+        vto = np.empty((n, n_mos))
+        kp = np.empty((n, n_mos))
+        for mp in self.mosfets:
+            model_t = mp.model_t
+            if mp.tracked_vto:
+                dv = np.array([pv.delta_vto(mp.name) for pv in pvs])
+                vto[:, mp.index] = model_t.vto + mp.pol * dv
+            else:
+                vto[:, mp.index] = model_t.vto
+            if mp.tracked_beta:
+                bf = np.array([pv.beta_factor(mp.name) for pv in pvs])
+                kp[:, mp.index] = model_t.kp * bf
+            else:
+                kp[:, mp.index] = model_t.kp
+        self._vto = vto
+        self._kp = kp
+        rf = np.array([pv.resistance_factor for pv in pvs])
+        n_res = len(self.resistors)
+        res_r = np.empty((n, n_res))
+        for j, (dev, tracked, _) in enumerate(self.resistors):
+            res_r[:, j] = dev.resistance * rf if tracked else dev.resistance
+        self._res_r = res_r
+        self._res_g = 1.0 / res_r if n_res else res_r
+        base = np.tile(self._dc_const, (n, 1))
+        if self._dc_res_slots.size:
+            base[:, self._dc_res_slots] = \
+                self._dc_res_sign * self._res_g[:, self._dc_res_idx]
+        if self.sparse:
+            self._dc_base_vals = base
+            self._dc_base_mats = None
+        else:
+            size = self.layout.size
+            mats = np.zeros((n, size, size))
+            samp = np.arange(n)[:, None]
+            np.add.at(mats, (samp, self._dc_rows[None, :self._dc_n_linear],
+                             self._dc_cols[None, :self._dc_n_linear]),
+                      base[:, :self._dc_n_linear])
+            diag = np.arange(self.layout.n_nodes)
+            mats[:, diag, diag] += GMIN_FINAL
+            self._dc_base_mats = mats
+            self._dc_base_vals = base
+        self._fin: Optional[dict] = None
+
+    # -- model evaluation -------------------------------------------------------
+    def _eval_mosfets(self, x: np.ndarray) -> dict:
+        """Evaluate every transistor at the per-sample solutions ``x``
+        (shape ``(k, size)``); returns ``(k, n_mos)`` quantity matrices
+        mirroring ``Mosfet._evaluate`` + ``stamp_dc`` bit-for-bit."""
+        k = x.shape[0]
+        n_mos = self.n_mos
+        out = {name: np.empty((k, n_mos)) for name in
+               ("gm", "gds", "gmb", "gsum", "ieq", "ids", "vgs", "vds",
+                "vbs", "vth", "vdsat", "vov")}
+        region = np.empty((k, n_mos), dtype=np.intp)
+        swapped = np.empty((k, n_mos), dtype=bool)
+        for mp in self.mosfets:
+            nd, ng, ns, nb = mp.nodes
+            vd0, vg0 = _col(x, nd), _col(x, ng)
+            vs0, vb0 = _col(x, ns), _col(x, nb)
+            pol = mp.pol
+            vds = pol * (vd0 - vs0)
+            swap = vds < 0.0
+            vds_eff = np.where(swap, -vds, vds)
+            vs_eff = np.where(swap, vd0, vs0)
+            vd_eff = np.where(swap, vs0, vd0)
+            vgs = pol * (vg0 - vs_eff)
+            vbs = pol * (vb0 - vs_eff)
+            ev = evaluate_nmos_batch(mp.model_t, mp.w_eff, mp.l,
+                                     vgs, vds_eff, vbs,
+                                     vto=self._vto[:, mp.index],
+                                     kp=self._kp[:, mp.index])
+            gm, gds, gmb = ev["gm"], ev["gds"], ev["gmb"]
+            gsum = gm + gds + gmb
+            i_d = pol * ev["ids"]
+            ieq = i_d - (gm * vg0 + gds * vd_eff + gmb * vb0
+                         - gsum * vs_eff)
+            i = mp.index
+            out["gm"][:, i] = gm
+            out["gds"][:, i] = gds
+            out["gmb"][:, i] = gmb
+            out["gsum"][:, i] = gsum
+            out["ieq"][:, i] = ieq
+            out["ids"][:, i] = ev["ids"]
+            out["vgs"][:, i] = vgs
+            out["vds"][:, i] = vds_eff
+            out["vbs"][:, i] = vbs
+            out["vth"][:, i] = ev["vth"]
+            out["vdsat"][:, i] = ev["vdsat"]
+            out["vov"][:, i] = ev["vov"]
+            region[:, i] = ev["region"]
+            swapped[:, i] = swap
+        out["region"] = region
+        out["swapped"] = swapped
+        return out
+
+    def _eval_mosfets_rows(self, x: np.ndarray, rows: np.ndarray) -> dict:
+        """Like :meth:`_eval_mosfets` but with the per-sample model-card
+        arrays gathered for an arbitrary subset ``rows`` of the chunk."""
+        saved_vto, saved_kp, saved_n = self._vto, self._kp, self.n_samples
+        try:
+            self._vto = saved_vto[rows]
+            self._kp = saved_kp[rows]
+            self.n_samples = len(rows)
+            return self._eval_mosfets(x)
+        finally:
+            self._vto, self._kp, self.n_samples = saved_vto, saved_kp, saved_n
+
+    # -- signature specs ---------------------------------------------------------
+    def _dc_spec(self, key: bytes, swaps: np.ndarray) -> _SigSpec:
+        spec = self._dc_specs.get(key)
+        if spec is not None:
+            return spec
+        spec = _SigSpec()
+        rows = list(self._dc_rows)
+        cols = list(self._dc_cols)
+        nl_qty: List[int] = []
+        nl_mos: List[int] = []
+        nl_sign: List[float] = []
+        rhs_rows: List[int] = []
+        rhs_mos: List[int] = []
+        rhs_sign: List[float] = []
+        for mp in self.mosfets:
+            variant = bool(swaps[mp.index])
+            for row, col, qty, sign in mp.dc_variants[variant]:
+                rows.append(row)
+                cols.append(col)
+                nl_qty.append(qty)
+                nl_mos.append(mp.index)
+                nl_sign.append(sign)
+            for row, sign in mp.rhs_variants[variant]:
+                rhs_rows.append(row)
+                rhs_mos.append(mp.index)
+                rhs_sign.append(sign)
+        spec.rows = np.asarray(rows, dtype=np.intp)
+        spec.cols = np.asarray(cols, dtype=np.intp)
+        spec.n_base = self._dc_rows.size
+        spec.nl_qty = np.asarray(nl_qty, dtype=np.intp)
+        spec.nl_mos = np.asarray(nl_mos, dtype=np.intp)
+        spec.nl_sign = np.asarray(nl_sign, dtype=float)
+        spec.rhs_rows = np.asarray(rhs_rows, dtype=np.intp)
+        spec.rhs_mos = np.asarray(rhs_mos, dtype=np.intp)
+        spec.rhs_sign = np.asarray(rhs_sign, dtype=float)
+        if self.sparse:
+            spec.pattern = SparsePattern(
+                spec.rows.astype(np.int32), spec.cols.astype(np.int32),
+                self.layout.size)
+        else:
+            spec.pattern = None
+        self._dc_specs[key] = spec
+        return spec
+
+    def _ac_spec(self, key: bytes, swaps: np.ndarray) -> _SigSpec:
+        spec = self._ac_specs.get(key)
+        if spec is not None:
+            return spec
+        spec = _SigSpec()
+        g_rows: List[int] = []
+        g_cols: List[int] = []
+        g_const: List[complex] = []
+        g_res_slots: List[int] = []
+        g_res_idx: List[int] = []
+        g_res_sign: List[float] = []
+        g_mos_slots: List[int] = []
+        g_qty: List[int] = []
+        g_mos: List[int] = []
+        g_sign: List[float] = []
+        res_const = {slot: (j, sign) for slot, j, sign in self._ac_g_res}
+        for seg in self._ac_g_segments:
+            if seg[0] == "const":
+                _, start, end = seg
+                for slot in range(start, end):
+                    pos = len(g_rows)
+                    g_rows.append(self._ac_g_rows[slot])
+                    g_cols.append(self._ac_g_cols[slot])
+                    g_const.append(self._ac_g_const[slot])
+                    if slot in res_const:
+                        j, sign = res_const[slot]
+                        g_res_slots.append(pos)
+                        g_res_idx.append(j)
+                        g_res_sign.append(sign)
+            else:
+                mp = self.mosfets[seg[1]]
+                for row, col, qty, sign in \
+                        mp.ac_g_variants[bool(swaps[mp.index])]:
+                    g_mos_slots.append(len(g_rows))
+                    g_rows.append(row)
+                    g_cols.append(col)
+                    g_const.append(0.0)
+                    g_qty.append(qty)
+                    g_mos.append(mp.index)
+                    g_sign.append(sign)
+        # The engines stamp the 1e-12 stabilizer diagonal after all
+        # devices (sparse: explicit triplets; dense: a diagonal add).
+        for i in range(self.layout.n_nodes):
+            g_rows.append(i)
+            g_cols.append(i)
+            g_const.append(1e-12)
+        b_rows: List[int] = []
+        b_cols: List[int] = []
+        b_const: List[complex] = []
+        b_mos_slots: List[int] = []
+        b_qty: List[int] = []
+        b_mos: List[int] = []
+        b_sign: List[float] = []
+        for seg in self._ac_b_segments:
+            if seg[0] == "const":
+                _, start, end = seg
+                b_rows.extend(self._ac_b_rows[start:end])
+                b_cols.extend(self._ac_b_cols[start:end])
+                b_const.extend(self._ac_b_const[start:end])
+            else:
+                mp = self.mosfets[seg[1]]
+                for row, col, qty, sign in \
+                        mp.ac_b_variants[bool(swaps[mp.index])]:
+                    b_mos_slots.append(len(b_rows))
+                    b_rows.append(row)
+                    b_cols.append(col)
+                    b_const.append(0.0)
+                    b_qty.append(qty)
+                    b_mos.append(mp.index)
+                    b_sign.append(sign)
+        spec.n_g = len(g_rows)
+        spec.rows = np.asarray(g_rows + b_rows, dtype=np.intp)
+        spec.cols = np.asarray(g_cols + b_cols, dtype=np.intp)
+        spec.g_const = np.asarray(g_const, dtype=complex)
+        spec.g_res_slots = np.asarray(g_res_slots, dtype=np.intp)
+        spec.g_res_idx = np.asarray(g_res_idx, dtype=np.intp)
+        spec.g_res_sign = np.asarray(g_res_sign, dtype=float)
+        spec.g_mos_slots = np.asarray(g_mos_slots, dtype=np.intp)
+        spec.g_qty = np.asarray(g_qty, dtype=np.intp)
+        spec.g_mos = np.asarray(g_mos, dtype=np.intp)
+        spec.g_sign = np.asarray(g_sign, dtype=float)
+        spec.b_const = np.asarray(b_const, dtype=complex)
+        spec.b_mos_slots = np.asarray(b_mos_slots, dtype=np.intp)
+        spec.b_qty = np.asarray(b_qty, dtype=np.intp)
+        spec.b_mos = np.asarray(b_mos, dtype=np.intp)
+        spec.b_sign = np.asarray(b_sign, dtype=float)
+        if self.sparse:
+            spec.pattern = SparsePattern(
+                spec.rows.astype(np.int32), spec.cols.astype(np.int32),
+                self.layout.size)
+        else:
+            spec.pattern = None
+        self._ac_specs[key] = spec
+        return spec
+
+    # -- lockstep Newton ----------------------------------------------------------
+    def solve(self, x0s: np.ndarray
+              ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Warm lockstep Newton over the loaded chunk.
+
+        ``x0s``: per-sample warm starts, shape ``(n, size)``.  Returns
+        ``(x, iterations, ok)``; samples with ``ok`` False (non-finite
+        update, singular matrix, iteration cap) must be re-run through
+        the serial path — whose warm stage fails identically before its
+        homotopy chain takes over, preserving serial-exact results.
+        """
+        n = self.n_samples
+        size = self.layout.size
+        nv = self.layout.n_nodes
+        x = np.array(x0s, dtype=float)
+        iters = np.zeros(n, dtype=int)
+        status = np.zeros(n, dtype=np.int8)  # 0 active, 1 done, 2 fallback
+        for iteration in range(1, MAX_ITERATIONS + 1):
+            active = np.nonzero(status == 0)[0]
+            if active.size == 0:
+                break
+            xa = x[active]
+            quantities = self._eval_mosfets_rows(xa, active)
+            x_new = np.empty_like(xa)
+            solved = np.ones(active.size, dtype=bool)
+            swaps = quantities["swapped"]
+            keys = [np.packbits(row).tobytes() for row in swaps]
+            groups: Dict[bytes, List[int]] = {}
+            for i, key in enumerate(keys):
+                groups.setdefault(key, []).append(i)
+            for key, members in groups.items():
+                sel = np.asarray(members, dtype=np.intp)
+                spec = self._dc_spec(key, swaps[sel[0]])
+                self._assemble_and_solve(spec, active[sel], sel, quantities,
+                                         x_new, solved)
+            # Per-sample damping/convergence, replicating dc._newton.
+            finite = np.all(np.isfinite(x_new), axis=1)
+            bad = ~(solved & finite)
+            status[active[bad]] = 2
+            good = np.nonzero(~bad)[0]
+            if good.size == 0:
+                continue
+            delta = x_new[good] - xa[good]
+            step = np.max(np.abs(delta[:, :nv]), axis=1)
+            damp = step > MAX_STEP_V
+            rows = active[good]
+            if np.any(damp):
+                factor = (MAX_STEP_V / step[damp])[:, None]
+                x[rows[damp]] = xa[good[damp]] + delta[damp] * factor
+            accept = ~damp
+            if np.any(accept):
+                xn = x_new[good[accept]]
+                x[rows[accept]] = xn
+                limit = ABSTOL_V + RELTOL * np.max(
+                    np.abs(xn[:, :nv]), axis=1)
+                conv = step[accept] <= limit
+                done = rows[accept][conv]
+                status[done] = 1
+                iters[done] = iteration
+        status[status == 0] = 2  # iteration cap: serial homotopy takes over
+        ok = status == 1
+        self._finalize(x, ok)
+        return x, iters, ok
+
+    def _assemble_and_solve(self, spec: _SigSpec, abs_rows: np.ndarray,
+                            local_rows: np.ndarray, quantities: dict,
+                            x_new: np.ndarray, solved: np.ndarray) -> None:
+        """Assemble and solve the group's linear systems into
+        ``x_new[local_rows]``; samples whose solve fails are flagged in
+        ``solved`` for the serial fallback."""
+        k = abs_rows.size
+        size = self.layout.size
+        q_stack = np.stack([quantities["gm"], quantities["gds"],
+                            quantities["gmb"], quantities["gsum"]])
+        nl_vals = (q_stack[spec.nl_qty[None, :], local_rows[:, None],
+                           spec.nl_mos[None, :]]
+                   * spec.nl_sign) if spec.nl_qty.size else \
+            np.zeros((k, 0))
+        rhs_vals = (quantities["ieq"][local_rows][:, spec.rhs_mos]
+                    * spec.rhs_sign) if spec.rhs_rows.size else None
+        samp = np.arange(k)[:, None]
+        if self.sparse:
+            # Serial sparse rhs: nonlinear adds accumulate from zero,
+            # then base + tail in one elementwise add.
+            rhs_nl = np.zeros((k, size))
+            if rhs_vals is not None:
+                np.add.at(rhs_nl, (samp, spec.rhs_rows[None, :]), rhs_vals)
+            vals = np.empty((k, spec.rows.size))
+            vals[:, :spec.n_base] = self._dc_base_vals[abs_rows]
+            vals[:, spec.n_base:] = nl_vals
+            rhs = self._dc_base_rhs + rhs_nl
+            pattern = spec.pattern
+            for i in range(k):
+                try:
+                    lu = _splu_factor(
+                        pattern.matrix(pattern.fill(vals[i])),
+                        f"circuit {self.circuit.title!r} "
+                        f"(floating node or source loop?)")
+                    x_new[local_rows[i]] = lu.solve(rhs[i])
+                except SingularMatrixError:
+                    solved[local_rows[i]] = False
+        else:
+            # Serial dense rhs: nonlinear adds accumulate ON TOP of the
+            # base copy (a different association than the sparse path —
+            # both are replicated exactly).
+            mats = self._dc_base_mats[abs_rows].copy()
+            np.add.at(mats, (samp, spec.rows[None, spec.n_base:],
+                             spec.cols[None, spec.n_base:]), nl_vals)
+            rhs = np.tile(self._dc_base_rhs, (k, 1))
+            if rhs_vals is not None:
+                np.add.at(rhs, (samp, spec.rhs_rows[None, :]), rhs_vals)
+            try:
+                # (k, m, 1) rhs: one LAPACK gesv per slice with a single
+                # right-hand side — the same call the scalar path makes.
+                x_new[local_rows] = np.linalg.solve(
+                    mats, rhs[:, :, None])[:, :, 0]
+            except np.linalg.LinAlgError:
+                for i in range(k):
+                    try:
+                        x_new[local_rows[i]] = np.linalg.solve(mats[i],
+                                                               rhs[i])
+                    except np.linalg.LinAlgError:
+                        solved[local_rows[i]] = False
+
+    def _finalize(self, x: np.ndarray, ok: np.ndarray) -> None:
+        """Evaluate all operating-point quantities at the converged
+        solutions (the batched equivalent of materializing every
+        device's ``operating_point`` record)."""
+        self._x = x
+        self._ok = ok
+        rows = np.nonzero(ok)[0]
+        fin = {"rows": rows}
+        if rows.size:
+            quantities = self._eval_mosfets_rows(x[rows], rows)
+            cgs = np.empty((rows.size, self.n_mos))
+            cgd = np.empty((rows.size, self.n_mos))
+            for mp in self.mosfets:
+                c_gs, c_gd, _, _ = intrinsic_capacitances_batch(
+                    mp.model_t, mp.w_eff, mp.l,
+                    quantities["region"][:, mp.index])
+                cgs[:, mp.index] = c_gs
+                cgd[:, mp.index] = c_gd
+            quantities["cgs"] = cgs
+            quantities["cgd"] = cgd
+            fin.update(quantities)
+        self._fin = fin
+        self._fin_local = {int(r): i for i, r in enumerate(rows)}
+
+    # -- injected-result assembly --------------------------------------------------
+    def _op_record(self, k: int, name: str) -> Optional[dict]:
+        kind = self._op_kinds.get(name)
+        if kind is None:
+            return None
+        i = self._fin_local[k]
+        fin = self._fin
+        if kind[0] == "mos":
+            j = kind[1]
+            mp = self.mosfets[j]
+            vds = float(fin["vds"][i, j])
+            vdsat = float(fin["vdsat"][i, j])
+            return {
+                "ids": float(fin["ids"][i, j]),
+                "gm": float(fin["gm"][i, j]),
+                "gds": float(fin["gds"][i, j]),
+                "gmb": float(fin["gmb"][i, j]),
+                "vgs": float(fin["vgs"][i, j]),
+                "vds": vds,
+                "vbs": float(fin["vbs"][i, j]),
+                "vth": float(fin["vth"][i, j]),
+                "vdsat": vdsat,
+                "vov": float(fin["vov"][i, j]),
+                "region": REGION_NAMES[int(fin["region"][i, j])],
+                "swapped": bool(fin["swapped"][i, j]),
+                "cgs": float(fin["cgs"][i, j]),
+                "cgd": float(fin["cgd"][i, j]),
+                "cdb": mp.cj,
+                "csb": mp.cj,
+                "sat_margin": vds - vdsat,
+            }
+        j = kind[1]
+        dev, tracked, nodes = self.resistors[j]
+        x = self._x[k]
+        v = (float(x[nodes[0]]) if nodes[0] >= 0 else 0.0) \
+            - (float(x[nodes[1]]) if nodes[1] >= 0 else 0.0)
+        resistance = float(self._res_r[k, j])
+        i_r = v / resistance
+        return {"v": v, "i": i_r, "power": v * i_r}
+
+    def sample_circuit(self, k: int):
+        """Circuit for chunk sample ``k``'s injected bench: the shared
+        prototype when no resistor tracks the statistical sample, else a
+        lazy per-sample view (see :class:`_LazySampleCircuit`).
+
+        The view corrects tracked-resistor *values* only; MOSFET
+        statistical perturbations are carried by the operating-point
+        records, which is where every AC consumer reads them."""
+        if not any(tracked for _, tracked, _ in self.resistors):
+            return self.circuit
+        return _LazySampleCircuit(self, k)
+
+    def _sample_circuit(self, k: int) -> Circuit:
+        clone = Circuit(self.circuit.title)
+        for dev in self.circuit.devices:
+            if isinstance(dev, Resistor):
+                j = self._res_index[dev.name]
+                if self.resistors[j][1]:
+                    clone.add(Resistor(dev.name, dev.nodes[0], dev.nodes[1],
+                                       float(self._res_r[k, j])))
+                    continue
+            clone.add(dev)
+        return clone
+
+    def dc_result(self, k: int, iterations: int) -> DCResult:
+        """Injected :class:`DCResult` for chunk sample ``k`` — real
+        result object, lazily materialized operating points."""
+        result = DCResult(self.circuit, self.layout, self._x[k],
+                          self.temp_c, iterations, "newton-warm")
+        result._ops = _LazyOps(self, k)
+        return result
+
+    def systems(self, k: int, op: DCResult) -> dict:
+        """Pre-assembled differential and common-mode AC systems for
+        chunk sample ``k``, keyed exactly as
+        ``OpenLoopOpampBench._systems`` expects."""
+        i = self._fin_local[k]
+        fin = self._fin
+        swaps = fin["swapped"][i]
+        spec = self._ac_spec(np.packbits(swaps).tobytes(), swaps)
+        g_vals = spec.g_const.copy()
+        if spec.g_res_slots.size:
+            g_vals[spec.g_res_slots] = \
+                spec.g_res_sign * self._res_g[k, spec.g_res_idx]
+        if spec.g_mos_slots.size:
+            qg = np.stack([fin["gm"][i], fin["gds"][i], fin["gmb"][i],
+                           fin["gsum"][i]])
+            g_vals[spec.g_mos_slots] = \
+                qg[spec.g_qty, spec.g_mos] * spec.g_sign
+        b_vals = spec.b_const.copy()
+        if spec.b_mos_slots.size:
+            cdb = np.array([mp.cj for mp in self.mosfets])
+            qb = np.stack([fin["cgs"][i], fin["cgd"][i], cdb, cdb])
+            b_vals[spec.b_mos_slots] = \
+                qb[spec.b_qty, spec.b_mos] * spec.b_sign
+        rhs_dm = self._ac_rhs_static.copy()
+        rhs_dm[self._drive_vip] += 0.5
+        rhs_dm[self._drive_vin] += -0.5
+        rhs_cm = self._ac_rhs_static.copy()
+        rhs_cm[self._drive_vip] += 1.0
+        rhs_cm[self._drive_vin] += 1.0
+        if self.sparse:
+            engine = object.__new__(SparseAcEngine)
+            engine._circuit = self.circuit
+            engine._layout = self.layout
+            engine._pattern = spec.pattern
+            vals = np.zeros(spec.rows.size, dtype=complex)
+            vals[:spec.n_g] = g_vals
+            engine._g_full = spec.pattern.fill(vals)
+            vals[:] = 0.0
+            vals[spec.n_g:] = b_vals
+            engine._b_full = spec.pattern.fill(vals)
+            engine.rhs = rhs_dm
+            engine._lu_memo = [None, None]
+        else:
+            size = self.layout.size
+            g_mat = np.zeros((size, size), dtype=complex)
+            np.add.at(g_mat, (spec.rows[:spec.n_g], spec.cols[:spec.n_g]),
+                      g_vals)
+            b_mat = np.zeros((size, size), dtype=complex)
+            np.add.at(b_mat, (spec.rows[spec.n_g:], spec.cols[spec.n_g:]),
+                      b_vals)
+            engine = object.__new__(DenseAcEngine)
+            engine._circuit = self.circuit
+            engine._layout = self.layout
+            engine._g = g_mat
+            engine._b = b_mat
+            engine.rhs = rhs_dm
+        engine_cm = engine.with_rhs(rhs_cm)
+        return {(0.5, -0.5): self._wrap_system(engine),
+                (1.0, 1.0): self._wrap_system(engine_cm)}
+
+    def _wrap_system(self, engine) -> AcSystem:
+        system = object.__new__(AcSystem)
+        system._circuit = self.circuit
+        system._layout = self.layout
+        system._backend = self.backend
+        system._engine = engine
+        system._rhs = engine.rhs
+        return system

@@ -18,7 +18,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..errors import ConvergenceError, SingularMatrixError
+from ..errors import ConvergenceError, ExtractionError, SingularMatrixError
 from .dc import ABSTOL_V, GMIN_FINAL, MAX_STEP_V, RELTOL, DCResult, solve_dc
 from .devices import Stamper, _voltage
 from .netlist import Circuit
@@ -53,9 +53,23 @@ class TranResult:
 
         ``polarity=+1`` returns the largest rising slope, ``-1`` the largest
         falling slope magnitude.
+
+        Degenerate waveforms (fewer than two points, or duplicate
+        timesteps) carry no slope information and raise
+        :class:`~repro.errors.ExtractionError` instead of a bare numpy
+        ``ValueError`` / division by zero.
         """
         v = self.voltage(node)
-        dv = np.diff(v) / np.diff(self.times)
+        if len(self.times) < 2:
+            raise ExtractionError(
+                f"slew rate of {node!r} needs at least 2 time points, "
+                f"got {len(self.times)}")
+        dt = np.diff(self.times)
+        if np.any(dt <= 0.0):
+            raise ExtractionError(
+                f"slew rate of {node!r}: non-increasing timesteps in the "
+                f"waveform (duplicate or reordered time points)")
+        dv = np.diff(v) / dt
         if polarity >= 0:
             return float(np.max(dv))
         return float(-np.min(dv))

@@ -27,6 +27,8 @@ from typing import Dict, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..circuit.batch import (BatchUnsupported, PROBE_RESISTANCE_FACTOR,
+                             SampleBatchPlan, probe_maps)
 from ..circuit.dc import WarmStartCache, solve_dc
 from ..circuit.netlist import Circuit
 from ..errors import AnalysisError, ExtractionError, ReproError
@@ -49,6 +51,39 @@ DEAD_CIRCUIT_PERFORMANCES = {
     "a0": -40.0, "ft": 0.0, "pm": -180.0, "cmrr": -40.0,
     "sr": 0.0, "power": 1e3, "noise": 1e6,
 }
+
+#: Chunk size of the sample-batched simulation path when the caller asks
+#: for "auto" (``batch_samples=None``).  Large enough to amortize the
+#: vectorized model evaluation and the per-chunk plan bookkeeping (the
+#: two-stage array crosses 3x over the serial path at this size), small
+#: enough that the per-chunk value arrays stay cache-resident even for
+#: the array template.
+DEFAULT_BATCH_SAMPLES = 32
+
+
+class _ProbeGlobals(dict):
+    """Probe-build global-variation mapping that refuses to be read.
+
+    The probe build (see :mod:`repro.circuit.batch`) verifies that a
+    builder consumes statistical variations only through the three
+    supported accessors.  A builder reaching into ``pv.global_values``
+    directly would be invisible to that check — so the probe's mapping
+    raises instead, which fails the probe build and routes the template
+    to the serial path."""
+
+    def _refuse(self, *args, **kwargs):
+        raise BatchUnsupported(
+            "builder reads pv.global_values directly; the sample-batched "
+            "path cannot verify it")
+
+    __getitem__ = _refuse
+    get = _refuse
+    __contains__ = _refuse
+    keys = _refuse
+    values = _refuse
+    items = _refuse
+    __iter__ = _refuse
+
 
 #: Significant decimal digits kept by the warm-start key quantization:
 #: coarse enough that finite-difference probes (1e-3 relative) and nearby
@@ -287,6 +322,141 @@ class OpampTemplate(CircuitTemplate):
         except (AnalysisError, ExtractionError):
             return {p.name: DEAD_CIRCUIT_PERFORMANCES.get(p.name, 0.0)
                     for p in self.performances}
+
+    def evaluate_batch(self, d: Mapping[str, float],
+                       rows: Sequence[np.ndarray],
+                       theta: Mapping[str, float],
+                       batch_samples: Optional[int] = None) -> list:
+        """Sample-batched evaluation: one vectorized lockstep Newton per
+        chunk of statistical rows, bitwise identical to the serial loop.
+
+        The batched path only covers the warm-started happy path; any
+        row it cannot carry — no warm anchor, non-finite warm start,
+        failed/singular/diverged lockstep solve — is re-run through the
+        exact serial body, so results *and* fault classification match
+        the serial loop sample for sample.  ``batch_samples``:
+
+        * ``None`` — auto (:data:`DEFAULT_BATCH_SAMPLES` rows per chunk),
+        * ``0`` or ``1`` — force the serial loop,
+        * ``n >= 2`` — chunk size of the vectorized path.
+        """
+        chunk_size = DEFAULT_BATCH_SAMPLES if batch_samples is None \
+            else batch_samples
+        if chunk_size <= 1 or len(rows) <= 1 or not self.warm_dc:
+            return super().evaluate_batch(d, rows, theta,
+                                          batch_samples=batch_samples)
+        try:
+            plan = self._batch_plan(d, theta)
+        except (BatchUnsupported, ReproError):
+            return super().evaluate_batch(d, rows, theta,
+                                          batch_samples=batch_samples)
+        space = self.statistical_space
+        size = plan.layout.size
+        entries: list = [None] * len(rows)
+        for start in range(0, len(rows), chunk_size):
+            chunk = list(range(start, min(start + chunk_size, len(rows))))
+            # Row-order pre-pass, replicating _bench's per-row effort:
+            # to_physical, then exactly one warm-anchor lookup per row.
+            pv_of: dict = {}
+            warm_of: dict = {}
+            batched: list = []
+            serial: list = []
+            for i in chunk:
+                try:
+                    pv = space.to_physical(d, rows[i])
+                except Exception as exc:
+                    entries[i] = exc
+                    continue
+                pv_of[i] = pv
+                anchor = self._warm_anchor(d, theta)
+                if anchor is None:
+                    warm_of[i] = (None, None)
+                    serial.append(i)
+                    continue
+                x, slopes, ft_hint = anchor
+                x0 = x if slopes is None else x + slopes @ rows[i]
+                warm_of[i] = (x0, ft_hint)
+                if len(x0) == size and np.all(np.isfinite(x0)):
+                    batched.append(i)
+                else:
+                    serial.append(i)  # solve_dc would skip the warm stage
+            ok = np.zeros(len(batched), dtype=bool)
+            if batched:
+                plan.set_samples([pv_of[i] for i in batched])
+                x_sol, iters, ok = plan.solve(
+                    np.stack([warm_of[i][0] for i in batched]))
+            batch_pos = {i: k for k, i in enumerate(batched)}
+            for i in chunk:
+                if entries[i] is not None:
+                    continue
+                k = batch_pos.get(i)
+                if k is not None and ok[k]:
+                    x0, ft_hint = warm_of[i]
+                    bench = OpenLoopOpampBench(
+                        plan.sample_circuit(k), out="out",
+                        supply_source="VDD", temp_c=theta["temp"], x0=x0,
+                        ft_hint=ft_hint, linsolve=self.linsolve)
+                    bench._op = plan.dc_result(k, int(iters[k]))
+                    bench._systems = plan.systems(k, bench._op)
+                    try:
+                        entries[i] = self.extract(bench, d, theta)
+                    except (AnalysisError, ExtractionError):
+                        entries[i] = {
+                            p.name: DEAD_CIRCUIT_PERFORMANCES.get(p.name,
+                                                                  0.0)
+                            for p in self.performances}
+                    except Exception as exc:
+                        entries[i] = exc
+                else:
+                    entries[i] = self._serial_row(d, pv_of[i], theta,
+                                                  warm_of[i])
+        return entries
+
+    def _serial_row(self, d: Mapping[str, float], pv: PhysicalVariations,
+                    theta: Mapping[str, float], warm: tuple):
+        """The exact serial body of :meth:`evaluate` for one row whose
+        physical variations and warm anchor were already resolved (the
+        anchor lookup must not be repeated — counter parity)."""
+        x0, ft_hint = warm
+        try:
+            circuit = self.build(d, pv, theta)
+            bench = OpenLoopOpampBench(
+                circuit, out="out", supply_source="VDD",
+                temp_c=theta["temp"], x0=x0, ft_hint=ft_hint,
+                linsolve=self.linsolve)
+        except Exception as exc:
+            return exc
+        try:
+            return self.extract(bench, d, theta)
+        except (AnalysisError, ExtractionError):
+            return {p.name: DEAD_CIRCUIT_PERFORMANCES.get(p.name, 0.0)
+                    for p in self.performances}
+        except Exception as exc:
+            return exc
+
+    def _batch_plan(self, d: Mapping[str, float],
+                    theta: Mapping[str, float]) -> SampleBatchPlan:
+        """Build + verify the sample-batched plan for ``(d, theta)``:
+        a prototype netlist at the nominal statistical point and a probe
+        netlist at distinct per-device perturbations, compared device by
+        device (see :mod:`repro.circuit.batch`)."""
+        space = self.statistical_space
+        proto = self.build(d, space.to_physical(d, space.nominal()), theta)
+        dvto, beta = probe_maps(proto)
+        probe_pv = PhysicalVariations(
+            global_values=_ProbeGlobals(),
+            device_delta_vto=dvto,
+            device_beta_factor=beta,
+            resistance_factor=PROBE_RESISTANCE_FACTOR)
+        try:
+            probe = self.build(d, probe_pv, theta)
+        except BatchUnsupported:
+            raise
+        except Exception as exc:
+            raise BatchUnsupported(
+                f"probe build failed: {exc}") from exc
+        return SampleBatchPlan(proto, probe, dvto, beta, theta["temp"],
+                               self.linsolve)
 
     def constraints(self, d: Mapping[str, float],
                     theta: Optional[Mapping[str, float]] = None

@@ -90,7 +90,8 @@ def cmd_optimize(args: argparse.Namespace) -> int:
         linearize_at="nominal" if args.nominal_linearization
         else "worst_case",
         linsolve=args.linsolve,
-        jobs=args.jobs)
+        jobs=args.jobs,
+        batch_samples=args.batch_samples)
     evaluator = None
     if args.inject_faults > 0.0:
         from .evaluation import Evaluator
@@ -148,6 +149,7 @@ def cmd_yield(args: argparse.Namespace) -> int:
         circuit=args.circuit, estimator=args.estimator,
         n_samples=args.samples, seed=args.seed, jobs=args.jobs,
         linsolve=args.linsolve, chunk_timeout=args.chunk_timeout,
+        batch_samples=args.batch_samples,
         shard=args.shard or None)
     result = execute_yield(request)
     if args.out:
@@ -526,6 +528,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="Y_tilde verification estimator (default: mc)")
     p.add_argument("--jobs", type=int, default=1,
                    help="worker processes for verification batches")
+    p.add_argument("--batch-samples", type=int, default=None,
+                   metavar="K",
+                   help="samples per vectorized verification-MC chunk "
+                        "(default: auto; 1 = scalar per-sample path; "
+                        "results are bit-identical either way)")
     p.add_argument("--verify-shard", metavar="i/N",
                    help="run only shard i of an N-way split of every "
                         "verification Monte-Carlo (merge the shards' "
@@ -568,6 +575,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="worker processes (1 = serial)")
     p.add_argument("--chunk-timeout", type=float, default=None,
                    help="per-chunk timeout [s] before the in-parent retry")
+    p.add_argument("--batch-samples", type=int, default=None,
+                   metavar="K",
+                   help="samples per vectorized simulation chunk "
+                        "(default: auto; 1 = scalar per-sample path; "
+                        "results are bit-identical either way)")
     p.add_argument("--seed", type=int, default=2001)
     p.add_argument("--shard", metavar="i/N",
                    help="run only shard i of an N-way split of the "

@@ -50,8 +50,8 @@ from ..runtime import (FaultPolicy, FaultTolerantEvaluator,
                        load_checkpoint, save_checkpoint)
 from ..spec.operating import find_worst_case_operating_points, spec_key
 from ..statistics.sampling import SampleSet
-from ..yieldsim import (OperationalMC, ShardPlan, YieldEstimator,
-                        YieldResult)
+from ..yieldsim import (ExecutionConfig, OperationalMC, ShardPlan,
+                        YieldEstimator, YieldResult)
 from .constraints import UnconstrainedRegion, linearize_constraints
 from .coordinate_search import coordinate_search
 from .estimator import LinearizedYieldEstimator
@@ -103,6 +103,11 @@ class OptimizerConfig:
     #: node count, which leaves all small templates on the bit-identical
     #: dense path).
     linsolve: Optional[str] = None
+    #: samples per vectorized simulation chunk of the verification
+    #: Monte-Carlo (None = the template's default chunk, 1 = force the
+    #: scalar per-sample path).  A throughput knob only: the batched
+    #: engine is bit-identical to the scalar loop.
+    batch_samples: Optional[int] = None
 
 
 @dataclass
@@ -222,7 +227,9 @@ class YieldOptimizer:
         #: pluggable Y_tilde verifier; the paper's Eq. 6-7 Monte-Carlo by
         #: default, or e.g. :class:`repro.yieldsim.MeanShiftIS`, which
         #: reuses the iteration's Eq. 8 worst-case points as mean shifts
-        self.verifier = verifier or OperationalMC()
+        self.verifier = verifier or OperationalMC(
+            execution=ExecutionConfig(
+                batch_samples=self.config.batch_samples))
         #: fault policy every evaluator call is routed through
         self.policy = policy or FaultPolicy()
         #: wall-clock/simulation budget of this run

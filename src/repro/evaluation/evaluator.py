@@ -117,6 +117,75 @@ class Evaluator:
         self._cache[key] = dict(result)
         return result
 
+    def evaluate_batch(self, d: Mapping[str, float],
+                       rows: List[np.ndarray],
+                       theta: Mapping[str, float],
+                       batch_samples: Optional[int] = None) -> List:
+        """Evaluate many statistical points at one ``(d, theta)``.
+
+        Returns one entry per row, in row order: the performance dict,
+        or the exception the evaluation raised (never raised here — the
+        caller owns fault handling; see
+        :meth:`~repro.evaluation.template.CircuitTemplate.evaluate_batch`).
+
+        Counter and cache semantics replicate the serial
+        ``evaluate()``-per-row loop exactly: every row counts one
+        request; cache hits count as hits; every simulated row counts
+        one simulation + one miss, and successful results enter the
+        cache in row order.  Only *first-occurrence uncached* rows go
+        through the template's batched path; a duplicate of a failed row
+        re-attempts serially, exactly as the serial loop would (the
+        failure left nothing in the cache).
+        """
+        if not self.cache_enabled:
+            self.request_count += len(rows)
+            self.simulation_count += len(rows)
+            self.cache_misses += len(rows)
+            return self.template.evaluate_batch(
+                d, rows, theta, batch_samples=batch_samples)
+        keys = [self._key(d, row, theta) for row in rows]
+        todo: List[int] = []
+        seen = set()
+        for i, key in enumerate(keys):
+            if key not in self._cache and key not in seen:
+                seen.add(key)
+                todo.append(i)
+        produced: Dict[Tuple, object] = {}
+        if todo:
+            entries = self.template.evaluate_batch(
+                d, [rows[i] for i in todo], theta,
+                batch_samples=batch_samples)
+            produced = {keys[i]: entry
+                        for i, entry in zip(todo, entries)}
+        results: List = []
+        for i, key in enumerate(keys):
+            self.request_count += 1
+            hit = self._cache.get(key)
+            if hit is not None:
+                self.cache_hits += 1
+                results.append(dict(hit))
+                continue
+            entry = produced.pop(key, None)
+            if entry is None:
+                # Duplicate of a row whose batched attempt failed: the
+                # serial loop would re-simulate it (nothing was cached),
+                # so replicate that — including the repeated failure.
+                try:
+                    entry = self.template.evaluate(d, rows[i], theta)
+                except Exception as exc:
+                    entry = exc
+            if isinstance(entry, BaseException):
+                # Serial parity: in the cached path ``evaluate`` bumps
+                # simulation/miss only *after* the template returns, so
+                # a raising evaluation counts the request alone.
+                results.append(entry)
+                continue
+            self.simulation_count += 1
+            self.cache_misses += 1
+            self._cache[key] = dict(entry)
+            results.append(dict(entry))
+        return results
+
     def constraints(self, d: Mapping[str, float]) -> Dict[str, float]:
         """Functional constraint values c(d) (>= 0 feasible)."""
         self.constraint_count += 1

@@ -23,7 +23,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from ..circuit.ac import (AcSystem, phase_margin, shared_matrix_transfers,
-                          unity_gain_frequency)
+                          unity_gain_frequency, warm_unity_crossing)
 from ..circuit.dc import DCResult, solve_dc
 from ..circuit.devices import Vsource
 from ..circuit.netlist import Circuit
@@ -147,7 +147,9 @@ class OpenLoopOpampBench:
         system = self._system(0.5, -0.5)
         if self.ft_hint is not None and self.ft_hint > 0.0:
             try:
-                return unity_gain_frequency(
+                # Tight hinted bracket: the Illinois secant refiner needs
+                # ~5 solves where the sectioned sweep needs ~30.
+                return warm_unity_crossing(
                     system, self.out, f_lo=self.ft_hint / WARM_FT_SPAN,
                     f_hi=self.ft_hint * WARM_FT_SPAN, tol=UGF_TOL)
             except ExtractionError:

@@ -133,6 +133,32 @@ class CircuitTemplate(abc.ABC):
         statistical point; values >= 0 mean satisfied.  Keys must match
         :attr:`constraint_names`."""
 
+    def evaluate_batch(self, d: Mapping[str, float],
+                       rows: Sequence[np.ndarray],
+                       theta: Mapping[str, float],
+                       batch_samples: Optional[int] = None) -> list:
+        """Evaluate many statistical points at one ``(d, theta)``.
+
+        Returns one entry per row, **in row order**: the performance
+        dict on success, or the raised exception object on failure (the
+        caller owns fault classification — a batch must report every
+        sample's outcome, not die at the first bad one).  The base
+        implementation is a serial loop; templates with a vectorized
+        simulation path (see
+        :meth:`repro.circuits.base.OpampTemplate.evaluate_batch`)
+        override it and must preserve these exact semantics.
+
+        ``batch_samples`` caps the vectorized chunk size for overriding
+        implementations; the serial default ignores it.
+        """
+        entries: list = []
+        for row in rows:
+            try:
+                entries.append(self.evaluate(d, row, theta))
+            except Exception as exc:
+                entries.append(exc)
+        return entries
+
     # -- convenience -----------------------------------------------------------
     def spec_for(self, performance: str) -> Spec:
         """The (first) spec bounding a performance."""

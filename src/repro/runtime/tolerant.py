@@ -118,6 +118,46 @@ class FaultTolerantEvaluator:
                     raise
                 return self._failure_values()
 
+    def resume_after_failure(self, d: Mapping[str, float],
+                             s_hat: np.ndarray,
+                             theta: Mapping[str, float],
+                             error: BaseException) -> Dict[str, float]:
+        """Continue the policy loop of :meth:`evaluate` after the first
+        attempt already failed with ``error`` elsewhere.
+
+        The batched engine evaluates first attempts in bulk; a sample
+        whose attempt raised is handed here, and this method replicates
+        the tail of :meth:`evaluate` exactly — same classification,
+        same jittered retry points (the jitter is a deterministic
+        function of ``(d, s_hat, theta, attempt)``), same counter
+        updates — so a batched run's fault handling is bit- and
+        counter-identical to the serial run's.
+        """
+        retry = self.policy.retry
+        attempt = 0
+        exc: BaseException = error
+        point = np.asarray(s_hat, dtype=float)
+        while True:
+            action = self.policy.classify(exc)
+            if action is FaultAction.ABORT:
+                raise exc
+            if action is FaultAction.RETRY and attempt < retry.attempts:
+                self.retried_evaluations += 1
+                point = self.policy.jittered(d, s_hat, theta, attempt)
+                attempt += 1
+                try:
+                    values = self._inner.evaluate(d, point, theta)
+                    self.recovered_evaluations += 1
+                    return values
+                except Exception as new_exc:
+                    exc = new_exc
+                    continue
+            # COUNT_AS_FAIL, or RETRY with the attempt budget spent.
+            self.failed_evaluations += 1
+            if self.fail_mode == MODE_RAISE:
+                raise exc
+            return self._failure_values()
+
     # -- conveniences routed through the policy ----------------------------------
     def performance(self, name: str, d: Mapping[str, float],
                     s_hat: np.ndarray,

@@ -25,6 +25,10 @@ _TERMINAL = ("done", "failed", "cancelled")
 _BACKOFF_FACTOR = 1.6
 #: fractional uniform jitter applied to every computed poll interval
 _JITTER = 0.25
+#: floor on every sleep between polls: clamping the sleep to the time
+#: remaining before the deadline must never degenerate into a zero-sleep
+#: busy loop hammering ``/v1/status``
+_MIN_SLEEP_S = 0.05
 
 
 class ServeClient:
@@ -125,7 +129,12 @@ class ServeClient:
         final job record (check ``state`` before fetching the result).
 
         Polling starts at ``poll_s`` and backs off exponentially with
-        jitter up to ``max_poll_s`` (see :meth:`next_poll_s`).
+        jitter up to ``max_poll_s`` (see :meth:`next_poll_s`).  Near the
+        deadline the sleep is clamped to the time remaining but never
+        below :data:`_MIN_SLEEP_S`, so the final iterations cannot
+        collapse into a zero-sleep busy loop; the one poll issued after
+        that last (possibly overshooting) sleep counts against the
+        deadline and is the final check before timing out.
         """
         deadline = time.monotonic() + timeout_s
         interval = max(1e-3, poll_s)
@@ -133,12 +142,13 @@ class ServeClient:
             job = self.status(job_id)
             if job.get("state") in _TERMINAL:
                 return job
-            if time.monotonic() >= deadline:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0.0:
                 raise ServeError(
                     f"job {job_id} still {job.get('state')!r} after "
                     f"{timeout_s:.0f} s")
-            time.sleep(min(self.next_poll_s(interval, max_poll_s),
-                           max(0.0, deadline - time.monotonic())))
+            time.sleep(max(min(self.next_poll_s(interval, max_poll_s),
+                               remaining), _MIN_SLEEP_S))
             interval *= _BACKOFF_FACTOR
 
 

@@ -62,6 +62,10 @@ class YieldRequest:
     jobs: int = 1
     linsolve: Optional[str] = None
     chunk_timeout: Optional[float] = None
+    #: samples per vectorized simulation chunk (None = template default,
+    #: 1 = scalar path); execution-only — bit-identical results either
+    #: way, so it stays out of the cache key
+    batch_samples: Optional[int] = None
     #: 1-based ``i/N`` shard label (None = the full stream)
     shard: Optional[str] = None
     #: optional fault-policy override: ``{"lenient": bool,
@@ -82,6 +86,9 @@ class YieldRequest:
         if self.n_samples < 1:
             raise ServeError(
                 f"n_samples must be >= 1, got {self.n_samples}")
+        if self.batch_samples is not None and self.batch_samples < 1:
+            raise ServeError(
+                f"batch_samples must be >= 1, got {self.batch_samples}")
 
     def to_dict(self) -> Dict:
         return {
@@ -92,6 +99,7 @@ class YieldRequest:
             "jobs": self.jobs,
             "linsolve": self.linsolve,
             "chunk_timeout": self.chunk_timeout,
+            "batch_samples": self.batch_samples,
             "shard": self.shard,
             "policy": None if self.policy is None else dict(self.policy),
         }
@@ -99,6 +107,7 @@ class YieldRequest:
     @classmethod
     def from_dict(cls, data: Mapping) -> "YieldRequest":
         try:
+            batch = data.get("batch_samples")
             return cls(
                 circuit=data["circuit"],
                 estimator=data.get("estimator", "mc"),
@@ -107,6 +116,7 @@ class YieldRequest:
                 jobs=int(data.get("jobs", 1)),
                 linsolve=data.get("linsolve"),
                 chunk_timeout=data.get("chunk_timeout"),
+                batch_samples=None if batch is None else int(batch),
                 shard=data.get("shard"),
                 policy=data.get("policy"))
         except (KeyError, TypeError, ValueError) as exc:
@@ -205,7 +215,8 @@ def execute_yield(request: YieldRequest):
         worst_case = find_all_worst_case_points(
             target, d, theta_wc, seed=request.seed)
     estimator = make_estimator(request.estimator, jobs=request.jobs,
-                               timeout_s=request.chunk_timeout)
+                               timeout_s=request.chunk_timeout,
+                               batch_samples=request.batch_samples)
     if guarded is not None and dict(request.policy).get("lenient", True):
         with guarded.lenient():
             return estimator.estimate(guarded, d, theta_wc,
@@ -309,6 +320,10 @@ class OptimizeRequest:
     #: results are bit-identical serial or pooled, so it is *not* part
     #: of the cache key)
     jobs: int = 1
+    #: samples per vectorized verification-MC chunk (execution knob:
+    #: batched and scalar paths are bit-identical, so it too stays out
+    #: of the cache key); None = template default, 1 = scalar
+    batch_samples: Optional[int] = None
 
     def __post_init__(self):
         if self.circuit not in CIRCUITS:
@@ -329,6 +344,9 @@ class OptimizeRequest:
             raise ServeError(
                 f"linearize_at must be 'worst_case' or 'nominal', got "
                 f"{self.linearize_at!r}")
+        if self.batch_samples is not None and self.batch_samples < 1:
+            raise ServeError(
+                f"batch_samples must be >= 1, got {self.batch_samples}")
 
     def to_dict(self) -> Dict:
         return {
@@ -342,11 +360,13 @@ class OptimizeRequest:
             "linearize_at": self.linearize_at,
             "linsolve": self.linsolve,
             "jobs": self.jobs,
+            "batch_samples": self.batch_samples,
         }
 
     @classmethod
     def from_dict(cls, data: Mapping) -> "OptimizeRequest":
         try:
+            batch = data.get("batch_samples")
             return cls(
                 circuit=data["circuit"],
                 iterations=int(data.get("iterations", 5)),
@@ -357,7 +377,8 @@ class OptimizeRequest:
                 use_constraints=bool(data.get("use_constraints", True)),
                 linearize_at=data.get("linearize_at", "worst_case"),
                 linsolve=data.get("linsolve"),
-                jobs=int(data.get("jobs", 1)))
+                jobs=int(data.get("jobs", 1)),
+                batch_samples=None if batch is None else int(batch))
         except (KeyError, TypeError, ValueError) as exc:
             raise ServeError(f"invalid optimize request: {exc}")
 
@@ -418,7 +439,8 @@ def execute_optimize(request: OptimizeRequest,
         linearize_at=request.linearize_at,
         jobs=request.jobs,
         verify_shard=verify_shard,
-        linsolve=request.linsolve)
+        linsolve=request.linsolve,
+        batch_samples=request.batch_samples)
     # The optimizer owns a persistent shared pool when jobs >= 2 and the
     # stack is worker-replicable; the estimator's own per-call pool is
     # kept only for externally supplied evaluation stacks the shared
@@ -426,7 +448,8 @@ def execute_optimize(request: OptimizeRequest,
     # the parent).
     verifier = make_estimator(
         request.estimator,
-        jobs=1 if evaluator is None else request.jobs)
+        jobs=1 if evaluator is None else request.jobs,
+        batch_samples=request.batch_samples)
     return YieldOptimizer(
         template, config, evaluator=evaluator, verifier=verifier,
         budget=budget, checkpoint_path=checkpoint_path,

@@ -37,10 +37,18 @@ def wilson_interval(successes: float, n: int, level: float = 0.95
     """Wilson score interval for a binomial proportion.
 
     ``successes`` may be fractional (rounded estimates upstream); ``n``
-    must be positive.  Returns ``(low, high)`` clipped to [0, 1].
+    must be non-negative.  Returns ``(low, high)`` clipped to [0, 1].
+    An empty stream (``n == 0`` with zero successes) carries no
+    information, so it yields the degenerate full interval ``(0, 1)``
+    instead of raising — the honest statement for a zero-sample batch.
     """
-    if n <= 0:
-        raise ReproError(f"Wilson interval needs n > 0, got {n}")
+    if n < 0:
+        raise ReproError(f"Wilson interval needs n >= 0, got {n}")
+    if n == 0:
+        if successes != 0:
+            raise ReproError(
+                f"successes {successes} outside [0, {n}]")
+        return (0.0, 1.0)
     if not 0.0 <= successes <= n:
         raise ReproError(
             f"successes {successes} outside [0, {n}]")

@@ -188,7 +188,10 @@ class YieldEstimator(abc.ABC):
                 m2=float(np.sum((finite - means[key]) ** 2))
                 if finite.size else 0.0,
                 bad_weight=bad_count)
-        bad = {key: float(np.count_nonzero(~ok)) / n
+        # An empty batch (n == 0, e.g. a zero-width shard) carries no
+        # information: estimate 0 with the degenerate full interval from
+        # wilson_interval, never a division by zero.
+        bad = {key: float(np.count_nonzero(~ok)) / n if n else 0.0
                for key, ok in evaluation.spec_pass.items()}
         failed = int(np.count_nonzero(evaluation.failed))
         stats = SufficientStats(
@@ -197,7 +200,8 @@ class YieldEstimator(abc.ABC):
             w_pass_sum=float(passes), w_sq_pass_sum=float(passes),
             spec=moments)
         return YieldResult(
-            estimator=self.name, estimate=passes / n, n_samples=n,
+            estimator=self.name, estimate=passes / n if n else 0.0,
+            n_samples=n,
             simulations=report.simulations, ci_low=ci_low, ci_high=ci_high,
             ci_level=self.ci_level, ess=float(n), bad_fraction=bad,
             performance_mean=means, performance_std=stds,

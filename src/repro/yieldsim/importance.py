@@ -179,6 +179,21 @@ class MeanShiftIS(YieldEstimator):
                          shard: Optional[ShardPlan] = None
                          ) -> YieldResult:
         n = log_w.shape[0]
+        if n == 0:
+            # An empty stream (zero-width shard): no weights, no ESS, and
+            # the degenerate full interval instead of max()/divide-by-zero
+            # crashes on the empty arrays below.
+            stats = SufficientStats(kind=KIND_WEIGHTED, n=0, successes=0,
+                                    failed=0, log_shift=0.0, w_sum=0.0,
+                                    w_sq_sum=0.0, w_pass_sum=0.0,
+                                    w_sq_pass_sum=0.0)
+            return YieldResult(
+                estimator=self.name, estimate=0.0, n_samples=0,
+                simulations=report.simulations, ci_low=0.0, ci_high=1.0,
+                ci_level=self.ci_level, ess=0.0, failed_samples=0,
+                report=report, stats=stats,
+                shard_index=None if shard is None else shard.index,
+                shard_total=None if shard is None else shard.total)
         log_shift = float(np.max(log_w))
         w = np.exp(log_w - log_shift)
         w_sum = float(np.sum(w))

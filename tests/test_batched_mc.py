@@ -1,0 +1,323 @@
+"""Parity tests of the sample-batched Monte-Carlo engine.
+
+The batched engine's contract (see ``repro.circuit.batch``) is *bitwise*
+parity: evaluating a set of statistical rows through the vectorized
+lockstep path must produce exactly the values, warm-cache counters and
+fault classification of the scalar per-sample loop.  These tests compare
+the two paths sample for sample on every shipped template (dense and
+sparse backends), under Hypothesis-driven random rows, with injected
+template faults, and through the executor / estimator / serve-request
+wiring.  The satellite regression tests of the same PR (zero-sample
+statistics, degenerate slew extraction, serve-client poll floor) live in
+their subsystems' own test modules.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from helpers import LinearTemplate
+from repro.circuit.batch import (BatchUnsupported, PROBE_RESISTANCE_FACTOR,
+                                 probe_maps)
+from repro.circuits import CIRCUITS
+from repro.circuits.base import DEFAULT_BATCH_SAMPLES, _ProbeGlobals
+from repro.circuits.miller import MillerOpamp
+from repro.errors import ConvergenceError, ReproError
+from repro.evaluation import Evaluator
+from repro.evaluation.template import CircuitTemplate
+from repro.runtime import FaultPolicy, FaultTolerantEvaluator
+from repro.runtime.policy import FaultAction
+from repro.yieldsim import BatchExecutor, ExecutionConfig, make_estimator
+
+DENSE_TEMPLATES = ["miller", "folded-cascode", "ota"]
+
+
+def _rows(template, n, seed):
+    rng = np.random.default_rng(seed)
+    return [rng.standard_normal(template.statistical_space.dim)
+            for _ in range(n)]
+
+
+def _serial_entries(template, d, rows, theta):
+    """Reference: the scalar per-sample loop of the template base class."""
+    return CircuitTemplate.evaluate_batch(template, d, rows, theta)
+
+
+def _assert_entries_match(serial, batched):
+    assert len(serial) == len(batched)
+    for j, (a, b) in enumerate(zip(serial, batched)):
+        if isinstance(a, BaseException):
+            assert isinstance(b, BaseException), f"row {j}"
+            assert type(a) is type(b), f"row {j}"
+            assert str(a) == str(b), f"row {j}"
+            continue
+        assert not isinstance(b, BaseException), f"row {j}: {b!r}"
+        assert set(a) == set(b), f"row {j}"
+        for key in a:
+            assert a[key] == b[key], \
+                f"row {j} {key}: serial {a[key]!r} != batched {b[key]!r}"
+
+
+def _parity_case(name, n, seed, batch_samples):
+    """Run serial and batched paths on fresh template instances and
+    assert value + warm-cache-counter parity."""
+    t_serial = CIRCUITS[name]()
+    t_batched = CIRCUITS[name]()
+    d = t_serial.initial_design()
+    theta = t_serial.operating_range.nominal()
+    rows = _rows(t_serial, n, seed)
+    serial = _serial_entries(t_serial, d, rows, theta)
+    batched = t_batched.evaluate_batch(d, rows, theta,
+                                       batch_samples=batch_samples)
+    _assert_entries_match(serial, batched)
+    assert t_serial.warm_cache_stats() == t_batched.warm_cache_stats()
+
+
+class TestBitwiseParity:
+    @pytest.mark.parametrize("name", DENSE_TEMPLATES)
+    def test_dense_templates(self, name):
+        _parity_case(name, n=5, seed=11, batch_samples=None)
+
+    def test_two_stage_array_sparse_backend(self):
+        _parity_case("two-stage-array", n=4, seed=3, batch_samples=4)
+
+    def test_chunking_does_not_change_results(self):
+        t_a = CIRCUITS["miller"]()
+        t_b = CIRCUITS["miller"]()
+        d = t_a.initial_design()
+        theta = t_a.operating_range.nominal()
+        rows = _rows(t_a, 5, 29)
+        whole = t_a.evaluate_batch(d, rows, theta, batch_samples=8)
+        chunked = t_b.evaluate_batch(d, rows, theta, batch_samples=2)
+        _assert_entries_match(whole, chunked)
+        assert t_a.warm_cache_stats() == t_b.warm_cache_stats()
+
+    def test_batch_samples_one_is_the_scalar_loop(self):
+        t = CIRCUITS["miller"]()
+        d = t.initial_design()
+        theta = t.operating_range.nominal()
+        rows = _rows(t, 3, 5)
+        _assert_entries_match(_serial_entries(t, d, rows, theta),
+                              t.evaluate_batch(d, rows, theta,
+                                               batch_samples=1))
+
+
+class TestParityProperty:
+    @pytest.mark.parametrize("name", DENSE_TEMPLATES)
+    @given(seed=st.integers(0, 2 ** 20), n=st.integers(2, 4))
+    @settings(max_examples=4, deadline=None)
+    def test_dense_random_rows(self, name, seed, n):
+        _parity_case(name, n=n, seed=seed, batch_samples=None)
+
+    @given(seed=st.integers(0, 2 ** 20))
+    @settings(max_examples=2, deadline=None)
+    def test_sparse_random_rows(self, seed):
+        _parity_case("two-stage-array", n=3, seed=seed, batch_samples=3)
+
+
+class _FaultyMiller(MillerOpamp):
+    """Miller template with deterministic per-sample injected faults.
+
+    The trigger is a function of the extracted (bitwise-identical)
+    values, so the serial and batched paths must fault on exactly the
+    same rows: a ``ConvergenceError`` (an ``AnalysisError`` — mapped to
+    dead-circuit sentinels by the template, RETRY by the fault policy)
+    above ``analysis_above``, a ``RuntimeError`` (propagates as an
+    entry) below ``hard_below``.
+    """
+
+    def __init__(self, analysis_above=float("inf"),
+                 hard_below=float("-inf")):
+        super().__init__()
+        self.analysis_above = analysis_above
+        self.hard_below = hard_below
+
+    def extract(self, bench, d, theta):
+        values = super().extract(bench, d, theta)
+        if values["a0"] > self.analysis_above:
+            raise ConvergenceError(
+                f"injected analysis fault at a0={values['a0']!r}")
+        if values["a0"] < self.hard_below:
+            raise RuntimeError(
+                f"injected hard fault at a0={values['a0']!r}")
+        return values
+
+
+class TestFaultClassificationParity:
+    def test_injected_faults_classify_identically(self):
+        t_serial = _FaultyMiller(analysis_above=88.4, hard_below=87.2)
+        t_batched = _FaultyMiller(analysis_above=88.4, hard_below=87.2)
+        d = t_serial.initial_design()
+        theta = t_serial.operating_range.nominal()
+        rows = _rows(t_serial, 8, 11)
+        serial = _serial_entries(t_serial, d, rows, theta)
+        batched = t_batched.evaluate_batch(d, rows, theta)
+        # The chosen thresholds must actually exercise both fault kinds.
+        assert any(isinstance(e, RuntimeError) for e in serial)
+        assert any(isinstance(e, dict) and e["a0"] == -40.0
+                   for e in serial)
+        _assert_entries_match(serial, batched)
+        assert t_serial.warm_cache_stats() == t_batched.warm_cache_stats()
+
+    def test_fault_tolerant_stack_counter_parity(self):
+        """The executor resumes batched first-attempt failures through
+        FaultTolerantEvaluator.resume_after_failure: values, policy
+        counters and evaluator counters must all match the scalar
+        stack."""
+        def run(batch_samples):
+            template = _FaultyMiller(hard_below=87.5)
+            guarded = FaultTolerantEvaluator(
+                Evaluator(template),
+                FaultPolicy(actions={RuntimeError: FaultAction.RETRY}),
+                fail_mode="nan")
+            d = template.initial_design()
+            theta = template.operating_range.nominal()
+            matrix = np.stack(_rows(template, 8, 11))
+            config = ExecutionConfig(batch_samples=batch_samples)
+            outcome = BatchExecutor(config).run(guarded, d, [theta], matrix)
+            return (outcome.values, outcome.simulations, outcome.requests,
+                    guarded.failed_evaluations, guarded.retried_evaluations,
+                    guarded.recovered_evaluations,
+                    template.warm_cache_stats())
+
+        scalar = run(1)
+        batched = run(None)
+        assert scalar[1:] == batched[1:]
+        # fail_mode="nan" rows need NaN-aware equality (NaN != NaN).
+        for row_a, row_b in zip(scalar[0], batched[0]):
+            for cell_a, cell_b in zip(row_a, row_b):
+                assert set(cell_a) == set(cell_b)
+                for key in cell_a:
+                    x, y = cell_a[key], cell_b[key]
+                    assert x == y or (math.isnan(x) and math.isnan(y)), \
+                        f"{key}: {x!r} != {y!r}"
+        assert batched[4] > 0  # the injected faults were actually retried
+
+
+class _GlobalsReadingMiller(MillerOpamp):
+    """A builder that reaches into ``pv.global_values`` directly — the
+    batched engine cannot see such a dependency, so the probe build must
+    reject it and route every evaluation through the scalar loop."""
+
+    def build(self, d, pv, theta):
+        self.seen_globals = dict(pv.global_values)
+        return super().build(d, pv, theta)
+
+
+class TestProbeVerification:
+    def test_globals_reading_builder_falls_back_to_serial(self):
+        t_plain = MillerOpamp()
+        t_reader = _GlobalsReadingMiller()
+        d = t_reader.initial_design()
+        theta = t_reader.operating_range.nominal()
+        with pytest.raises(BatchUnsupported):
+            t_reader._batch_plan(d, theta)
+        rows = _rows(t_reader, 3, 7)
+        _assert_entries_match(
+            _serial_entries(t_plain, d, rows, theta),
+            t_reader.evaluate_batch(d, rows, theta))
+
+    def test_probe_globals_refuse_every_read(self):
+        probe = _ProbeGlobals()
+        with pytest.raises(BatchUnsupported):
+            probe["vth_nmos"]
+        with pytest.raises(BatchUnsupported):
+            probe.get("vth_nmos")
+        with pytest.raises(BatchUnsupported):
+            list(probe.items())
+
+    def test_probe_maps_are_distinct_per_device(self):
+        t = MillerOpamp()
+        d = t.initial_design()
+        space = t.statistical_space
+        proto = t.build(d, space.to_physical(d, space.nominal()),
+                        t.operating_range.nominal())
+        dvto, beta = probe_maps(proto)
+        assert len(dvto) == len(set(dvto.values()))
+        assert len(beta) == len(set(beta.values()))
+        assert PROBE_RESISTANCE_FACTOR == 2.0  # exact in binary floats
+
+
+class TestExecutorWiring:
+    def test_batch_samples_validated(self):
+        with pytest.raises(ReproError):
+            ExecutionConfig(batch_samples=0)
+        assert ExecutionConfig(batch_samples=None).batch_samples is None
+        assert ExecutionConfig(batch_samples=7).batch_samples == 7
+
+    def test_make_estimator_threads_batch_samples(self):
+        est = make_estimator("mc", batch_samples=9)
+        assert est.execution.batch_samples == 9
+
+    def test_default_chunk_is_documented_size(self):
+        assert DEFAULT_BATCH_SAMPLES == 32
+
+    def test_analytic_template_unaffected(self):
+        """Templates without a batched engine run the plain loop under
+        either setting."""
+        template = LinearTemplate(offset=0.0)
+        evaluator = Evaluator(template)
+        d = {"d0": 1.0, "d1": 0.0}
+        theta = {"temp": 27.0}
+        matrix = np.random.default_rng(3).standard_normal((6, 2))
+        a = BatchExecutor(ExecutionConfig(batch_samples=1)).run(
+            evaluator, d, [theta], matrix)
+        b = BatchExecutor(ExecutionConfig()).run(
+            evaluator, d, [theta], matrix)
+        assert a.values == b.values
+        assert a.backend == b.backend == "serial"
+
+
+class TestServeRequestWiring:
+    def test_yield_request_round_trip_and_cache_key(self):
+        from repro.serve.jobs import YieldRequest, cache_key
+        base = YieldRequest(circuit="miller", n_samples=10, seed=1)
+        tuned = YieldRequest(circuit="miller", n_samples=10, seed=1,
+                             batch_samples=8)
+        restored = YieldRequest.from_dict(tuned.to_dict())
+        assert restored.batch_samples == 8
+        # Execution-only knob: identical results, identical store key.
+        assert cache_key(base) == cache_key(tuned)
+
+    def test_optimize_request_round_trip_and_cache_key(self):
+        from repro.serve.jobs import OptimizeRequest, optimize_cache_key
+        base = OptimizeRequest(circuit="miller", seed=1)
+        tuned = OptimizeRequest(circuit="miller", seed=1, batch_samples=16)
+        restored = OptimizeRequest.from_dict(tuned.to_dict())
+        assert restored.batch_samples == 16
+        assert optimize_cache_key(base) == optimize_cache_key(tuned)
+
+    def test_rejects_nonpositive_batch_samples(self):
+        from repro.errors import ServeError
+        from repro.serve.jobs import OptimizeRequest, YieldRequest
+        with pytest.raises(ServeError):
+            YieldRequest(circuit="miller", batch_samples=0)
+        with pytest.raises(ServeError):
+            OptimizeRequest(circuit="miller", batch_samples=-1)
+
+
+class TestEstimatorEndToEnd:
+    def test_operational_mc_identical_scalar_vs_batched(self):
+        from repro.spec.operating import find_worst_case_operating_points
+
+        def run(batch_samples):
+            template = CIRCUITS["miller"]()
+            guarded = FaultTolerantEvaluator(Evaluator(template),
+                                             FaultPolicy())
+            d = template.initial_design()
+            s0 = template.statistical_space.nominal()
+            theta_wc = find_worst_case_operating_points(
+                lambda theta: guarded.evaluate(d, s0, theta),
+                template.specs, template.operating_range)
+            est = make_estimator("mc", batch_samples=batch_samples)
+            with guarded.lenient():
+                r = est.estimate(guarded, d, theta_wc, n_samples=24,
+                                 seed=7)
+            return (r.estimate, r.ci_low, r.ci_high, r.n_samples,
+                    r.report.simulations, r.report.cache_hits,
+                    template.warm_cache_stats())
+
+        assert run(1) == run(None)

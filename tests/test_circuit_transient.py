@@ -106,3 +106,39 @@ class TestMosTransient:
         with pytest.raises(KeyError):
             result.voltage("nope")
         assert np.all(result.voltage("0") == 0.0)
+
+
+class TestDegenerateSlew:
+    """Degenerate waveforms must raise ExtractionError from slew_rate
+    (so fault policies can classify them), never a bare numpy error."""
+
+    def _result(self, times, volts):
+        from repro.circuit.transient import TranResult
+
+        class _Layout:
+            node_index = {"out": 0}
+
+        return TranResult(Circuit("stub"), _Layout(),
+                          np.asarray(times, dtype=float),
+                          np.asarray(volts, dtype=float).reshape(-1, 1))
+
+    def test_single_point_waveform(self):
+        from repro.errors import ExtractionError
+        with pytest.raises(ExtractionError, match="at least 2 time points"):
+            self._result([0.0], [1.0]).slew_rate("out")
+
+    def test_empty_waveform(self):
+        from repro.errors import ExtractionError
+        with pytest.raises(ExtractionError, match="at least 2 time points"):
+            self._result([], []).slew_rate("out")
+
+    def test_duplicate_timesteps(self):
+        from repro.errors import ExtractionError
+        with pytest.raises(ExtractionError, match="non-increasing"):
+            self._result([0.0, 1e-9, 1e-9, 2e-9],
+                         [0.0, 1.0, 2.0, 3.0]).slew_rate("out")
+
+    def test_two_points_still_work(self):
+        result = self._result([0.0, 1e-6], [0.0, 1.0])
+        assert result.slew_rate("out") == pytest.approx(1e6)
+        assert result.slew_rate("out", polarity=-1) == pytest.approx(-1e6)

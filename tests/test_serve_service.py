@@ -275,3 +275,34 @@ class TestExecutionParity:
                                capture_output=True, text=True, check=True,
                                cwd=root, env=env).stdout.strip()
         assert fresh == cache_key(request, shards=2)
+
+
+class TestWaitPollFloor:
+    """Regression: near its deadline ``ServeClient.wait`` used to clamp
+    the sleep to the time remaining with no lower bound, so the last
+    stretch before a timeout degenerated into a zero-sleep busy loop of
+    status requests.  Every sleep must respect the minimum floor."""
+
+    def test_sleeps_never_collapse_below_floor(self, monkeypatch):
+        from repro.serve import client as client_mod
+
+        client = ServeClient("http://serve.invalid")
+        monkeypatch.setattr(client, "status",
+                            lambda job_id: {"state": "running"})
+        clock = {"t": 0.0}
+        sleeps = []
+
+        def fake_sleep(seconds):
+            sleeps.append(seconds)
+            clock["t"] += seconds
+
+        monkeypatch.setattr(client_mod.time, "monotonic",
+                            lambda: clock["t"])
+        monkeypatch.setattr(client_mod.time, "sleep", fake_sleep)
+        with pytest.raises(ServeError, match="still 'running'"):
+            client.wait("job-1", timeout_s=1.0, poll_s=0.2,
+                        max_poll_s=0.5)
+        assert sleeps, "wait() must sleep between polls"
+        assert min(sleeps) >= client_mod._MIN_SLEEP_S
+        # The floor bounds the number of polls a timeout can cost.
+        assert len(sleeps) <= 1.0 / client_mod._MIN_SLEEP_S + 1

@@ -79,6 +79,13 @@ class TestWilsonInterval:
             wilson_interval(1, 0)
         with pytest.raises(ReproError):
             wilson_interval(5, 4)
+        with pytest.raises(ReproError):
+            wilson_interval(0, -1)
+
+    def test_zero_samples_is_total_ignorance(self):
+        # n = 0 carries no information: the interval is the whole unit
+        # range, not a ZeroDivisionError.
+        assert wilson_interval(0, 0) == (0.0, 1.0)
 
 
 class TestMonteCarloResultInterval:
@@ -300,3 +307,37 @@ class TestOptimizerIntegration:
         assert result.total_requests >= result.total_simulations
         assert result.total_cache_hits == \
             result.total_requests - result.total_simulations
+
+
+class TestZeroSampleEstimates:
+    """A zero-sample request (an empty explicit sample set, or a sharded
+    run whose neighbor shards took every sample) must return the honest
+    "no information" result instead of crashing in mean()/max() on empty
+    arrays."""
+
+    def test_operational_mc_empty_sample_set(self):
+        _, ev = linear_setup()
+        empty = SampleSet(np.zeros((0, 2)))
+        r = OperationalMC().estimate(ev, D, THETA, samples=empty, seed=1)
+        assert r.n_samples == 0
+        assert r.estimate == 0.0
+        assert (r.ci_low, r.ci_high) == (0.0, 1.0)
+        assert all(v == 0.0 for v in r.bad_fraction.values())
+
+    def test_mean_shift_is_zero_samples(self):
+        _, ev = linear_setup()
+        r = MeanShiftIS().estimate(ev, D, THETA, n_samples=0, seed=1)
+        assert r.n_samples == 0
+        assert r.estimate == 0.0
+        assert (r.ci_low, r.ci_high) == (0.0, 1.0)
+        assert r.ess == 0.0
+
+    def test_zero_sample_stats_merge_as_identity(self):
+        # The n = 0 sufficient statistics must act as the pooling
+        # identity so an empty shard never corrupts a merged estimate.
+        _, ev = linear_setup()
+        from repro.yieldsim import merge_stats
+        full = MeanShiftIS().estimate(ev, D, THETA, n_samples=200, seed=5)
+        empty = MeanShiftIS().estimate(ev, D, THETA, n_samples=0, seed=1)
+        merged = merge_stats([full.stats, empty.stats])
+        assert merged.to_dict() == full.stats.to_dict()
