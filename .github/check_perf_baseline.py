@@ -25,6 +25,7 @@ RATIOS = [
     ("large_template", "speedup"),
     ("table1_optimize", "speedup"),
     ("batched_mc", "speedup"),
+    ("cold_mc", "speedup"),
 ]
 
 

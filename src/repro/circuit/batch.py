@@ -20,13 +20,18 @@ This module exploits the shared structure.  :class:`SampleBatchPlan`
   never corrupt results;
 * captures the prototype's exact stamp-call sequences (DC base, AC
   ``(G, B)``) as triplet descriptors whose values are per-sample arrays;
-* runs one **lockstep damped-Newton** over all samples, evaluating every
-  MOSFET once per iteration for the whole batch
+* runs the **full lockstep DC homotopy chain** over all samples,
+  evaluating every MOSFET once per iteration for the whole active batch
   (:func:`repro.circuit.mos.evaluate_nmos_batch`) and replicating the
-  scalar solver's damping/convergence/fault semantics per sample.  Any
-  sample that leaves the warm-Newton happy path (non-finite update,
-  iteration cap, singular matrix) is handed back for the serial fallback,
-  whose full homotopy chain reproduces the serial outcome exactly.
+  scalar solver's damping/convergence/fault semantics per sample.
+  Samples that leave the warm-Newton happy path (non-finite update or
+  iteration cap) re-enter the next homotopy stage in lockstep — cold
+  Newton from zero, gmin stepping on the shared schedule (gmin enters
+  only the stamped diagonal), source stepping on the shared ramp (the
+  scale enters only the re-accumulated rhs) — exactly mirroring
+  ``dc.solve_dc``'s strategy chain.  Only a singular matrix or an
+  exhausted chain hands a sample back for the serial fallback, whose
+  identical failure reproduces the serial error classification exactly.
 
 Parity contract: every arithmetic step mirrors the serial code
 operation-for-operation (same accumulation order, same association, same
@@ -44,19 +49,44 @@ import numpy as np
 from ..errors import SingularMatrixError
 from .ac import AcSystem
 from .dc import (ABSTOL_V, DCResult, GMIN_FINAL, MAX_ITERATIONS, MAX_STEP_V,
-                 RELTOL)
+                 RELTOL, SOURCE_SCALES, gmin_schedule)
 from .devices import (Capacitor, Inductor, Isource, Mosfet, Resistor, Vcvs,
                       Vccs, Vsource)
 from .linsolve import (DenseAcEngine, SparseAcEngine, SparsePattern,
-                       TripletStamper, _splu_factor, resolve_backend)
+                       TripletStamper, resolve_backend)
 from .mos import (REGION_NAMES, evaluate_nmos_batch,
-                  intrinsic_capacitances_batch)
+                  evaluate_nmos_stacked, intrinsic_capacitances_batch)
 from .netlist import Circuit
 
 #: Resistance factor of the probe build; a power of two, so a builder
 #: computing ``base * factor`` yields exactly ``2 * (base * 1.0)`` and the
 #: linearity check is an exact float comparison.
 PROBE_RESISTANCE_FACTOR = 2.0
+
+
+class _RhsRecordingStamper(TripletStamper):
+    """Triplet stamper that additionally records every rhs add as
+    ``(row, value, scaled)``, in call order.
+
+    The source-stepping homotopy re-accumulates the linear rhs per scale
+    stage: each recorded source add contributes ``value * scale`` (the
+    bitwise equal of the serial ``±(dc * scale)`` stamp, since IEEE
+    multiplication is sign-magnitude exact) while non-source adds are
+    kept verbatim — never a post-sum scaling, which would associate
+    differently.
+    """
+
+    def __init__(self, size: int):
+        super().__init__(size)
+        self.rhs_records: List[Tuple[int, float, bool]] = []
+        #: set by the capture loop: is the device being stamped an
+        #: independent source (its rhs adds carry the homotopy scale)?
+        self.rhs_scaled = False
+
+    def add_rhs(self, row: int, value) -> None:
+        if row >= 0:
+            self.rhs_records.append((row, float(value), self.rhs_scaled))
+        super().add_rhs(row, value)
 
 
 class BatchUnsupported(Exception):
@@ -370,6 +400,7 @@ class SampleBatchPlan:
             for i, (dev, tv, tb) in enumerate(mos_pairs)]
         self._mos_index = {mp.name: mp for mp in self.mosfets}
         self.n_mos = len(self.mosfets)
+        self._build_mos_stack()
         self.resistors: List[Tuple[Resistor, bool, Tuple[int, int]]] = [
             (dev, tracked, node_of[dev.name])
             for dev, tracked in res_pairs]
@@ -391,7 +422,7 @@ class SampleBatchPlan:
         marking tracked-resistor value slots, and append the gmin
         diagonal exactly where the serial backends put it."""
         layout = self.layout
-        st = TripletStamper(layout.size)
+        st = _RhsRecordingStamper(layout.size)
         res_slots: List[int] = []
         res_idx: List[int] = []
         res_sign: List[float] = []
@@ -401,6 +432,7 @@ class SampleBatchPlan:
             if not dev.linear:
                 continue
             start = len(st.rows)
+            st.rhs_scaled = isinstance(dev, (Vsource, Isource))
             dev.stamp_dc(st, np.zeros(0), nodes, branches)
             if isinstance(dev, Resistor):
                 j = self._res_index[dev.name]
@@ -420,6 +452,13 @@ class SampleBatchPlan:
         self._dc_res_idx = np.asarray(res_idx, dtype=np.intp)
         self._dc_res_sign = np.asarray(res_sign, dtype=float)
         self._dc_base_rhs = st.rhs.copy()
+        records = st.rhs_records
+        self._dc_rhs_rows = np.asarray([r for r, _, _ in records],
+                                       dtype=np.intp)
+        self._dc_rhs_vals = np.asarray([v for _, v, _ in records],
+                                       dtype=float)
+        self._dc_rhs_scaled = np.asarray([s for _, _, s in records],
+                                         dtype=bool)
 
     def _capture_ac(self) -> None:
         """Record the AC ``(G, B)`` stamp sequences (device-interleaved,
@@ -522,56 +561,81 @@ class SampleBatchPlan:
         self._fin: Optional[dict] = None
 
     # -- model evaluation -------------------------------------------------------
+    def _build_mos_stack(self) -> None:
+        """Per-device model-card rows for the stacked transistor
+        evaluation: every ``(devices,)`` constant is computed with the
+        exact scalar expression the per-device path uses
+        (``lambda_ / (l * 1e6)``, ``w / l``), so broadcasting them over
+        the sample axis reproduces :func:`evaluate_nmos_batch`
+        bit-for-bit."""
+        idx = np.zeros((4, self.n_mos), dtype=np.intp)
+        gnd = np.zeros((4, self.n_mos), dtype=bool)
+        for mp in self.mosfets:
+            for t, node in enumerate(mp.nodes):
+                if node < 0:
+                    gnd[t, mp.index] = True
+                else:
+                    idx[t, mp.index] = node
+        self._mos_node_idx = idx
+        self._mos_node_gnd = gnd
+        self._mos_pol = np.array([float(mp.pol) for mp in self.mosfets])
+        self._mos_phi = np.array([mp.model_t.phi for mp in self.mosfets])
+        self._mos_gamma = np.array([mp.model_t.gamma
+                                    for mp in self.mosfets])
+        self._mos_smoothing = np.array([mp.model_t.smoothing
+                                        for mp in self.mosfets])
+        self._mos_lam = np.array([mp.model_t.lambda_ / (mp.l * 1e6)
+                                  for mp in self.mosfets])
+        self._mos_w_over_l = np.array([mp.w_eff / mp.l
+                                       for mp in self.mosfets])
+
     def _eval_mosfets(self, x: np.ndarray) -> dict:
         """Evaluate every transistor at the per-sample solutions ``x``
         (shape ``(k, size)``); returns ``(k, n_mos)`` quantity matrices
-        mirroring ``Mosfet._evaluate`` + ``stamp_dc`` bit-for-bit."""
-        k = x.shape[0]
-        n_mos = self.n_mos
-        out = {name: np.empty((k, n_mos)) for name in
-               ("gm", "gds", "gmb", "gsum", "ieq", "ids", "vgs", "vds",
-                "vbs", "vth", "vdsat", "vov")}
-        region = np.empty((k, n_mos), dtype=np.intp)
-        swapped = np.empty((k, n_mos), dtype=bool)
-        for mp in self.mosfets:
-            nd, ng, ns, nb = mp.nodes
-            vd0, vg0 = _col(x, nd), _col(x, ng)
-            vs0, vb0 = _col(x, ns), _col(x, nb)
-            pol = mp.pol
-            vds = pol * (vd0 - vs0)
-            swap = vds < 0.0
-            vds_eff = np.where(swap, -vds, vds)
-            vs_eff = np.where(swap, vd0, vs0)
-            vd_eff = np.where(swap, vs0, vd0)
-            vgs = pol * (vg0 - vs_eff)
-            vbs = pol * (vb0 - vs_eff)
-            ev = evaluate_nmos_batch(mp.model_t, mp.w_eff, mp.l,
-                                     vgs, vds_eff, vbs,
-                                     vto=self._vto[:, mp.index],
-                                     kp=self._kp[:, mp.index])
-            gm, gds, gmb = ev["gm"], ev["gds"], ev["gmb"]
-            gsum = gm + gds + gmb
-            i_d = pol * ev["ids"]
-            ieq = i_d - (gm * vg0 + gds * vd_eff + gmb * vb0
-                         - gsum * vs_eff)
-            i = mp.index
-            out["gm"][:, i] = gm
-            out["gds"][:, i] = gds
-            out["gmb"][:, i] = gmb
-            out["gsum"][:, i] = gsum
-            out["ieq"][:, i] = ieq
-            out["ids"][:, i] = ev["ids"]
-            out["vgs"][:, i] = vgs
-            out["vds"][:, i] = vds_eff
-            out["vbs"][:, i] = vbs
-            out["vth"][:, i] = ev["vth"]
-            out["vdsat"][:, i] = ev["vdsat"]
-            out["vov"][:, i] = ev["vov"]
-            region[:, i] = ev["region"]
-            swapped[:, i] = swap
-        out["region"] = region
-        out["swapped"] = swapped
-        return out
+        mirroring ``Mosfet._evaluate`` + ``stamp_dc`` bit-for-bit.
+
+        All devices are evaluated in one stacked
+        :func:`evaluate_nmos_stacked` call — the per-device model rows
+        broadcast over the sample axis, so per element the arithmetic is
+        the per-device loop's, minus its Python/ufunc call overhead."""
+        if self.n_mos == 0:
+            k = x.shape[0]
+            out = {name: np.empty((k, 0)) for name in
+                   ("gm", "gds", "gmb", "gsum", "ieq", "ids", "vgs",
+                    "vds", "vbs", "vth", "vdsat", "vov")}
+            out["region"] = np.empty((k, 0), dtype=np.intp)
+            out["swapped"] = np.empty((k, 0), dtype=bool)
+            return out
+        idx, gnd = self._mos_node_idx, self._mos_node_gnd
+        volts = x[:, idx]  # (k, 4, n_mos) in d/g/s/b terminal order
+        if gnd.any():
+            volts = np.where(gnd, 0.0, volts)
+        vd0, vg0, vs0, vb0 = volts[:, 0], volts[:, 1], volts[:, 2], \
+            volts[:, 3]
+        pol = self._mos_pol
+        vds = pol * (vd0 - vs0)
+        swap = vds < 0.0
+        vds_eff = np.where(swap, -vds, vds)
+        vs_eff = np.where(swap, vd0, vs0)
+        vd_eff = np.where(swap, vs0, vd0)
+        vgs = pol * (vg0 - vs_eff)
+        vbs = pol * (vb0 - vs_eff)
+        ev = evaluate_nmos_stacked(
+            self._mos_phi, self._mos_gamma, self._mos_smoothing,
+            self._mos_lam, self._mos_w_over_l,
+            pol * self._vto, self._kp, vgs, vds_eff, vbs)
+        gm, gds, gmb = ev["gm"], ev["gds"], ev["gmb"]
+        gsum = gm + gds + gmb
+        i_d = pol * ev["ids"]
+        ieq = i_d - (gm * vg0 + gds * vd_eff + gmb * vb0
+                     - gsum * vs_eff)
+        return {
+            "gm": gm, "gds": gds, "gmb": gmb, "gsum": gsum, "ieq": ieq,
+            "ids": ev["ids"], "vgs": vgs, "vds": vds_eff, "vbs": vbs,
+            "vth": ev["vth"], "vdsat": ev["vdsat"], "vov": ev["vov"],
+            "region": ev["region"].astype(np.intp, copy=False),
+            "swapped": swap,
+        }
 
     def _eval_mosfets_rows(self, x: np.ndarray, rows: np.ndarray) -> dict:
         """Like :meth:`_eval_mosfets` but with the per-sample model-card
@@ -724,29 +788,161 @@ class SampleBatchPlan:
         self._ac_specs[key] = spec
         return spec
 
-    # -- lockstep Newton ----------------------------------------------------------
-    def solve(self, x0s: np.ndarray
-              ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Warm lockstep Newton over the loaded chunk.
+    # -- lockstep homotopy chain -------------------------------------------------
+    def solve(self, x0s: Optional[np.ndarray]
+              ) -> Tuple[np.ndarray, np.ndarray, np.ndarray,
+                         List[Optional[str]]]:
+        """Lockstep batched DC homotopy over the loaded chunk.
 
-        ``x0s``: per-sample warm starts, shape ``(n, size)``.  Returns
-        ``(x, iterations, ok)``; samples with ``ok`` False (non-finite
-        update, singular matrix, iteration cap) must be re-run through
-        the serial path — whose warm stage fails identically before its
-        homotopy chain takes over, preserving serial-exact results.
+        ``x0s``: per-sample warm starts, shape ``(n, size)``, or ``None``
+        to start at the cold Newton stage (the serial ``solve_dc`` with
+        no ``x0``).  Samples that fail a stage re-enter the next one in
+        lockstep, mirroring ``dc.solve_dc``'s strategy chain exactly:
+        warm Newton, cold Newton from zero, gmin stepping on the shared
+        :func:`~repro.circuit.dc.gmin_schedule`, source stepping on the
+        shared :data:`~repro.circuit.dc.SOURCE_SCALES` ramp.
+
+        Returns ``(x, iterations, ok, strategy)``; ``strategy[k]`` is
+        the winning serial strategy label for converged samples and
+        ``None`` for samples with ``ok`` False — a singular matrix at
+        any stage (the serial chain raises through) or an exhausted
+        chain — which must be re-run through the serial path, whose
+        identical failure preserves serial-exact error classification.
         """
         n = self.n_samples
         size = self.layout.size
+        x_out = np.zeros((n, size))
+        iters_out = np.zeros(n, dtype=int)
+        strategy: List[Optional[str]] = [None] * n
+
+        def settle(rows: np.ndarray, x: np.ndarray, its: np.ndarray,
+                   label: str) -> None:
+            x_out[rows] = x
+            iters_out[rows] = its
+            for r in rows:
+                strategy[r] = label
+
+        pending = np.arange(n)
+        if x0s is not None:
+            x, its, out = self._newton_stage(
+                pending, np.array(x0s, dtype=float), GMIN_FINAL,
+                self._dc_base_rhs)
+            settle(pending[out == 0], x[out == 0], its[out == 0],
+                   "newton-warm")
+            pending = pending[out == 1]
+        if pending.size:
+            x, its, out = self._newton_stage(
+                pending, np.zeros((pending.size, size)), GMIN_FINAL,
+                self._dc_base_rhs)
+            settle(pending[out == 0], x[out == 0], its[out == 0], "newton")
+            pending = pending[out == 1]
+        if pending.size:
+            # Gmin stepping: x and the iteration total carry across
+            # sub-stages; a sub-stage convergence failure drops the row
+            # to source stepping, a singular matrix to the fallback.
+            rows = pending
+            failed: List[int] = []
+            x = np.zeros((rows.size, size))
+            total = np.zeros(rows.size, dtype=int)
+            for gmin in gmin_schedule():
+                x, its, out = self._newton_stage(rows, x, gmin,
+                                                 self._dc_base_rhs)
+                total += its
+                failed.extend(int(r) for r in rows[out == 1])
+                keep = out == 0
+                if not np.all(keep):
+                    rows, x, total = rows[keep], x[keep], total[keep]
+                if rows.size == 0:
+                    break
+            settle(rows, x, total, "gmin-stepping")
+            pending = np.asarray(sorted(failed), dtype=np.intp)
+        if pending.size:
+            # Source stepping: every independent source ramps through the
+            # shared scale schedule; the scale enters only the rhs (the
+            # Vsource/Isource matrix stamps are scale-free), so one
+            # re-accumulated rhs vector per sub-stage serves all rows.
+            rows = pending
+            x = np.zeros((rows.size, size))
+            total = np.zeros(rows.size, dtype=int)
+            for scale in SOURCE_SCALES:
+                x, its, out = self._newton_stage(rows, x, GMIN_FINAL,
+                                                 self._scaled_rhs(scale))
+                total += its
+                keep = out == 0
+                if not np.all(keep):
+                    # Any sub-stage failure exhausts the serial chain:
+                    # the fallback reproduces the terminal error.
+                    rows, x, total = rows[keep], x[keep], total[keep]
+                if rows.size == 0:
+                    break
+            settle(rows, x, total, "source-stepping")
+        ok = np.fromiter((label is not None for label in strategy),
+                         dtype=bool, count=n)
+        self._finalize(x_out, ok)
+        return x_out, iters_out, ok, strategy
+
+    def _scaled_rhs(self, scale: float) -> np.ndarray:
+        """The linear base rhs at source scale ``scale``, re-accumulated
+        add-by-add in the captured stamp order (source adds scaled
+        individually — bitwise the serial ``±(dc * scale)`` stamps)."""
+        rhs = np.zeros(self.layout.size)
+        if self._dc_rhs_rows.size:
+            vals = np.where(self._dc_rhs_scaled,
+                            self._dc_rhs_vals * scale, self._dc_rhs_vals)
+            np.add.at(rhs, self._dc_rhs_rows, vals)
+        return rhs
+
+    def _stage_bases(self, rows: np.ndarray, gmin: float
+                     ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+        """Per-sample linear base arrays for one homotopy stage: the
+        cached GMIN_FINAL bases with the gmin diagonal re-valued, exactly
+        as the serial backends stamp a fresh system per stage (the gmin
+        triplets sit behind the linear stamps, so only their value — not
+        the accumulation order — changes)."""
+        vals = self._dc_base_vals[rows]
+        vals[:, self._dc_n_linear:] = gmin
+        if self.sparse:
+            return vals, None
+        k = rows.size
+        size = self.layout.size
+        mats = np.zeros((k, size, size))
+        samp = np.arange(k)[:, None]
+        np.add.at(mats, (samp, self._dc_rows[None, :self._dc_n_linear],
+                         self._dc_cols[None, :self._dc_n_linear]),
+                  vals[:, :self._dc_n_linear])
+        diag = np.arange(self.layout.n_nodes)
+        mats[:, diag, diag] += gmin
+        return vals, mats
+
+    def _newton_stage(self, rows: np.ndarray, x0s: np.ndarray,
+                      gmin: float, base_rhs: np.ndarray
+                      ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """One lockstep damped-Newton stage at fixed ``gmin`` and linear
+        rhs, replicating ``dc._newton`` per sample.
+
+        Returns ``(x, iterations, outcome)`` aligned with ``rows``;
+        outcome 0 = converged, 1 = ConvergenceError-equivalent
+        (non-finite update or iteration cap — the serial chain moves to
+        its next strategy), 2 = singular matrix (the serial chain raises
+        through; only the fallback reproduces that)."""
+        k = rows.size
         nv = self.layout.n_nodes
         x = np.array(x0s, dtype=float)
-        iters = np.zeros(n, dtype=int)
-        status = np.zeros(n, dtype=np.int8)  # 0 active, 1 done, 2 fallback
+        iters = np.zeros(k, dtype=int)
+        out = np.full(k, -1, dtype=np.int8)  # -1 = still iterating
+        if gmin == GMIN_FINAL:
+            stage_vals = self._dc_base_vals
+            stage_mats = self._dc_base_mats
+            gather: Optional[np.ndarray] = rows
+        else:
+            stage_vals, stage_mats = self._stage_bases(rows, gmin)
+            gather = None  # stage arrays already aligned with ``rows``
         for iteration in range(1, MAX_ITERATIONS + 1):
-            active = np.nonzero(status == 0)[0]
+            active = np.nonzero(out == -1)[0]
             if active.size == 0:
                 break
             xa = x[active]
-            quantities = self._eval_mosfets_rows(xa, active)
+            quantities = self._eval_mosfets_rows(xa, rows[active])
             x_new = np.empty_like(xa)
             solved = np.ones(active.size, dtype=bool)
             swaps = quantities["swapped"]
@@ -757,44 +953,51 @@ class SampleBatchPlan:
             for key, members in groups.items():
                 sel = np.asarray(members, dtype=np.intp)
                 spec = self._dc_spec(key, swaps[sel[0]])
-                self._assemble_and_solve(spec, active[sel], sel, quantities,
-                                         x_new, solved)
+                grp = gather[active[sel]] if gather is not None \
+                    else active[sel]
+                self._assemble_and_solve(
+                    spec, stage_vals[grp],
+                    stage_mats[grp] if stage_mats is not None else None,
+                    base_rhs, sel, quantities, x_new, solved)
             # Per-sample damping/convergence, replicating dc._newton.
             finite = np.all(np.isfinite(x_new), axis=1)
-            bad = ~(solved & finite)
-            status[active[bad]] = 2
-            good = np.nonzero(~bad)[0]
+            out[active[~solved]] = 2
+            out[active[solved & ~finite]] = 1
+            good = np.nonzero(solved & finite)[0]
             if good.size == 0:
                 continue
             delta = x_new[good] - xa[good]
             step = np.max(np.abs(delta[:, :nv]), axis=1)
             damp = step > MAX_STEP_V
-            rows = active[good]
+            grows = active[good]
             if np.any(damp):
                 factor = (MAX_STEP_V / step[damp])[:, None]
-                x[rows[damp]] = xa[good[damp]] + delta[damp] * factor
+                x[grows[damp]] = xa[good[damp]] + delta[damp] * factor
             accept = ~damp
             if np.any(accept):
                 xn = x_new[good[accept]]
-                x[rows[accept]] = xn
+                x[grows[accept]] = xn
                 limit = ABSTOL_V + RELTOL * np.max(
                     np.abs(xn[:, :nv]), axis=1)
                 conv = step[accept] <= limit
-                done = rows[accept][conv]
-                status[done] = 1
+                done = grows[accept][conv]
+                out[done] = 0
                 iters[done] = iteration
-        status[status == 0] = 2  # iteration cap: serial homotopy takes over
-        ok = status == 1
-        self._finalize(x, ok)
-        return x, iters, ok
+        out[out == -1] = 1  # iteration cap: next strategy takes over
+        return x, iters, out
 
-    def _assemble_and_solve(self, spec: _SigSpec, abs_rows: np.ndarray,
-                            local_rows: np.ndarray, quantities: dict,
-                            x_new: np.ndarray, solved: np.ndarray) -> None:
+    def _assemble_and_solve(self, spec: _SigSpec, base_vals: np.ndarray,
+                            base_mats: Optional[np.ndarray],
+                            base_rhs: np.ndarray, local_rows: np.ndarray,
+                            quantities: dict, x_new: np.ndarray,
+                            solved: np.ndarray) -> None:
         """Assemble and solve the group's linear systems into
-        ``x_new[local_rows]``; samples whose solve fails are flagged in
-        ``solved`` for the serial fallback."""
-        k = abs_rows.size
+        ``x_new[local_rows]``.  ``base_vals``/``base_mats`` are the
+        group's freshly-gathered per-sample linear bases (matching the
+        stage's gmin; ``base_mats`` is mutated in place) and ``base_rhs``
+        the stage's source rhs.  Samples whose solve fails are flagged in
+        ``solved`` for the fallback."""
+        k = local_rows.size
         size = self.layout.size
         q_stack = np.stack([quantities["gm"], quantities["gds"],
                             quantities["gmb"], quantities["gsum"]])
@@ -812,16 +1015,15 @@ class SampleBatchPlan:
             if rhs_vals is not None:
                 np.add.at(rhs_nl, (samp, spec.rhs_rows[None, :]), rhs_vals)
             vals = np.empty((k, spec.rows.size))
-            vals[:, :spec.n_base] = self._dc_base_vals[abs_rows]
+            vals[:, :spec.n_base] = base_vals
             vals[:, spec.n_base:] = nl_vals
-            rhs = self._dc_base_rhs + rhs_nl
+            rhs = base_rhs + rhs_nl
             pattern = spec.pattern
+            context = (f"circuit {self.circuit.title!r} "
+                       f"(floating node or source loop?)")
             for i in range(k):
                 try:
-                    lu = _splu_factor(
-                        pattern.matrix(pattern.fill(vals[i])),
-                        f"circuit {self.circuit.title!r} "
-                        f"(floating node or source loop?)")
+                    lu = pattern.factor(pattern.fill(vals[i]), context)
                     x_new[local_rows[i]] = lu.solve(rhs[i])
                 except SingularMatrixError:
                     solved[local_rows[i]] = False
@@ -829,10 +1031,10 @@ class SampleBatchPlan:
             # Serial dense rhs: nonlinear adds accumulate ON TOP of the
             # base copy (a different association than the sparse path —
             # both are replicated exactly).
-            mats = self._dc_base_mats[abs_rows].copy()
+            mats = base_mats
             np.add.at(mats, (samp, spec.rows[None, spec.n_base:],
                              spec.cols[None, spec.n_base:]), nl_vals)
-            rhs = np.tile(self._dc_base_rhs, (k, 1))
+            rhs = np.tile(base_rhs, (k, 1))
             if rhs_vals is not None:
                 np.add.at(rhs, (samp, spec.rhs_rows[None, :]), rhs_vals)
             try:
@@ -936,11 +1138,13 @@ class SampleBatchPlan:
             clone.add(dev)
         return clone
 
-    def dc_result(self, k: int, iterations: int) -> DCResult:
+    def dc_result(self, k: int, iterations: int,
+                  strategy: str = "newton-warm") -> DCResult:
         """Injected :class:`DCResult` for chunk sample ``k`` — real
-        result object, lazily materialized operating points."""
+        result object, lazily materialized operating points.
+        ``strategy`` is the winning homotopy label from :meth:`solve`."""
         result = DCResult(self.circuit, self.layout, self._x[k],
-                          self.temp_c, iterations, "newton-warm")
+                          self.temp_c, iterations, strategy)
         result._ops = _LazyOps(self, k)
         return result
 

@@ -26,7 +26,7 @@ uses to key warm starts on quantized ``(d, theta)`` cells.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Dict, Iterator, Optional, Sequence
 
 import numpy as np
 
@@ -38,6 +38,18 @@ from .netlist import Circuit, MnaLayout
 #: Final shunt conductance left on every node, as in SPICE.
 GMIN_FINAL = 1e-12
 
+#: Gmin-stepping homotopy: start conductance and geometric relaxation
+#: factor.  The schedule values are *products* of repeated multiplication
+#: (see :func:`gmin_schedule`), which is not bitwise the same as the
+#: round literals — both the serial and the batched solver must iterate
+#: the shared generator so they cannot drift.
+GMIN_START = 1e-2
+GMIN_FACTOR = 1e-2
+
+#: Source-stepping homotopy ramp, shared by the serial and batched
+#: solvers.  Every independent source is scaled by each value in turn.
+SOURCE_SCALES = (0.1, 0.3, 0.5, 0.7, 0.85, 0.95, 1.0)
+
 #: Absolute/relative Newton convergence tolerances on the update step.
 ABSTOL_V = 1e-9
 RELTOL = 1e-6
@@ -47,6 +59,22 @@ MAX_ITERATIONS = 120
 
 #: Voltage-step damping limit per Newton iteration [V].
 MAX_STEP_V = 0.6
+
+
+def gmin_schedule() -> Iterator[float]:
+    """The gmin-stepping conductance schedule, ending on ``GMIN_FINAL``.
+
+    Yields ``GMIN_START`` relaxed geometrically by ``GMIN_FACTOR`` while
+    above ``GMIN_FINAL``, then ``GMIN_FINAL`` itself for the finishing
+    solve.  Serial gmin stepping and the lockstep batched homotopy both
+    iterate this generator, so the stage conductances are bitwise
+    identical by construction.
+    """
+    gmin = GMIN_START
+    while gmin >= GMIN_FINAL:
+        yield gmin
+        gmin *= GMIN_FACTOR
+    yield GMIN_FINAL
 
 
 class DCResult:
@@ -140,7 +168,11 @@ def _newton(circuit: Circuit, layout: MnaLayout, x0: np.ndarray,
             x = x + delta * (MAX_STEP_V / step)
             continue
         x = x_new
-        if step <= ABSTOL_V + RELTOL * np.max(np.abs(x[:nv])) if nv else True:
+        if nv == 0:
+            # No node voltages to test: any undamped step is converged
+            # (branch-current-only systems are linear in practice).
+            return x, iteration
+        if step <= ABSTOL_V + RELTOL * np.max(np.abs(x[:nv])):
             return x, iteration
     raise ConvergenceError(
         f"Newton did not converge in {MAX_ITERATIONS} iterations "
@@ -151,13 +183,10 @@ def _gmin_stepping(circuit: Circuit, layout: MnaLayout,
                    x0: np.ndarray, backend) -> tuple[np.ndarray, int]:
     x = x0.copy()
     total = 0
-    gmin = 1e-2
-    while gmin >= GMIN_FINAL:
+    for gmin in gmin_schedule():
         x, iters = _newton(circuit, layout, x, gmin, backend)
         total += iters
-        gmin *= 1e-2
-    x, iters = _newton(circuit, layout, x, GMIN_FINAL, backend)
-    return x, total + iters
+    return x, total
 
 
 def _source_stepping(circuit: Circuit, layout: MnaLayout,
@@ -165,21 +194,24 @@ def _source_stepping(circuit: Circuit, layout: MnaLayout,
     sources = [d for d in circuit.devices if isinstance(d, (Vsource, Isource))]
     x = x0.copy()
     total = 0
+    saved = [src.scale for src in sources]
     try:
-        for scale in (0.1, 0.3, 0.5, 0.7, 0.85, 0.95, 1.0):
+        for scale in SOURCE_SCALES:
             for src in sources:
                 src.scale = scale
             x, iters = _newton(circuit, layout, x, GMIN_FINAL, backend)
             total += iters
     finally:
-        for src in sources:
-            src.scale = 1.0
+        # Restore the pre-call scales (not a hardcoded 1.0) so a caller
+        # that legitimately runs with scaled sources is not clobbered.
+        for src, scale in zip(sources, saved):
+            src.scale = scale
     return x, total
 
 
 def solve_dc(circuit: Circuit, temp_c: float = 27.0,
              x0: Optional[np.ndarray] = None,
-             backend=None) -> DCResult:
+             backend=None, effort: Optional["DcEffort"] = None) -> DCResult:
     """Find the DC operating point of ``circuit`` at ``temp_c`` Celsius.
 
     ``x0`` seeds a leading "newton-warm" stage (e.g. with the solution of
@@ -191,6 +223,10 @@ def solve_dc(circuit: Circuit, temp_c: float = 27.0,
     ``"dense"``/``"sparse"`` or a :mod:`repro.circuit.linsolve` instance);
     the default picks by node count and keeps small circuits on the
     dense path bit-identically.
+
+    ``effort`` is an optional :class:`DcEffort` counter bundle: the
+    winning strategy label is counted on success, ``"failed"`` when the
+    whole chain gives up.
 
     Raises :class:`ConvergenceError` if all homotopy strategies fail.
     """
@@ -221,12 +257,61 @@ def solve_dc(circuit: Circuit, temp_c: float = 27.0,
     for label, run in strategies:
         try:
             x, iterations = run()
+            if effort is not None:
+                effort.count(label)
             return DCResult(circuit, layout, x, temp_c, iterations, label)
         except ConvergenceError as exc:
             last_error = exc
+    if effort is not None:
+        effort.count("failed")
     raise ConvergenceError(
         f"all DC strategies failed for circuit {circuit.title!r}: "
         f"{last_error}")
+
+
+class DcEffort:
+    """Per-strategy DC solve counters, additive across pool workers.
+
+    One counter per homotopy strategy label (``newton-warm`` / ``newton``
+    / ``gmin-stepping`` / ``source-stepping``) plus ``failed`` for chains
+    that exhaust every stage.  :func:`solve_dc` increments the winning
+    label when handed an instance, and the batched engine increments the
+    same labels for lockstep-solved samples, so the counters stay exact
+    regardless of which path ran a sample.  The counter API mirrors
+    :class:`WarmStartCache` (``stats``/``absorb``/``counter_delta``) so
+    the run telemetry can fold deltas through pool workers and shard
+    merges identically.
+    """
+
+    COUNTER_KEYS = ("newton-warm", "newton", "gmin-stepping",
+                    "source-stepping", "failed")
+
+    def __init__(self):
+        self._counts: Dict[str, int] = {key: 0 for key in self.COUNTER_KEYS}
+
+    def count(self, label: str, n: int = 1) -> None:
+        """Record ``n`` DC solves settled by strategy ``label``."""
+        self._counts[label] = self._counts.get(label, 0) + int(n)
+
+    def stats(self) -> Dict[str, int]:
+        """Counter snapshot for telemetry (additive across workers)."""
+        return dict(self._counts)
+
+    def absorb(self, counters: Dict[str, int]) -> None:
+        """Fold counter deltas from another instance (a pool worker's)."""
+        for key, value in counters.items():
+            self._counts[key] = self._counts.get(key, 0) + int(value)
+
+    @classmethod
+    def counter_delta(cls, after: Dict[str, int],
+                      before: Dict[str, int]) -> Dict[str, int]:
+        """Monotone-counter difference of two :meth:`stats` snapshots."""
+        keys = set(after) | set(before)
+        return {key: int(after.get(key, 0)) - int(before.get(key, 0))
+                for key in keys}
+
+    def clear(self) -> None:
+        self._counts = {key: 0 for key in self.COUNTER_KEYS}
 
 
 class WarmStartCache:

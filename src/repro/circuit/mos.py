@@ -349,6 +349,107 @@ def evaluate_nmos_batch(
     }
 
 
+def evaluate_nmos_stacked(
+    phi: np.ndarray,
+    gamma: np.ndarray,
+    smoothing: np.ndarray,
+    lam: np.ndarray,
+    w_over_l: np.ndarray,
+    vto_eff: np.ndarray,
+    kp: np.ndarray,
+    vgs: np.ndarray,
+    vds: np.ndarray,
+    vbs: np.ndarray,
+) -> dict:
+    """:func:`evaluate_nmos_batch` over a ``(samples, devices)`` plane.
+
+    One call covers every transistor of a sample-batched Newton
+    iteration instead of one call per device: the per-device model-card
+    scalars arrive as ``(devices,)`` rows (``lam`` and ``w_over_l``
+    pre-divided with the exact scalar expressions ``lambda_ / (l * 1e6)``
+    and ``w / l``; ``vto_eff`` already polarity-reflected and combined
+    with the per-sample threshold shifts) and broadcast against the
+    ``(samples, devices)`` voltage matrices.  Every operation is
+    elementwise, so each entry is bitwise identical to the per-device
+    :func:`evaluate_nmos_batch` call — the stacking changes only the
+    array shapes the ufuncs see, never the per-element arithmetic.
+    """
+    # --- threshold with body effect -------------------------------------
+    arg = phi - vbs
+    arg_min = 0.05
+    sq = math.sqrt(arg_min)
+    clamped = arg < arg_min
+    sqrt_term = np.empty_like(arg)
+    dsq_darg = np.empty_like(arg)
+    c_slope = 0.5 / sq
+    lin = sq + c_slope * (arg[clamped] - arg_min)
+    floor = lin < 0.5 * sq
+    d_c = np.full(lin.shape, c_slope)
+    lin[floor] = 0.5 * sq
+    d_c[floor] = 0.0
+    sqrt_term[clamped] = lin
+    dsq_darg[clamped] = d_c
+    ok = ~clamped
+    root = np.sqrt(arg[ok])
+    sqrt_term[ok] = root
+    dsq_darg[ok] = 0.5 / root
+    vth = vto_eff + gamma * (sqrt_term - np.sqrt(phi))
+    dvth_dvbs = -gamma * dsq_darg
+
+    # --- smoothed overdrive ---------------------------------------------
+    vov_raw = vgs - vth
+    width = np.broadcast_to(smoothing, vov_raw.shape)
+    t = vov_raw / width
+    vov = np.empty_like(t)
+    dvov = np.empty_like(t)
+    hi = t > 35.0
+    lo = t < -35.0
+    mid = ~(hi | lo)
+    vov[hi] = vov_raw[hi]
+    dvov[hi] = 1.0
+    e_lo = np.exp(t[lo])
+    vov[lo] = width[lo] * e_lo
+    dvov[lo] = e_lo
+    e = np.exp(t[mid])
+    vov[mid] = width[mid] * np.log1p(e)
+    dvov[mid] = e / (1.0 + e)
+
+    # --- channel-length modulation ---------------------------------------
+    beta = kp * w_over_l
+    clm = 1.0 + lam * vds
+
+    vdsat = vov
+    sat = vds >= vdsat
+    tri = ~sat
+    ids = np.empty_like(vgs)
+    dids_dvov = np.empty_like(vgs)
+    gds = np.empty_like(vgs)
+    lam_full = np.broadcast_to(lam, vgs.shape)
+    # Saturation: ids = beta/2 * vov^2 * (1 + lam*vds)
+    b_s, v_s, c_s = beta[sat], vov[sat], clm[sat]
+    ids[sat] = 0.5 * b_s * v_s * v_s * c_s
+    dids_dvov[sat] = b_s * v_s * c_s
+    gds[sat] = 0.5 * b_s * v_s * v_s * lam_full[sat]
+    # Triode: ids = beta * (vov - vds/2) * vds * (1 + lam*vds)
+    b_t, v_t, d_t, c_t = beta[tri], vov[tri], vds[tri], clm[tri]
+    ids[tri] = b_t * (v_t - 0.5 * d_t) * d_t * c_t
+    dids_dvov[tri] = b_t * d_t * c_t
+    gds[tri] = b_t * ((v_t - d_t) * c_t
+                      + (v_t - 0.5 * d_t) * d_t * lam_full[tri])
+
+    region = np.where(vov_raw > 0,
+                      np.where(sat, REGION_SATURATION, REGION_TRIODE),
+                      REGION_CUTOFF)
+
+    gm = dids_dvov * dvov
+    gmb = dids_dvov * dvov * (-dvth_dvbs)
+
+    return {
+        "ids": ids, "gm": gm, "gds": gds, "gmb": gmb,
+        "vth": vth, "vdsat": vdsat, "vov": vov_raw, "region": region,
+    }
+
+
 def intrinsic_capacitances_batch(
     model: MosModel, w: float, l: float, region: np.ndarray
 ) -> tuple[np.ndarray, np.ndarray, float, float]:

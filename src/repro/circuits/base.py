@@ -29,7 +29,7 @@ import numpy as np
 
 from ..circuit.batch import (BatchUnsupported, PROBE_RESISTANCE_FACTOR,
                              SampleBatchPlan, probe_maps)
-from ..circuit.dc import WarmStartCache, solve_dc
+from ..circuit.dc import DcEffort, WarmStartCache, solve_dc
 from ..circuit.netlist import Circuit
 from ..errors import AnalysisError, ExtractionError, ReproError
 from ..evaluation.measure import OpenLoopOpampBench
@@ -150,6 +150,7 @@ class OpampTemplate(CircuitTemplate):
         #: ("auto"/"dense"/"sparse"; see :mod:`repro.circuit.linsolve`)
         self.linsolve = "auto"
         self._warm_cache = WarmStartCache()
+        self._dc_effort = DcEffort()
 
     # -- hooks for concrete circuits -------------------------------------------
     @abc.abstractmethod
@@ -176,7 +177,8 @@ class OpampTemplate(CircuitTemplate):
                 x0 = x if slopes is None else x + slopes @ s_hat
         return OpenLoopOpampBench(circuit, out="out", supply_source="VDD",
                                   temp_c=theta["temp"], x0=x0,
-                                  ft_hint=ft_hint, linsolve=self.linsolve)
+                                  ft_hint=ft_hint, linsolve=self.linsolve,
+                                  dc_effort=self._dc_effort)
 
     def _warm_anchor(self, d: Mapping[str, float],
                      theta: Mapping[str, float]) -> Optional[tuple]:
@@ -229,13 +231,13 @@ class OpampTemplate(CircuitTemplate):
             x_seed = self._chain_seed(key, d_rep, theta_rep) \
                 if self.warm_chain else None
             x = solve_dc(circuit, temp_c=theta_rep["temp"], x0=x_seed,
-                         backend=self.linsolve).x
+                         backend=self.linsolve, effort=self._dc_effort).x
             ft = None
             try:
                 bench = OpenLoopOpampBench(
                     circuit, out="out", supply_source="VDD",
                     temp_c=theta_rep["temp"], x0=x,
-                    linsolve=self.linsolve)
+                    linsolve=self.linsolve, dc_effort=self._dc_effort)
                 ft = bench.transit_frequency()
             except (AnalysisError, ExtractionError):
                 ft = None
@@ -273,7 +275,8 @@ class OpampTemplate(CircuitTemplate):
                 pv = space.to_physical(d_parent, space.nominal())
                 circuit = self.build(d_parent, pv, theta_parent)
                 x_parent = solve_dc(circuit, temp_c=theta_parent["temp"],
-                                    backend=self.linsolve).x
+                                    backend=self.linsolve,
+                                    effort=self._dc_effort).x
             except ReproError:
                 x_parent = None
             cache.chain_solves += 1
@@ -285,6 +288,10 @@ class OpampTemplate(CircuitTemplate):
     def warm_cache_stats(self) -> Dict[str, int]:
         """Warm-start cache counters for run telemetry."""
         return self._warm_cache.stats()
+
+    def dc_effort_stats(self) -> Dict[str, int]:
+        """Per-strategy DC solve counters for run telemetry."""
+        return self._dc_effort.stats()
 
     def _anchor_slopes(self, d_rep: Mapping[str, float],
                        theta_rep: Mapping[str, float],
@@ -302,7 +309,8 @@ class OpampTemplate(CircuitTemplate):
                 pv = space.to_physical(d_rep, e_i)
                 circuit = self.build(d_rep, pv, theta_rep)
                 x_i = solve_dc(circuit, temp_c=theta_rep["temp"], x0=x,
-                               backend=self.linsolve).x
+                               backend=self.linsolve,
+                               effort=self._dc_effort).x
             except ReproError:
                 continue
             if x_i.size == x.size:
@@ -327,14 +335,20 @@ class OpampTemplate(CircuitTemplate):
                        rows: Sequence[np.ndarray],
                        theta: Mapping[str, float],
                        batch_samples: Optional[int] = None) -> list:
-        """Sample-batched evaluation: one vectorized lockstep Newton per
-        chunk of statistical rows, bitwise identical to the serial loop.
+        """Sample-batched evaluation: one vectorized lockstep homotopy
+        chain per chunk of statistical rows, bitwise identical to the
+        serial loop.
 
-        The batched path only covers the warm-started happy path; any
-        row it cannot carry — no warm anchor, non-finite warm start,
-        failed/singular/diverged lockstep solve — is re-run through the
-        exact serial body, so results *and* fault classification match
-        the serial loop sample for sample.  ``batch_samples``:
+        Warm-started and cold-started samples both run batched: a sample
+        that fails the warm Newton stage re-enters the lockstep cold
+        chain (cold Newton, gmin stepping, source stepping) instead of
+        serializing the chunk; with ``warm_dc`` off the whole chunk
+        starts at the cold stage, matching the serial ``solve_dc`` with
+        no ``x0``.  Any row the plan cannot carry — no warm anchor,
+        non-finite warm start, singular matrix, exhausted chain — is
+        re-run through the exact serial body, so results *and* fault
+        classification match the serial loop sample for sample.
+        ``batch_samples``:
 
         * ``None`` — auto (:data:`DEFAULT_BATCH_SAMPLES` rows per chunk),
         * ``0`` or ``1`` — force the serial loop,
@@ -342,7 +356,7 @@ class OpampTemplate(CircuitTemplate):
         """
         chunk_size = DEFAULT_BATCH_SAMPLES if batch_samples is None \
             else batch_samples
-        if chunk_size <= 1 or len(rows) <= 1 or not self.warm_dc:
+        if chunk_size <= 1 or len(rows) <= 1:
             return super().evaluate_batch(d, rows, theta,
                                           batch_samples=batch_samples)
         try:
@@ -368,6 +382,12 @@ class OpampTemplate(CircuitTemplate):
                     entries[i] = exc
                     continue
                 pv_of[i] = pv
+                if not self.warm_dc:
+                    # Serial _bench does no anchor lookup either: the
+                    # whole chunk enters the chain at the cold stage.
+                    warm_of[i] = (None, None)
+                    batched.append(i)
+                    continue
                 anchor = self._warm_anchor(d, theta)
                 if anchor is None:
                     warm_of[i] = (None, None)
@@ -381,10 +401,12 @@ class OpampTemplate(CircuitTemplate):
                 else:
                     serial.append(i)  # solve_dc would skip the warm stage
             ok = np.zeros(len(batched), dtype=bool)
+            strategies: list = []
             if batched:
                 plan.set_samples([pv_of[i] for i in batched])
-                x_sol, iters, ok = plan.solve(
-                    np.stack([warm_of[i][0] for i in batched]))
+                x0s = np.stack([warm_of[i][0] for i in batched]) \
+                    if self.warm_dc else None
+                x_sol, iters, ok, strategies = plan.solve(x0s)
             batch_pos = {i: k for k, i in enumerate(batched)}
             for i in chunk:
                 if entries[i] is not None:
@@ -395,8 +417,13 @@ class OpampTemplate(CircuitTemplate):
                     bench = OpenLoopOpampBench(
                         plan.sample_circuit(k), out="out",
                         supply_source="VDD", temp_c=theta["temp"], x0=x0,
-                        ft_hint=ft_hint, linsolve=self.linsolve)
-                    bench._op = plan.dc_result(k, int(iters[k]))
+                        ft_hint=ft_hint, linsolve=self.linsolve,
+                        dc_effort=self._dc_effort)
+                    bench._op = plan.dc_result(k, int(iters[k]),
+                                               strategies[k])
+                    # The serial body counts when extract touches the
+                    # lazy bench.op; the injected result counts here.
+                    self._dc_effort.count(strategies[k])
                     bench._systems = plan.systems(k, bench._op)
                     try:
                         entries[i] = self.extract(bench, d, theta)
@@ -423,7 +450,7 @@ class OpampTemplate(CircuitTemplate):
             bench = OpenLoopOpampBench(
                 circuit, out="out", supply_source="VDD",
                 temp_c=theta["temp"], x0=x0, ft_hint=ft_hint,
-                linsolve=self.linsolve)
+                linsolve=self.linsolve, dc_effort=self._dc_effort)
         except Exception as exc:
             return exc
         try:

@@ -150,7 +150,8 @@ def cmd_yield(args: argparse.Namespace) -> int:
         n_samples=args.samples, seed=args.seed, jobs=args.jobs,
         linsolve=args.linsolve, chunk_timeout=args.chunk_timeout,
         batch_samples=args.batch_samples,
-        shard=args.shard or None)
+        shard=args.shard or None,
+        cold_dc=args.cold_dc)
     result = execute_yield(request)
     if args.out:
         # Self-describing artifact: schema version + provenance block,
@@ -188,6 +189,12 @@ def cmd_yield(args: argparse.Namespace) -> int:
                      f"/{warm.get('chain_solves', 0)}")
         print(f"warm-start cache: {warm.get('hits', 0)} hits / "
               f"{warm.get('misses', 0)} misses{chain}")
+    dc_effort = getattr(report, "dc_effort", {})
+    if any(dc_effort.values()):
+        parts = ", ".join(f"{label} {count}"
+                          for label, count in sorted(dc_effort.items())
+                          if count)
+        print(f"dc solve strategies: {parts}")
     if report.retried_chunks:
         print(f"warning: {report.retried_chunks}/{report.chunks} chunks "
               f"re-run serially in the parent "
@@ -581,6 +588,11 @@ def build_parser() -> argparse.ArgumentParser:
                         "(default: auto; 1 = scalar per-sample path; "
                         "results are bit-identical either way)")
     p.add_argument("--seed", type=int, default=2001)
+    p.add_argument("--cold-dc", action="store_true",
+                   help="disable warm-start DC anchors: every sample "
+                        "solves through the cold homotopy chain (newton "
+                        "-> gmin -> source stepping); batched and scalar "
+                        "paths stay bit-identical")
     p.add_argument("--shard", metavar="i/N",
                    help="run only shard i of an N-way split of the "
                         "logical sample budget (1-based); results merge "

@@ -185,6 +185,10 @@ class OptimizationResult:
     #: (hits/misses/chain_seeds/chain_solves/evictions/...), when the
     #: template exposes them
     warm_cache: Optional[Dict[str, int]] = None
+    #: per-strategy DC solve counters of the template at run end
+    #: (newton-warm/newton/gmin-stepping/source-stepping/failed), when
+    #: the template exposes them
+    dc_effort: Optional[Dict[str, int]] = None
 
     @property
     def initial(self) -> IterationRecord:
@@ -572,4 +576,6 @@ class YieldOptimizer:
             pool_tasks=pool.tasks_dispatched if pool is not None else 0,
             pool_died=pool is not None and not pool.alive,
             warm_cache=template.warm_cache_stats()
-            if hasattr(template, "warm_cache_stats") else None)
+            if hasattr(template, "warm_cache_stats") else None,
+            dc_effort=template.dc_effort_stats()
+            if hasattr(template, "dc_effort_stats") else None)

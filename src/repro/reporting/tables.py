@@ -194,6 +194,11 @@ def health_table(result: OptimizationResult) -> str:
         if warm.get("evictions", 0):
             rows.append(("warm-cache evictions",
                          str(warm.get("evictions", 0))))
+    dc_effort = getattr(result, "dc_effort", None)
+    if dc_effort and any(dc_effort.values()):
+        parts = [f"{label}={count}"
+                 for label, count in sorted(dc_effort.items()) if count]
+        rows.append(("dc solve strategies", " ".join(parts)))
     if result.total_failed_samples:
         rows.append(("failed evaluations",
                      str(result.total_failed_samples)))

@@ -68,6 +68,11 @@ class YieldRequest:
     batch_samples: Optional[int] = None
     #: 1-based ``i/N`` shard label (None = the full stream)
     shard: Optional[str] = None
+    #: disable warm-start DC anchors: every sample solves through the
+    #: cold homotopy chain (newton -> gmin -> source stepping).  Changes
+    #: the bit pattern of the results (different Newton trajectories),
+    #: so it is part of the cache key.
+    cold_dc: bool = False
     #: optional fault-policy override: ``{"lenient": bool,
     #: "retry_attempts": int, "jitter": float, "backoff": float}``.
     #: None runs the bare evaluator, exactly like the local CLI.
@@ -101,6 +106,7 @@ class YieldRequest:
             "chunk_timeout": self.chunk_timeout,
             "batch_samples": self.batch_samples,
             "shard": self.shard,
+            "cold_dc": self.cold_dc,
             "policy": None if self.policy is None else dict(self.policy),
         }
 
@@ -118,6 +124,7 @@ class YieldRequest:
                 chunk_timeout=data.get("chunk_timeout"),
                 batch_samples=None if batch is None else int(batch),
                 shard=data.get("shard"),
+                cold_dc=bool(data.get("cold_dc", False)),
                 policy=data.get("policy"))
         except (KeyError, TypeError, ValueError) as exc:
             raise ServeError(f"invalid yield request: {exc}")
@@ -150,6 +157,10 @@ def canonical_request(request: YieldRequest,
         "n_samples": request.n_samples,
         "linsolve": request.linsolve or "auto",
     }
+    if request.cold_dc:
+        # Cold DC changes Newton trajectories (and hence result bits);
+        # only present when set so existing cache keys stay stable.
+        canonical["cold_dc"] = True
     if request.policy is not None:
         # A fault policy changes results whenever a sample faults (the
         # faults themselves are deterministic in the point), so it is
@@ -183,6 +194,8 @@ def execute_yield(request: YieldRequest):
     from ..yieldsim import ShardPlan, make_estimator
 
     template = CIRCUITS[request.circuit]()
+    if request.cold_dc and hasattr(template, "warm_dc"):
+        template.warm_dc = False
     evaluator = Evaluator(template, linsolve=request.linsolve)
     target = evaluator
     guarded = None
@@ -481,6 +494,7 @@ def optimize_result_dict(result) -> Dict:
         "pool_tasks": int(result.pool_tasks),
         "pool_died": bool(result.pool_died),
         "warm_cache": dict(result.warm_cache or {}),
+        "dc_effort": dict(getattr(result, "dc_effort", None) or {}),
     }
 
 
@@ -527,7 +541,7 @@ def execute_optimize_job(payload: Mapping) -> Dict:
 VOLATILE_TRACE_KEYS = frozenset({
     "report", "phase_seconds", "wall_time_s", "simulations",
     "constraint_simulations", "requests", "cache_hits", "cache_misses",
-    "counters", "warm_cache", "total_simulations",
+    "counters", "warm_cache", "dc_effort", "total_simulations",
     "total_constraint_simulations", "total_cache_hits",
     "total_requests", "total_failed_samples",
     "total_retried_evaluations", "pool_jobs", "pool_tasks", "pool_died",

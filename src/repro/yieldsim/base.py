@@ -103,6 +103,8 @@ class YieldEstimator(abc.ABC):
         retried0 = getattr(evaluator, "retried_evaluations", 0)
         warm_stats = getattr(template, "warm_cache_stats", None)
         warm0 = warm_stats() if callable(warm_stats) else None
+        dc_stats = getattr(template, "dc_effort_stats", None)
+        dc0 = dc_stats() if callable(dc_stats) else None
         with PhaseTimer(report, "simulate"):
             outcome = BatchExecutor(self.execution, pool=self.pool).run(
                 evaluator, d, thetas, matrix)
@@ -151,6 +153,12 @@ class YieldEstimator(abc.ABC):
             for key, value in delta.items():
                 report.warm_cache[key] = \
                     report.warm_cache.get(key, 0) + value
+        if dc0 is not None:
+            from ..circuit.dc import DcEffort
+            delta = DcEffort.counter_delta(dc_stats(), dc0)
+            for key, value in delta.items():
+                report.dc_effort[key] = \
+                    report.dc_effort.get(key, 0) + value
         return SampleEvaluation(spec_values=spec_values,
                                 spec_pass=spec_pass,
                                 indicator=indicator, failed=failed,

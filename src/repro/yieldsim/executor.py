@@ -179,6 +179,9 @@ class TaskCounts:
     #: warm-start cache counter deltas of the task (additive; empty when
     #: the template has no warm cache)
     warm: Dict[str, int] = field(default_factory=dict)
+    #: per-strategy DC effort counter deltas of the task (additive; empty
+    #: when the template has no DC effort counters)
+    dc: Dict[str, int] = field(default_factory=dict)
 
 
 def _init_pool_worker(template, cache_enabled: bool) -> None:
@@ -204,18 +207,25 @@ def _warm_stats(evaluator: Evaluator) -> Dict[str, int]:
     return stats() if callable(stats) else {}
 
 
+def _dc_stats(evaluator: Evaluator) -> Dict[str, int]:
+    stats = getattr(evaluator.template, "dc_effort_stats", None)
+    return stats() if callable(stats) else {}
+
+
 def _task_snapshot(evaluator: Evaluator) -> Tuple:
     return (evaluator.request_count, evaluator.cache_hits,
             evaluator.simulation_count, evaluator.cache_size,
-            _warm_stats(evaluator))
+            _warm_stats(evaluator), _dc_stats(evaluator))
 
 
 def _task_counts(evaluator: Evaluator, before: Tuple,
                  guarded) -> TaskCounts:
-    from ..circuit.dc import WarmStartCache
-    requests0, hits0, simulations0, cache_len0, warm0 = before
+    from ..circuit.dc import DcEffort, WarmStartCache
+    requests0, hits0, simulations0, cache_len0, warm0, dc0 = before
     warm = WarmStartCache.counter_delta(_warm_stats(evaluator), warm0) \
         if warm0 else {}
+    dc_after = _dc_stats(evaluator)
+    dc = DcEffort.counter_delta(dc_after, dc0) if dc_after or dc0 else {}
     return TaskCounts(
         requests=evaluator.request_count - requests0,
         hits=evaluator.cache_hits - hits0,
@@ -224,7 +234,7 @@ def _task_counts(evaluator: Evaluator, before: Tuple,
         failed=guarded.failed_evaluations if guarded else 0,
         retried=guarded.retried_evaluations if guarded else 0,
         recovered=guarded.recovered_evaluations if guarded else 0,
-        warm=warm)
+        warm=warm, dc=dc)
 
 
 def _pool_worst_case(spec, d: Dict[str, float], theta: Dict[str, float],
@@ -317,6 +327,10 @@ def fold_task(evaluator, counts: TaskCounts) -> None:
         warm_cache = getattr(inner.template, "_warm_cache", None)
         if warm_cache is not None:
             warm_cache.absorb(counts.warm)
+    if counts.dc and any(counts.dc.values()):
+        dc_effort = getattr(inner.template, "_dc_effort", None)
+        if dc_effort is not None:
+            dc_effort.absorb(counts.dc)
 
 
 class PoolHandle:

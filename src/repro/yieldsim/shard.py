@@ -148,6 +148,8 @@ def merge_reports(reports: Sequence[RunReport]) -> Optional[RunReport]:
             backends.append(report.backend)
         for key, count in getattr(report, "warm_cache", {}).items():
             merged.warm_cache[key] = merged.warm_cache.get(key, 0) + count
+        for key, count in getattr(report, "dc_effort", {}).items():
+            merged.dc_effort[key] = merged.dc_effort.get(key, 0) + count
         for phase, seconds in report.phase_seconds.items():
             merged.phase_seconds[phase] = \
                 merged.phase_seconds.get(phase, 0.0) + seconds

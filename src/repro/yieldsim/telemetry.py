@@ -53,6 +53,11 @@ class RunReport:
     #: template exposes a warm cache; empty otherwise.  Additive across
     #: shards/workers like the other counters.
     warm_cache: Dict[str, int] = field(default_factory=dict)
+    #: per-strategy DC solve counter *deltas* accrued during this run
+    #: (newton-warm/newton/gmin-stepping/source-stepping/failed), when
+    #: the template exposes DC effort counters; empty otherwise.
+    #: Additive across shards/workers like the other counters.
+    dc_effort: Dict[str, int] = field(default_factory=dict)
     #: wall time per phase, seconds
     phase_seconds: Dict[str, float] = field(default_factory=dict)
 
@@ -79,6 +84,7 @@ class RunReport:
             "degraded_to_serial": self.degraded_to_serial,
             "pool_incompatible": self.pool_incompatible,
             "warm_cache": dict(self.warm_cache),
+            "dc_effort": dict(self.dc_effort),
             "phase_seconds": dict(self.phase_seconds),
             "wall_time_s": self.wall_time_s,
         }
@@ -110,6 +116,8 @@ class RunReport:
             pool_incompatible=bool(data.get("pool_incompatible", False)),
             warm_cache={k: int(v)
                         for k, v in data.get("warm_cache", {}).items()},
+            dc_effort={k: int(v)
+                       for k, v in data.get("dc_effort", {}).items()},
             phase_seconds=dict(data.get("phase_seconds", {})))
 
 

@@ -20,8 +20,14 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from helpers import LinearTemplate
+import repro.circuit.batch as batch_module
+import repro.circuit.dc as dc_module
 from repro.circuit.batch import (BatchUnsupported, PROBE_RESISTANCE_FACTOR,
                                  probe_maps)
+from repro.circuit.dc import (GMIN_FINAL, SOURCE_SCALES, _newton, solve_dc,
+                              gmin_schedule)
+from repro.circuit.devices import Isource, Vsource
+from repro.circuit.linsolve import resolve_backend
 from repro.circuits import CIRCUITS
 from repro.circuits.base import DEFAULT_BATCH_SAMPLES, _ProbeGlobals
 from repro.circuits.miller import MillerOpamp
@@ -290,6 +296,16 @@ class TestServeRequestWiring:
         assert restored.batch_samples == 16
         assert optimize_cache_key(base) == optimize_cache_key(tuned)
 
+    def test_cold_dc_round_trips_and_changes_cache_key(self):
+        from repro.serve.jobs import YieldRequest, cache_key
+        base = YieldRequest(circuit="miller", n_samples=10, seed=1)
+        cold = YieldRequest(circuit="miller", n_samples=10, seed=1,
+                            cold_dc=True)
+        assert YieldRequest.from_dict(cold.to_dict()).cold_dc is True
+        # Unlike batch_samples, cold_dc changes the Newton trajectories
+        # (and the result bits), so it must split the result cache.
+        assert cache_key(base) != cache_key(cold)
+
     def test_rejects_nonpositive_batch_samples(self):
         from repro.errors import ServeError
         from repro.serve.jobs import OptimizeRequest, YieldRequest
@@ -297,6 +313,219 @@ class TestServeRequestWiring:
             YieldRequest(circuit="miller", batch_samples=0)
         with pytest.raises(ServeError):
             OptimizeRequest(circuit="miller", batch_samples=-1)
+
+
+def _cold_parity_case(name, n, seed, batch_samples):
+    """Like ``_parity_case`` with warm anchors disabled on both paths:
+    every sample enters the homotopy chain at the cold Newton stage, and
+    the per-strategy DC effort counters must also agree."""
+    t_serial = CIRCUITS[name]()
+    t_batched = CIRCUITS[name]()
+    t_serial.warm_dc = False
+    t_batched.warm_dc = False
+    d = t_serial.initial_design()
+    theta = t_serial.operating_range.nominal()
+    rows = _rows(t_serial, n, seed)
+    serial = _serial_entries(t_serial, d, rows, theta)
+    batched = t_batched.evaluate_batch(d, rows, theta,
+                                       batch_samples=batch_samples)
+    _assert_entries_match(serial, batched)
+    assert t_serial.dc_effort_stats() == t_batched.dc_effort_stats()
+
+
+def _patch_iteration_caps(monkeypatch, cap):
+    """Shrink the per-stage Newton budget in *both* solver modules (the
+    batched module binds the name at import time)."""
+    monkeypatch.setattr(dc_module, "MAX_ITERATIONS", cap)
+    monkeypatch.setattr(batch_module, "MAX_ITERATIONS", cap)
+
+
+def _cold_fixture(name, n, seed):
+    """A loaded batch plan plus the matching per-sample serial circuits
+    (devices prepared), for driving the homotopy kernels directly."""
+    t = CIRCUITS[name]()
+    d = t.initial_design()
+    theta = t.operating_range.nominal()
+    plan = t._batch_plan(d, theta)
+    rows = _rows(t, n, seed)
+    pvs = [t.statistical_space.to_physical(d, r) for r in rows]
+    plan.set_samples(pvs)
+    circuits = [t.build(d, pv, theta) for pv in pvs]
+    for c in circuits:
+        for dev in c.devices:
+            dev.prepare(theta["temp"])
+    return t, plan, circuits, theta
+
+
+class TestColdChainParity:
+    @pytest.mark.parametrize("name", DENSE_TEMPLATES)
+    def test_dense_templates_cold(self, name):
+        _cold_parity_case(name, n=5, seed=11, batch_samples=None)
+
+    def test_two_stage_array_sparse_cold(self):
+        _cold_parity_case("two-stage-array", n=4, seed=3, batch_samples=4)
+
+    @pytest.mark.parametrize("name", DENSE_TEMPLATES)
+    @given(seed=st.integers(0, 2 ** 20))
+    @settings(max_examples=2, deadline=None)
+    def test_dense_random_rows_cold(self, name, seed):
+        _cold_parity_case(name, n=3, seed=seed, batch_samples=None)
+
+    @given(seed=st.integers(0, 2 ** 20))
+    @settings(max_examples=2, deadline=None)
+    def test_sparse_random_rows_cold(self, seed):
+        _cold_parity_case("two-stage-array", n=3, seed=seed,
+                          batch_samples=3)
+
+
+class TestLockstepColdKernels:
+    """Drive ``SampleBatchPlan.solve`` and its stage kernels directly
+    against the serial solver, asserting bitwise solutions, matching
+    strategy labels and exact per-(sub)stage iteration counts."""
+
+    def test_cold_solve_matches_solve_dc_bitwise(self):
+        t, plan, circuits, theta = _cold_fixture("miller", n=6, seed=13)
+        x, iters, ok, strategy = plan.solve(None)
+        for k, c in enumerate(circuits):
+            ref = solve_dc(c, temp_c=theta["temp"], backend=t.linsolve)
+            assert ok[k]
+            assert strategy[k] == ref.strategy
+            assert iters[k] == ref.iterations
+            assert np.array_equal(x[k], ref.x)
+
+    def test_gmin_substage_iteration_parity(self):
+        t, plan, circuits, theta = _cold_fixture("miller", n=3, seed=5)
+        rows = np.arange(len(circuits), dtype=np.intp)
+        size = plan.layout.size
+        xb = np.zeros((len(circuits), size))
+        backend = resolve_backend(t.linsolve, plan.layout.n_nodes)
+        layouts = [c.layout() for c in circuits]
+        xs = [np.zeros(layout.size) for layout in layouts]
+        for gmin in gmin_schedule():
+            xb, its, out = plan._newton_stage(rows, xb, gmin,
+                                              plan._dc_base_rhs)
+            assert np.all(out == 0)
+            for k, c in enumerate(circuits):
+                xs[k], ref_iters = _newton(c, layouts[k], xs[k], gmin,
+                                           backend)
+                assert its[k] == ref_iters, f"gmin={gmin:g} sample {k}"
+                assert np.array_equal(xb[k], xs[k]), \
+                    f"gmin={gmin:g} sample {k}"
+
+    def test_source_substage_iteration_parity(self):
+        t, plan, circuits, theta = _cold_fixture("miller", n=3, seed=5)
+        rows = np.arange(len(circuits), dtype=np.intp)
+        size = plan.layout.size
+        xb = np.zeros((len(circuits), size))
+        backend = resolve_backend(t.linsolve, plan.layout.n_nodes)
+        layouts = [c.layout() for c in circuits]
+        xs = [np.zeros(layout.size) for layout in layouts]
+        sources = [[dev for dev in c.devices
+                    if isinstance(dev, (Vsource, Isource))]
+                   for c in circuits]
+        for scale in SOURCE_SCALES:
+            xb, its, out = plan._newton_stage(rows, xb, GMIN_FINAL,
+                                              plan._scaled_rhs(scale))
+            assert np.all(out == 0)
+            for k, c in enumerate(circuits):
+                for src in sources[k]:
+                    src.scale = scale
+                xs[k], ref_iters = _newton(c, layouts[k], xs[k],
+                                           GMIN_FINAL, backend)
+                assert its[k] == ref_iters, f"scale={scale} sample {k}"
+                assert np.array_equal(xb[k], xs[k]), \
+                    f"scale={scale} sample {k}"
+
+    def test_capped_newton_routes_to_gmin_stepping(self, monkeypatch):
+        # The folded-cascode nominal row needs 15 cold Newton iterations;
+        # capping at 14 forces cold Newton to fail while every gmin
+        # sub-stage still fits, so the chain's second homotopy wins — on
+        # both paths, with identical totals and bits.
+        _patch_iteration_caps(monkeypatch, 14)
+        t, plan, circuits, theta = _cold_fixture("folded-cascode",
+                                                 n=3, seed=7)
+        nominal = t.statistical_space.nominal()
+        pvs = [t.statistical_space.to_physical(t.initial_design(),
+                                               nominal)]
+        circuits.insert(0, t.build(t.initial_design(), pvs[0], theta))
+        for dev in circuits[0].devices:
+            dev.prepare(theta["temp"])
+        plan.set_samples(
+            [pvs[0]] + [t.statistical_space.to_physical(
+                t.initial_design(), r) for r in _rows(t, 3, 7)])
+        x, iters, ok, strategy = plan.solve(None)
+        assert strategy[0] == "gmin-stepping"
+        for k, c in enumerate(circuits):
+            try:
+                ref = solve_dc(c, temp_c=theta["temp"],
+                               backend=t.linsolve)
+            except ConvergenceError:
+                # A random row may exhaust even the capped chain; the
+                # batched path must hand exactly those rows back.
+                assert not ok[k]
+                assert strategy[k] is None
+                continue
+            assert ok[k]
+            assert strategy[k] == ref.strategy
+            assert iters[k] == ref.iterations
+            assert np.array_equal(x[k], ref.x)
+
+
+class TestColdFaultClassificationParity:
+    def test_exhausted_chain_classifies_identically(self, monkeypatch):
+        # A 2-iteration budget exhausts every homotopy stage: the serial
+        # loop's ConvergenceError maps to the dead-circuit sentinel dict,
+        # and the batched path must reproduce both the entries and the
+        # "failed" effort counters exactly through its serial fallback.
+        _patch_iteration_caps(monkeypatch, 2)
+        t_serial = CIRCUITS["miller"]()
+        t_batched = CIRCUITS["miller"]()
+        t_serial.warm_dc = False
+        t_batched.warm_dc = False
+        d = t_serial.initial_design()
+        theta = t_serial.operating_range.nominal()
+        rows = _rows(t_serial, 6, 3)
+        serial = _serial_entries(t_serial, d, rows, theta)
+        batched = t_batched.evaluate_batch(d, rows, theta)
+        _assert_entries_match(serial, batched)
+        stats = t_serial.dc_effort_stats()
+        assert stats == t_batched.dc_effort_stats()
+        assert stats["failed"] > 0
+        from repro.circuits.base import DEAD_CIRCUIT_PERFORMANCES
+        assert any(isinstance(e, dict)
+                   and e["a0"] == DEAD_CIRCUIT_PERFORMANCES["a0"]
+                   for e in serial)
+
+    def test_failed_samples_accounting_scalar_vs_batched(self):
+        """Estimator-level failed_samples parity on the cold path: rows
+        whose evaluation faults under the nan fail-mode must be counted
+        identically by the scalar and batched engines."""
+        from repro.spec.operating import find_worst_case_operating_points
+
+        def run(batch_samples):
+            template = _FaultyMiller(hard_below=87.5)
+            template.warm_dc = False
+            guarded = FaultTolerantEvaluator(
+                Evaluator(template),
+                FaultPolicy(actions={RuntimeError: FaultAction.RETRY}),
+                fail_mode="nan")
+            d = template.initial_design()
+            s0 = template.statistical_space.nominal()
+            theta_wc = find_worst_case_operating_points(
+                lambda theta: guarded.evaluate(d, s0, theta),
+                template.specs, template.operating_range)
+            est = make_estimator("mc", batch_samples=batch_samples)
+            with guarded.lenient():
+                r = est.estimate(guarded, d, theta_wc, n_samples=16,
+                                 seed=11)
+            return (r.estimate, r.ci_low, r.ci_high, r.failed_samples,
+                    r.report.failed_samples, dict(r.report.dc_effort),
+                    template.dc_effort_stats())
+
+        scalar = run(1)
+        batched = run(None)
+        assert scalar == batched
+        assert batched[3] > 0  # the injected faults actually failed rows
 
 
 class TestEstimatorEndToEnd:

@@ -3,7 +3,13 @@
 import numpy as np
 import pytest
 
+import repro.circuit.dc as dc_module
 from repro.circuit import Circuit, solve_dc
+from repro.circuit.dc import (DcEffort, GMIN_FACTOR, GMIN_FINAL, GMIN_START,
+                              SOURCE_SCALES, _newton, _source_stepping,
+                              gmin_schedule)
+from repro.circuit.devices import Isource, Vsource
+from repro.circuit.linsolve import resolve_backend
 from repro.errors import ConvergenceError, SingularMatrixError
 from repro.pdk.generic035 import NMOS, PMOS
 
@@ -167,3 +173,145 @@ class TestRobustness:
             result.op("M404")
         with pytest.raises(KeyError):
             result.source_current("R1")  # no branch current
+
+
+class _StubLayout:
+    def __init__(self, n_nodes, size):
+        self.n_nodes = n_nodes
+        self.size = size
+
+
+class _StubSystem:
+    """Linear-solve stub returning a fixed point regardless of x."""
+
+    def __init__(self, x_star):
+        self.x_star = np.asarray(x_star, dtype=float)
+
+    def solve_at(self, x):
+        return self.x_star.copy()
+
+
+class _StubBackend:
+    def __init__(self, x_star):
+        self._x_star = x_star
+
+    def dc_system(self, circuit, layout, gmin):
+        return _StubSystem(self._x_star)
+
+
+class TestNewtonConvergenceBranches:
+    """Regression tests for the two explicit convergence branches of
+    ``_newton``: the degenerate no-node-voltages case returns on the
+    first accepted step, and the normal case tests the damped step
+    against the absolute/relative tolerance."""
+
+    def test_no_node_voltages_converges_on_first_accepted_step(self):
+        # nv == 0: the whole state is branch currents, the damping test
+        # is vacuous (step = 0.0) and any finite solve is converged —
+        # even one that jumps far from x0.
+        layout = _StubLayout(n_nodes=0, size=2)
+        circuit = Circuit("branch-only-stub")
+        x, iterations = _newton(circuit, layout, np.zeros(2), GMIN_FINAL,
+                                _StubBackend([5.0, -3.0]))
+        assert iterations == 1
+        assert np.array_equal(x, [5.0, -3.0])
+
+    def test_node_voltages_require_tolerance(self):
+        # nv > 0 with a fixed point inside the damping limit: iteration 1
+        # accepts the full step (|delta| = 0.5 > tolerance, so it does
+        # not converge yet); iteration 2 has delta = 0 and converges.
+        layout = _StubLayout(n_nodes=1, size=1)
+        circuit = Circuit("one-node-stub")
+        x, iterations = _newton(circuit, layout, np.zeros(1), GMIN_FINAL,
+                                _StubBackend([0.5]))
+        assert iterations == 2
+        assert np.array_equal(x, [0.5])
+
+
+class TestGminSchedule:
+    def test_schedule_shared_by_both_solvers(self):
+        values = list(gmin_schedule())
+        assert values[0] == GMIN_START
+        assert values[-1] == GMIN_FINAL  # the literal, bitwise
+        assert all(a > b for a, b in zip(values, values[1:]))
+        assert all(v >= GMIN_FINAL for v in values)
+        # The interior values are products of repeated multiplication,
+        # which the docstring warns are not the round literals.
+        assert values[1] == GMIN_START * GMIN_FACTOR
+
+
+class TestSourceStepping:
+    def _diode_circuit(self):
+        c = Circuit("diode")
+        c.vsource("VDD", "vdd", "0", dc=3.3)
+        c.resistor("R1", "vdd", "d", 100e3)
+        c.mosfet("M1", "d", "d", "0", "0", NMOS, w=20e-6, l=1e-6)
+        return c
+
+    def test_restores_caller_scales_on_success(self):
+        c = self._diode_circuit()
+        layout = c.layout()
+        backend = resolve_backend(None, layout.n_nodes)
+        for dev in c.devices:
+            dev.prepare(27.0)
+        sources = [d for d in c.devices
+                   if isinstance(d, (Vsource, Isource))]
+        sources[0].scale = 0.25
+        _source_stepping(c, layout, np.zeros(layout.size), backend)
+        assert sources[0].scale == 0.25
+
+    def test_restores_caller_scales_on_failure(self, monkeypatch):
+        c = self._diode_circuit()
+        layout = c.layout()
+        backend = resolve_backend(None, layout.n_nodes)
+        for dev in c.devices:
+            dev.prepare(27.0)
+        sources = [d for d in c.devices
+                   if isinstance(d, (Vsource, Isource))]
+        sources[0].scale = 0.75
+        monkeypatch.setattr(dc_module, "MAX_ITERATIONS", 0)
+        with pytest.raises(ConvergenceError):
+            _source_stepping(c, layout, np.zeros(layout.size), backend)
+        assert sources[0].scale == 0.75
+
+    def test_ramp_ends_at_full_scale(self):
+        assert SOURCE_SCALES[-1] == 1.0
+
+
+class TestDcEffort:
+    def test_counts_winning_strategy(self):
+        effort = DcEffort()
+        solve_dc(divider(), effort=effort)
+        assert effort.stats()["newton"] == 1
+        assert effort.stats()["failed"] == 0
+
+    def test_counts_warm_strategy(self):
+        effort = DcEffort()
+        cold = solve_dc(divider())
+        solve_dc(divider(), x0=cold.x, effort=effort)
+        assert effort.stats()["newton-warm"] == 1
+        assert effort.stats()["newton"] == 0
+
+    def test_counts_exhausted_chain_as_failed(self, monkeypatch):
+        monkeypatch.setattr(dc_module, "MAX_ITERATIONS", 0)
+        effort = DcEffort()
+        with pytest.raises(ConvergenceError):
+            solve_dc(divider(), effort=effort)
+        stats = effort.stats()
+        assert stats["failed"] == 1
+        assert all(stats[key] == 0 for key in DcEffort.COUNTER_KEYS
+                   if key != "failed")
+
+    def test_absorb_and_delta_mirror_warm_cache_protocol(self):
+        a = DcEffort()
+        a.count("newton", 3)
+        a.count("gmin-stepping")
+        before = a.stats()
+        a.absorb({"newton": 2, "source-stepping": 1})
+        after = a.stats()
+        delta = DcEffort.counter_delta(after, before)
+        assert delta == {"newton-warm": 0, "newton": 2,
+                         "gmin-stepping": 0, "source-stepping": 1,
+                         "failed": 0}
+        a.clear()
+        assert all(v == 0 for v in a.stats().values())
